@@ -1,0 +1,90 @@
+// Command pscbench regenerates the experiment tables and figure series of
+// EXPERIMENTS.md: one experiment per quantitative claim of the paper.
+//
+// Usage:
+//
+//	pscbench            # run all experiments
+//	pscbench -list      # list experiments
+//	pscbench -run E3,E4 # run a subset
+//
+// The exit status is nonzero if any experiment's assertions fail.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"psclock/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("pscbench", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list experiments and exit")
+	only := fs.String("run", "", "comma-separated experiment IDs (default: all)")
+	parallel := fs.Bool("parallel", false, "run experiments concurrently (output printed in order; E10's wall-clock figures will reflect contention)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+
+	var selected []experiments.Experiment
+	if *only == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "pscbench: unknown experiment %q (try -list)\n", id)
+				return 2
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	results := make([]experiments.Result, len(selected))
+	if *parallel {
+		var wg sync.WaitGroup
+		for i, e := range selected {
+			wg.Add(1)
+			go func(i int, e experiments.Experiment) {
+				defer wg.Done()
+				results[i] = e.Run()
+			}(i, e)
+		}
+		wg.Wait()
+	} else {
+		for i, e := range selected {
+			results[i] = e.Run()
+			fmt.Println(results[i])
+		}
+	}
+	failed := 0
+	for i, r := range results {
+		if *parallel {
+			fmt.Println(r)
+		}
+		_ = i
+		if !r.Pass() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "pscbench: %d experiment(s) failed\n", failed)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestList(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Errorf("code = %d", code)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if code := run([]string{"-run", "E99"}); code != 2 {
+		t.Errorf("code = %d, want 2", code)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code := run([]string{"-bogus"}); code != 2 {
+		t.Errorf("code = %d, want 2", code)
+	}
+}
+
+func TestRunOneExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full experiment")
+	}
+	if code := run([]string{"-run", "E1"}); code != 0 {
+		t.Errorf("E1 failed: code = %d", code)
+	}
+}
+
+func TestParallelSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments")
+	}
+	if code := run([]string{"-parallel", "-run", "E1,E2"}); code != 0 {
+		t.Errorf("code = %d", code)
+	}
+}

@@ -1,0 +1,168 @@
+// Command pscfuzz runs randomized configuration campaigns against the
+// transformed register: each trial draws a system size, delay bounds, ε,
+// the c knob, clock and delay adversaries, and a workload, runs the
+// clock-model system, and checks linearizability. Violations are reported
+// with a shrunk minimal counterexample — if this tool ever prints one,
+// Theorem 4.7/6.5 (or this library) has a bug.
+//
+// Usage:
+//
+//	pscfuzz -trials 200 -seed 1
+//	pscfuzz -trials 50 -mutate    # sanity: fuzz the broken L variant, expect violations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"psclock/internal/channel"
+	"psclock/internal/clock"
+	"psclock/internal/core"
+	"psclock/internal/linearize"
+	"psclock/internal/register"
+	"psclock/internal/simtime"
+	"psclock/internal/workload"
+)
+
+const (
+	ms = simtime.Millisecond
+	us = simtime.Microsecond
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pscfuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	trials := fs.Int("trials", 100, "number of randomized trials")
+	seed := fs.Int64("seed", 1, "campaign seed")
+	mutate := fs.Bool("mutate", false, "fuzz the broken variant (plain L in the clock model); violations are then expected")
+	verbose := fs.Bool("v", false, "print each trial's configuration")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	violations := 0
+	for trial := 0; trial < *trials; trial++ {
+		cfgSeed := *seed*1_000_000_007 + int64(trial)
+		desc, ops, err := oneTrial(cfgSeed, *mutate)
+		if err != nil {
+			fmt.Fprintf(stderr, "pscfuzz: trial %d (%s): %v\n", trial, desc, err)
+			return 2
+		}
+		if *verbose {
+			fmt.Fprintf(stdout, "trial %d: %s (%d ops)\n", trial, desc, len(ops))
+		}
+		res := linearize.CheckLinearizable(ops, register.Initial.String())
+		if res.OK {
+			continue
+		}
+		violations++
+		fmt.Fprintf(stdout, "VIOLATION in trial %d: %s\n  %s\n", trial, desc, res.Reason)
+		small := linearize.Shrink(ops, linearize.Options{Initial: register.Initial.String()})
+		fmt.Fprintf(stdout, "  minimal counterexample (%d ops):\n", len(small))
+		for _, o := range small {
+			fmt.Fprintf(stdout, "    %v\n", o)
+		}
+		if !*mutate {
+			fmt.Fprintf(stdout, "replay: pscfuzz -trials 1 -seed %d\n", cfgSeed)
+			return 1
+		}
+	}
+	if *mutate {
+		fmt.Fprintf(stdout, "%d/%d mutated trials violated linearizability (expected > 0)\n", violations, *trials)
+		if violations == 0 {
+			fmt.Fprintln(stdout, "WARNING: the broken variant never failed — the fuzzer may be too tame")
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprintf(stdout, "%d trials, 0 violations\n", *trials)
+	return 0
+}
+
+// oneTrial draws and runs one configuration.
+func oneTrial(seed int64, mutate bool) (string, []linearize.Op, error) {
+	r := rand.New(rand.NewSource(seed))
+	n := 2 + r.Intn(4)
+	d1 := simtime.Duration(r.Int63n(int64(2 * ms)))
+	d2 := d1 + 200*us + simtime.Duration(r.Int63n(int64(3*ms)))
+	eps := simtime.Duration(r.Int63n(int64(ms))) + 10*us
+	bounds := simtime.NewInterval(d1, d2)
+	d2p := d2 + 2*eps
+	cKnob := simtime.Duration(r.Int63n(int64(d2p - 2*eps + 1)))
+
+	clockNames := []string{"perfect", "spread", "drift", "sawtooth", "resync"}
+	cname := clockNames[r.Intn(len(clockNames))]
+	var cf clock.Factory
+	switch cname {
+	case "perfect":
+		cf = clock.PerfectFactory()
+	case "spread":
+		cf = clock.SpreadFactory(eps)
+	case "drift":
+		cf = clock.DriftFactory(eps, seed)
+	case "sawtooth":
+		cf = clock.SawtoothFactory(eps, 8*eps+ms)
+	case "resync":
+		cf = func(node int) clock.Model {
+			return clock.Resync(eps, -400+int64(node)*200, 10*ms)
+		}
+	}
+	delayNames := []string{"min", "max", "uniform", "spread", "bimodal"}
+	dname := delayNames[r.Intn(len(delayNames))]
+	var df func() channel.DelayPolicy
+	switch dname {
+	case "min":
+		df = channel.MinDelay
+	case "max":
+		df = channel.MaxDelay
+	case "uniform":
+		df = channel.UniformDelay
+	case "spread":
+		df = channel.SpreadDelay
+	case "bimodal":
+		df = func() channel.DelayPolicy { return channel.BimodalDelay(0.3) }
+	}
+
+	p := register.Params{C: cKnob, Delta: 5 * us, D2: d2p, Epsilon: eps}
+	factory := register.Factory(register.NewS, p)
+	algName := "S"
+	if mutate {
+		// The broken variant: no 2ε wait, designed for exact time.
+		p = register.Params{C: 0, Delta: 5 * us, D2: d2p, Epsilon: 0}
+		factory = register.Factory(register.NewL, p)
+		algName = "L(mutated)"
+		if cname == "perfect" {
+			cf = clock.SpreadFactory(eps) // perfect clocks can't break L
+			cname = "spread"
+		}
+	}
+	desc := fmt.Sprintf("alg=%s n=%d d=[%v,%v] ε=%v c=%v clocks=%s delays=%s seed=%d",
+		algName, n, d1, d2, eps, cKnob, cname, dname, seed)
+
+	cfg := core.Config{N: n, Bounds: bounds, Seed: seed, Clocks: cf, NewDelay: df, FIFO: r.Intn(2) == 0}
+	net := core.BuildClocked(cfg, factory)
+	clients := workload.Attach(net, workload.Config{
+		Ops:        8 + r.Intn(10),
+		Think:      simtime.NewInterval(0, simtime.Duration(r.Int63n(int64(3*ms)))),
+		WriteRatio: 0.2 + 0.6*r.Float64(),
+		Seed:       seed * 31,
+		Stagger:    simtime.Duration(r.Int63n(int64(ms))),
+	})
+	if _, err := net.Sys.RunQuiet(simtime.Time(120 * simtime.Second)); err != nil {
+		return desc, nil, err
+	}
+	for _, c := range clients {
+		if c.Done == 0 {
+			return desc, nil, fmt.Errorf("client %s made no progress", c.Name())
+		}
+	}
+	ops, err := register.History(net.Sys.Trace().Visible())
+	return desc, ops, err
+}

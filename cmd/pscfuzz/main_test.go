@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runFuzz(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String() + errb.String()
+}
+
+func TestCleanCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	code, out := runFuzz(t, "-trials", "12", "-seed", "5")
+	if code != 0 {
+		t.Fatalf("code=%d out=%s", code, out)
+	}
+	if !strings.Contains(out, "0 violations") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestMutatedCampaignFindsViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	code, out := runFuzz(t, "-trials", "15", "-seed", "2", "-mutate")
+	if code != 0 {
+		t.Fatalf("code=%d out=%s", code, out)
+	}
+	if !strings.Contains(out, "VIOLATION") || !strings.Contains(out, "minimal counterexample") {
+		t.Errorf("no violations found by mutated campaign:\n%s", out)
+	}
+}
+
+func TestVerboseFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	code, out := runFuzz(t, "-trials", "2", "-v")
+	if code != 0 || !strings.Contains(out, "trial 0:") {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _ := runFuzz(t, "-bogus"); code != 2 {
+		t.Error("bad flag accepted")
+	}
+}

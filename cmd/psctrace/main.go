@@ -1,0 +1,142 @@
+// Command psctrace inspects recorded execution traces (as written by
+// pscsim -tracejson): per-node timelines, event summaries, message-delay
+// distributions, and the §2.3 trace relations between two recordings.
+//
+// Usage:
+//
+//	psctrace -timeline trace.jsonl
+//	psctrace -summary trace.jsonl
+//	psctrace -delays trace.jsonl
+//	psctrace -mineps other.jsonl trace.jsonl   # smallest ε with =_{ε,κ}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"psclock/internal/simtime"
+	"psclock/internal/stats"
+	"psclock/internal/ta"
+	"psclock/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("psctrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	timeline := fs.Bool("timeline", false, "render a per-node ASCII timeline")
+	summary := fs.Bool("summary", false, "print per-action and per-node event counts")
+	delays := fs.Bool("delays", false, "print message delay statistics")
+	width := fs.Int("width", 100, "timeline width")
+	mineps := fs.String("mineps", "", "other trace: print the smallest ε with this =_{ε,κ} that")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: psctrace [flags] <trace.jsonl | ->")
+		return 2
+	}
+	tr, err := load(fs.Arg(0), stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "psctrace:", err)
+		return 2
+	}
+	if !*timeline && !*summary && !*delays && *mineps == "" {
+		*summary = true
+	}
+
+	if *summary {
+		printSummary(stdout, tr)
+	}
+	if *timeline {
+		fmt.Fprint(stdout, stats.Timeline(tr, *width))
+	}
+	if *delays {
+		printDelays(stdout, tr)
+	}
+	if *mineps != "" {
+		f, err := os.Open(*mineps)
+		if err != nil {
+			fmt.Fprintln(stderr, "psctrace:", err)
+			return 2
+		}
+		defer f.Close()
+		other, err := ta.ReadTraceJSON(f)
+		if err != nil {
+			fmt.Fprintln(stderr, "psctrace:", err)
+			return 2
+		}
+		eps, err := trace.MinEps(tr.Visible(), other.Visible(), trace.ByNode)
+		if err != nil {
+			fmt.Fprintf(stdout, "traces are not =_ε related for any ε: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "smallest ε with trace =_{ε,κ} other: %v\n", eps)
+	}
+	return 0
+}
+
+func load(path string, stdin io.Reader) (ta.Trace, error) {
+	if path == "-" {
+		return ta.ReadTraceJSON(stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ta.ReadTraceJSON(f)
+}
+
+func printSummary(w io.Writer, tr ta.Trace) {
+	byName := map[string]int{}
+	byNode := map[ta.NodeID]int{}
+	for _, e := range tr {
+		byName[e.Action.Name]++
+		if e.Action.Node != ta.NoNode {
+			byNode[e.Action.Node]++
+		}
+	}
+	fmt.Fprintf(w, "events: %d total, span %v\n", len(tr), simtime.Duration(tr.LTime()))
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	tb := stats.NewTable("action", "count")
+	for _, n := range names {
+		tb.AddRow(n, fmt.Sprint(byName[n]))
+	}
+	fmt.Fprint(w, tb.String())
+	nodes := tr.Nodes()
+	tb2 := stats.NewTable("node", "events")
+	for _, n := range nodes {
+		tb2.AddRow(n.String(), fmt.Sprint(byNode[n]))
+	}
+	fmt.Fprint(w, tb2.String())
+}
+
+func printDelays(w io.Writer, tr ta.Trace) {
+	pairs := [][2]string{
+		{ta.NameSendMsg, ta.NameRecvMsg},
+		{ta.NameESendMsg, ta.NameERecvMsg},
+	}
+	any := false
+	for _, p := range pairs {
+		ds, err := tr.MessageDelays(p[0], p[1])
+		if err != nil || len(ds) == 0 {
+			continue
+		}
+		any = true
+		fmt.Fprintf(w, "%s → %s: %v\n", p[0], p[1], stats.Summarize(ds))
+	}
+	if !any {
+		fmt.Fprintln(w, "no complete message pairs in trace (messages may be hidden or unmatched)")
+	}
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"psclock/internal/ta"
+)
+
+func writeTrace(t *testing.T, tr ta.Trace) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func sample() ta.Trace {
+	return ta.Trace{
+		{Action: ta.Action{Name: "READ", Node: 0, Peer: ta.NoNode, Kind: ta.KindInput}, At: 0, Seq: 0},
+		{Action: ta.Action{Name: ta.NameSendMsg, Node: 0, Peer: 1, Kind: ta.KindInternal, Payload: "m"}, At: 5, Seq: 1},
+		{Action: ta.Action{Name: ta.NameRecvMsg, Node: 1, Peer: 0, Kind: ta.KindInternal, Payload: "m"}, At: 25, Seq: 2},
+		{Action: ta.Action{Name: "RETURN", Node: 0, Peer: ta.NoNode, Kind: ta.KindOutput, Payload: "v"}, At: 30, Seq: 3},
+	}
+}
+
+func runTool(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestSummaryDefault(t *testing.T) {
+	path := writeTrace(t, sample())
+	code, out, _ := runTool(t, "", path)
+	if code != 0 {
+		t.Fatalf("code = %d", code)
+	}
+	if !strings.Contains(out, "events: 4 total") || !strings.Contains(out, "RETURN") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestTimelineAndDelays(t *testing.T) {
+	path := writeTrace(t, sample())
+	code, out, _ := runTool(t, "", "-timeline", "-delays", "-width", "40", path)
+	if code != 0 {
+		t.Fatalf("code = %d", code)
+	}
+	if !strings.Contains(out, "legend:") {
+		t.Errorf("no timeline: %q", out)
+	}
+	if !strings.Contains(out, "SENDMSG → RECVMSG") {
+		t.Errorf("no delays: %q", out)
+	}
+}
+
+func TestDelaysNoMessages(t *testing.T) {
+	path := writeTrace(t, ta.Trace{
+		{Action: ta.Action{Name: "READ", Node: 0, Peer: ta.NoNode, Kind: ta.KindInput}, At: 0},
+	})
+	_, out, _ := runTool(t, "", "-delays", path)
+	if !strings.Contains(out, "no complete message pairs") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestMinEpsSelf(t *testing.T) {
+	path := writeTrace(t, sample())
+	code, out, _ := runTool(t, "", "-mineps", path, path)
+	if code != 0 || !strings.Contains(out, "smallest ε") || !strings.Contains(out, "0s") {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+}
+
+func TestMinEpsUnrelated(t *testing.T) {
+	path := writeTrace(t, sample())
+	other := writeTrace(t, ta.Trace{
+		{Action: ta.Action{Name: "DIFFERENT", Node: 0, Peer: ta.NoNode, Kind: ta.KindOutput}, At: 0},
+	})
+	code, out, _ := runTool(t, "", "-mineps", other, path)
+	if code != 1 || !strings.Contains(out, "not =_ε related") {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+}
+
+func TestStdin(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runTool(t, buf.String(), "-")
+	if code != 0 || !strings.Contains(out, "events: 4 total") {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runTool(t, ""); code != 2 {
+		t.Error("missing arg accepted")
+	}
+	if code, _, _ := runTool(t, "junk", "-"); code != 2 {
+		t.Error("bad stdin accepted")
+	}
+	if code, _, _ := runTool(t, "", filepath.Join(t.TempDir(), "missing")); code != 2 {
+		t.Error("missing file accepted")
+	}
+	path := writeTrace(t, sample())
+	if code, _, _ := runTool(t, "", "-mineps", filepath.Join(t.TempDir(), "missing"), path); code != 2 {
+		t.Error("missing mineps file accepted")
+	}
+}

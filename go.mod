@@ -1,0 +1,3 @@
+module psclock
+
+go 1.22

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+// clockInner is the clock-value-driven composite A^c_{i,ε} of §4.2: the
+// wrapped algorithm C(A_i, ε) together with the send buffers S_ij,ε and
+// receive buffers R_ji,ε of Figure 2, with the SENDMSG/RECVMSG interface
+// between them hidden inside.
+//
+// The composite is ε-time independent by construction (Definition 2.6): it
+// is driven exclusively by clock values, never by real time. Two different
+// outer adapters drive it: ClockNode (clock model, §4), which converts
+// between real time and clock time using the node's clock.Model, and
+// MMTNode (MMT model, §5), which drives it by the last TICK value during
+// catch-up.
+//
+// The send buffer's behavior — tag each outgoing message with the clock
+// value at which it was sent, before any clock passage (the "c = clock"
+// precondition of Figure 2) — is realized by tagging with the stamped
+// emission time. The receive buffer is literal: one FIFO queue per incoming
+// edge whose front is deliverable only once the local clock reaches its
+// tag.
+type clockInner struct {
+	id  ta.NodeID
+	n   int
+	eng *engine
+
+	// queues[j] is R_ji,ε's queue q_ji, in arrival order. Only the front is
+	// ever inspected (head-of-line blocking, exactly as in Figure 2).
+	queues map[ta.NodeID][]ta.TaggedMsg
+
+	// noBuffer disables the receive buffer (the §7.2 ablation): messages
+	// are delivered immediately regardless of their tag. With d1 ≥ 2ε this
+	// changes nothing; with d1 < 2ε it breaks the simulation, which
+	// experiment E9 demonstrates.
+	noBuffer bool
+
+	// buffered / heldMax track how much work the receive buffer actually
+	// did, for experiment E7.
+	buffered     int
+	received     int
+	heldClockMax simtime.Duration
+}
+
+func newClockInner(id ta.NodeID, n int, alg Algorithm, noBuffer bool) *clockInner {
+	return &clockInner{
+		id:       id,
+		n:        n,
+		eng:      newEngine(id, n, alg),
+		queues:   make(map[ta.NodeID][]ta.TaggedMsg, n),
+		noBuffer: noBuffer,
+	}
+}
+
+// process converts the engine's raw outputs into the composite's outputs:
+// every SENDMSG is accompanied by the tagged ESENDMSG that S_ij,ε forwards
+// to the clock-model edge at the same instant.
+func (ci *clockInner) process(ss []stamped) []stamped {
+	out := make([]stamped, 0, len(ss))
+	for _, s := range ss {
+		out = append(out, s)
+		if s.act.Name == ta.NameSendMsg {
+			msg, ok := s.act.Payload.(ta.Msg)
+			if !ok {
+				panic(fmt.Sprintf("core: SENDMSG payload %T is not ta.Msg", s.act.Payload))
+			}
+			out = append(out, stamped{
+				at: s.at,
+				act: ta.Action{
+					Name:    ta.NameESendMsg,
+					Node:    s.act.Node,
+					Peer:    s.act.Peer,
+					Kind:    ta.KindOutput,
+					Payload: ta.TaggedMsg{Body: msg.Body, SentClock: s.at},
+				},
+			})
+		}
+	}
+	return out
+}
+
+// start runs the algorithm's Start at clock 0.
+func (ci *clockInner) start() []stamped {
+	return ci.process(ci.eng.start(0))
+}
+
+// nextDue returns the earliest clock value at which the composite has work:
+// a timer deadline of C(A,ε) or a releasable front of some R_ji queue.
+func (ci *clockInner) nextDue() (simtime.Time, bool) {
+	due, ok := ci.eng.nextTimer()
+	for _, q := range ci.queues {
+		if len(q) == 0 {
+			continue
+		}
+		if !ok || q[0].SentClock.Before(due) {
+			due, ok = q[0].SentClock, true
+		}
+	}
+	return due, ok
+}
+
+// advance brings the composite up to clock value c, interleaving timer
+// firings and buffer releases in clock order, each performed at its own
+// clock value. This is both the ClockNode steady-state step and the MMT
+// catch-up fragment (Definition 5.1's frag).
+func (ci *clockInner) advance(c simtime.Time) []stamped {
+	var out []stamped
+	for {
+		// Earliest buffer release among queue fronts.
+		var (
+			relFrom ta.NodeID
+			relAt   simtime.Time
+			relOK   bool
+		)
+		for j := ta.NodeID(0); int(j) < ci.n; j++ {
+			q := ci.queues[j]
+			if len(q) == 0 {
+				continue
+			}
+			if !relOK || q[0].SentClock.Before(relAt) {
+				relFrom, relAt, relOK = j, q[0].SentClock, true
+			}
+		}
+		timerAt, timerOK := ci.eng.nextTimer()
+
+		switch {
+		case relOK && !relAt.After(c) && (!timerOK || !relAt.After(timerAt)):
+			// Release the buffered message at its tag's clock value
+			// (buffer releases win ties against timers).
+			q := ci.queues[relFrom]
+			tm := q[0]
+			ci.queues[relFrom] = q[1:]
+			out = append(out, ci.deliverMsg(relAt, relFrom, tm)...)
+		case timerOK && !timerAt.After(c):
+			out = append(out, ci.process(ci.eng.advance(timerAt))...)
+		default:
+			return out
+		}
+	}
+}
+
+// deliverMsg hands a message to the algorithm at clock value c, emitting
+// the node-internal RECVMSG action R_ji performs.
+func (ci *clockInner) deliverMsg(c simtime.Time, from ta.NodeID, tm ta.TaggedMsg) []stamped {
+	recv := stamped{
+		at: c,
+		act: ta.Action{
+			Name:    ta.NameRecvMsg,
+			Node:    ci.id,
+			Peer:    from,
+			Kind:    ta.KindOutput,
+			Payload: ta.Msg{Body: tm.Body},
+		},
+	}
+	out := append([]stamped{recv}, ci.process(ci.eng.message(c, from, tm.Body))...)
+	return out
+}
+
+// erecv handles an ERECVMSG from the clock-model edge at clock value c: the
+// R_ji,ε effect. The message is delivered immediately if its queue is empty
+// and its tag has been reached, and buffered otherwise. The composite is
+// caught up to c first, so the algorithm state is current.
+func (ci *clockInner) erecv(c simtime.Time, from ta.NodeID, tm ta.TaggedMsg) []stamped {
+	out := ci.advance(c)
+	ci.received++
+	if ci.noBuffer {
+		// Ablation: deliver at the current clock even when that is less
+		// than the sending clock — the situation the buffer exists to
+		// prevent (§4, Lamport's observation).
+		return append(out, ci.deliverMsg(c, from, tm)...)
+	}
+	if len(ci.queues[from]) == 0 && !tm.SentClock.After(c) {
+		return append(out, ci.deliverMsg(c, from, tm)...)
+	}
+	ci.buffered++
+	if held := simtime.Duration(tm.SentClock - c); held > ci.heldClockMax {
+		ci.heldClockMax = held
+	}
+	ci.queues[from] = append(ci.queues[from], tm)
+	return out
+}
+
+// input handles an environment invocation at clock value c, catching up
+// first.
+func (ci *clockInner) input(c simtime.Time, name string, payload any) []stamped {
+	out := ci.advance(c)
+	return append(out, ci.process(ci.eng.input(c, name, payload))...)
+}
+
+// Buffered returns how many received messages had to be held, the total
+// received, and the maximum clock-time hold.
+func (ci *clockInner) bufferStats() (buffered, received int, heldMax simtime.Duration) {
+	return ci.buffered, ci.received, ci.heldClockMax
+}

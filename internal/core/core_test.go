@@ -1,0 +1,556 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"psclock/internal/channel"
+	"psclock/internal/clock"
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+const (
+	ms = simtime.Millisecond
+	us = simtime.Microsecond
+)
+
+// relay is a minimal test algorithm: on "GO" it waits `wait` and outputs
+// "DONE"; on "FWD" it sends the payload to the next node; on any message it
+// outputs "GOT" immediately.
+type relay struct {
+	wait simtime.Duration
+	got  any
+}
+
+func (r *relay) Start(core Context) {}
+
+func (r *relay) OnInput(ctx Context, name string, payload any) {
+	switch name {
+	case "GO":
+		r.got = payload
+		ctx.SetTimer(ctx.Time().Add(r.wait), "done")
+	case "FWD":
+		ctx.Send((ctx.ID()+1)%ta.NodeID(ctx.N()), payload)
+	case "BCAST":
+		ctx.Broadcast(payload)
+	}
+}
+
+func (r *relay) OnMessage(ctx Context, from ta.NodeID, body any) {
+	ctx.Output("GOT", body)
+}
+
+func (r *relay) OnTimer(ctx Context, key any) {
+	ctx.Output("DONE", r.got)
+}
+
+func relayFactory(wait simtime.Duration) AlgorithmFactory {
+	return func(ta.NodeID, int) Algorithm { return &relay{wait: wait} }
+}
+
+func cfg2() Config {
+	return Config{
+		N:      2,
+		Bounds: simtime.NewInterval(1*ms, 3*ms),
+		Seed:   7,
+	}
+}
+
+func TestTimedNodeTimerExact(t *testing.T) {
+	net := BuildTimed(cfg2(), relayFactory(5*ms))
+	net.Invoke(0, "GO", "x")
+	if _, err := net.Sys.RunQuiet(simtime.Time(simtime.Second)); err != nil {
+		t.Fatal(err)
+	}
+	vis := net.Sys.Trace().Visible()
+	if len(vis) != 2 {
+		t.Fatalf("visible = %v", vis.Labels())
+	}
+	if vis[1].Action.Name != "DONE" || vis[1].At != simtime.Time(5*ms) {
+		t.Errorf("DONE at %v, want 5ms", vis[1].At)
+	}
+	if vis[1].Action.Payload != "x" {
+		t.Errorf("payload = %v", vis[1].Action.Payload)
+	}
+}
+
+func TestTimedNodeMessaging(t *testing.T) {
+	c := cfg2()
+	c.NewDelay = channel.MaxDelay
+	net := BuildTimed(c, relayFactory(0))
+	net.Invoke(0, "FWD", "hello")
+	if _, err := net.Sys.RunQuiet(simtime.Time(simtime.Second)); err != nil {
+		t.Fatal(err)
+	}
+	got := net.Sys.Trace().Named("GOT")
+	if len(got) != 1 || got[0].Action.Node != 1 {
+		t.Fatalf("GOT events: %v", got)
+	}
+	if got[0].At != simtime.Time(3*ms) {
+		t.Errorf("GOT at %v, want 3ms (max delay)", got[0].At)
+	}
+	// SENDMSG/RECVMSG are hidden by composition.
+	if v := net.Sys.Trace().Visible().Named(ta.NameSendMsg); len(v) != 0 {
+		t.Error("SENDMSG visible")
+	}
+}
+
+func TestBroadcastIncludesSelf(t *testing.T) {
+	c := cfg2()
+	c.NewDelay = channel.MinDelay
+	net := BuildTimed(c, relayFactory(0))
+	net.Invoke(0, "BCAST", "m")
+	if _, err := net.Sys.RunQuiet(simtime.Time(simtime.Second)); err != nil {
+		t.Fatal(err)
+	}
+	got := net.Sys.Trace().Named("GOT")
+	if len(got) != 2 {
+		t.Fatalf("GOT = %d, want 2 (self + peer)", len(got))
+	}
+	nodes := map[ta.NodeID]bool{}
+	for _, e := range got {
+		nodes[e.Action.Node] = true
+	}
+	if !nodes[0] || !nodes[1] {
+		t.Errorf("GOT nodes = %v", nodes)
+	}
+}
+
+func TestClockNodePerfectMatchesTimed(t *testing.T) {
+	// With perfect clocks the clock model must reproduce the timed model's
+	// visible trace exactly.
+	run := func(build func(Config, AlgorithmFactory) *Net) []string {
+		c := cfg2()
+		c.NewDelay = channel.MaxDelay
+		net := build(c, relayFactory(2*ms))
+		net.Invoke(0, "GO", 1)
+		net.Invoke(1, "FWD", "m")
+		if _, err := net.Sys.RunQuiet(simtime.Time(simtime.Second)); err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, e := range net.Sys.Trace().Visible() {
+			out = append(out, e.String())
+		}
+		return out
+	}
+	a := run(BuildTimed)
+	b := run(BuildClocked)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d\n%v\n%v", len(a), len(b), a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("event %d: timed %q vs clocked %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestClockNodeTimerFiresAtClockValue(t *testing.T) {
+	eps := 200 * us
+	c := cfg2()
+	c.Clocks = func(int) clock.Model { return clock.Slow(eps) }
+	net := BuildClocked(c, relayFactory(5*ms))
+	net.Invoke(0, "GO", nil)
+	if _, err := net.Sys.RunQuiet(simtime.Time(simtime.Second)); err != nil {
+		t.Fatal(err)
+	}
+	done := net.Sys.Trace().Named("DONE")
+	if len(done) != 1 {
+		t.Fatalf("DONE = %v", done)
+	}
+	// Invocation at real 0 = clock −? (slow clock ramps to −ε): clock(0)=0.
+	// Timer set at clock(0)+5ms fires when the slow clock reaches it: real
+	// time ≥ 5ms (clock behind real). With clock = now−ε steady state,
+	// real = clock target + ε.
+	want := simtime.Time(5 * ms).Add(eps)
+	if done[0].At != want {
+		t.Errorf("DONE at %v, want %v", done[0].At, want)
+	}
+}
+
+func TestClockNodeStampsRecordGamma(t *testing.T) {
+	eps := 500 * us
+	c := cfg2()
+	c.Clocks = clock.SpreadFactory(eps) // node0 fast, node1 slow
+	c.NewDelay = channel.MinDelay
+	net := BuildClocked(c, relayFactory(0))
+	if err := net.Sys.Run(simtime.Time(20 * ms)); err != nil {
+		t.Fatal(err)
+	}
+	net.Invoke(0, "FWD", "m1")
+	if _, err := net.Sys.RunQuiet(simtime.Time(simtime.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// Every stamp's |clock − real| ≤ ε (Theorem 4.6's core fact).
+	for _, n := range net.Clocked {
+		for _, s := range n.Stamps() {
+			if s.Skew().Abs() > eps {
+				t.Errorf("stamp %v skew %v > ε", s.Action, s.Skew())
+			}
+		}
+	}
+	// The send was tagged with the fast node's clock.
+	var tag simtime.Time
+	for _, s := range net.Clocked[0].Stamps() {
+		if s.Action.Name == ta.NameESendMsg {
+			tag = s.Action.Payload.(ta.TaggedMsg).SentClock
+			if tag != s.Clock {
+				t.Errorf("tag %v != clock %v at send", tag, s.Clock)
+			}
+		}
+	}
+	if tag == 0 {
+		t.Fatal("no ESENDMSG stamp recorded")
+	}
+	// The slow receiver must not deliver before its clock reaches the tag:
+	// RECVMSG clock ≥ tag (the R_ji,ε guarantee).
+	found := false
+	for _, s := range net.Clocked[1].Stamps() {
+		if s.Action.Name == ta.NameRecvMsg {
+			found = true
+			if s.Clock.Before(tag) {
+				t.Errorf("RECVMSG at clock %v before tag %v", s.Clock, tag)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no RECVMSG stamp recorded")
+	}
+}
+
+func TestClockNodeBuffersFastToSlow(t *testing.T) {
+	// Fast sender, slow receiver, d1 < 2ε: the receive buffer must hold
+	// messages.
+	eps := 1 * ms
+	c := Config{
+		N:      2,
+		Bounds: simtime.NewInterval(100*us, 300*us), // d1 ≪ 2ε
+		Seed:   3,
+		Clocks: clock.SpreadFactory(eps),
+	}
+	c.NewDelay = channel.MinDelay
+	net := BuildClocked(c, relayFactory(0))
+	if err := net.Sys.Run(simtime.Time(20 * ms)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		net.Invoke(0, "FWD", i)
+		if err := net.Sys.Run(net.Sys.Now().Add(2 * ms)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := net.Sys.RunQuiet(simtime.Time(simtime.Second)); err != nil {
+		t.Fatal(err)
+	}
+	buffered, received, heldMax := net.Clocked[1].BufferStats()
+	if received != 5 {
+		t.Fatalf("received = %d", received)
+	}
+	if buffered == 0 {
+		t.Error("no buffering despite d1 < 2ε and maximal skew")
+	}
+	if heldMax > 2*eps {
+		t.Errorf("held %v > 2ε", heldMax)
+	}
+	if got := net.Sys.Trace().Named("GOT"); len(got) != 5 {
+		t.Errorf("GOT = %d", len(got))
+	}
+}
+
+func TestClockNodeNoBufferWhenD1Large(t *testing.T) {
+	eps := 100 * us
+	c := Config{
+		N:      2,
+		Bounds: simtime.NewInterval(1*ms, 2*ms), // d1 ≥ 2ε
+		Seed:   3,
+		Clocks: clock.SpreadFactory(eps),
+	}
+	net := BuildClocked(c, relayFactory(0))
+	if err := net.Sys.Run(simtime.Time(10 * ms)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		net.Invoke(0, "FWD", i)
+		if err := net.Sys.Run(net.Sys.Now().Add(3 * ms)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buffered, _, _ := net.Clocked[1].BufferStats()
+	if buffered != 0 {
+		t.Errorf("buffered = %d despite d1 ≥ 2ε (§7.2)", buffered)
+	}
+}
+
+func TestMMTBasics(t *testing.T) {
+	ell := 100 * us
+	c := cfg2()
+	c.Ell = ell
+	c.NewStep = LazySteps
+	net := BuildMMT(c, relayFactory(2*ms))
+	net.Invoke(0, "GO", "p")
+	if err := net.Sys.Run(simtime.Time(10 * ms)); err != nil {
+		t.Fatal(err)
+	}
+	done := net.Sys.Trace().Named("DONE")
+	if len(done) != 1 {
+		t.Fatalf("DONE = %v", done)
+	}
+	// The timer was due at 2ms; with perfect clocks, tick period = step
+	// bound = ℓ, the response may be late by a few ℓ but never early.
+	if done[0].At.Before(simtime.Time(2 * ms)) {
+		t.Errorf("DONE at %v, before its clock deadline", done[0].At)
+	}
+	late := done[0].At.Sub(simtime.Time(2 * ms))
+	if late > 4*ell {
+		t.Errorf("DONE %v late, want ≤ ~3ℓ (tick + step + emit)", late)
+	}
+	// Emission stamps recorded.
+	st := net.MMT[0].Stamps()
+	if len(st) != 1 || st[0].Action.Name != "DONE" {
+		t.Fatalf("stamps = %v", st)
+	}
+	if st[0].SimClock != simtime.Time(2*ms) {
+		t.Errorf("SimClock = %v, want 2ms", st[0].SimClock)
+	}
+}
+
+func TestMMTMessaging(t *testing.T) {
+	ell := 50 * us
+	c := cfg2()
+	c.Ell = ell
+	c.NewDelay = channel.MaxDelay
+	net := BuildMMT(c, relayFactory(0))
+	net.Invoke(0, "FWD", "m")
+	if err := net.Sys.Run(simtime.Time(20 * ms)); err != nil {
+		t.Fatal(err)
+	}
+	got := net.Sys.Trace().Named("GOT")
+	if len(got) != 1 || got[0].Action.Node != 1 {
+		t.Fatalf("GOT = %v", got)
+	}
+	// Send delayed ≤ ℓ by node 0's pending queue, link 3ms, receive
+	// processed within a tick+step, response emitted next step.
+	min := simtime.Time(3 * ms)
+	max := min.Add(5 * ell)
+	if got[0].At.Before(min) || got[0].At.After(max) {
+		t.Errorf("GOT at %v, want in [%v, %v]", got[0].At, min, max)
+	}
+}
+
+func TestMMTOnePendingOutputPerStep(t *testing.T) {
+	// Broadcast to 4 nodes queues 4 ESENDMSGs; they must drain one per
+	// step, ℓ apart under the lazy scheduler.
+	ell := 100 * us
+	c := Config{N: 4, Bounds: simtime.NewInterval(1*ms, 1*ms), Seed: 1, Ell: ell}
+	net := BuildMMT(c, relayFactory(0))
+	net.Invoke(0, "BCAST", "m")
+	if err := net.Sys.Run(simtime.Time(10 * ms)); err != nil {
+		t.Fatal(err)
+	}
+	var sendTimes []simtime.Time
+	for _, e := range net.Sys.Trace() {
+		if e.Action.Name == ta.NameESendMsg && e.Action.Node == 0 {
+			sendTimes = append(sendTimes, e.At)
+		}
+	}
+	if len(sendTimes) != 4 {
+		t.Fatalf("sends = %d", len(sendTimes))
+	}
+	for i := 1; i < len(sendTimes); i++ {
+		if gap := sendTimes[i].Sub(sendTimes[i-1]); gap != ell {
+			t.Errorf("send gap %v, want ℓ", gap)
+		}
+	}
+	if net.MMT[0].MaxPending < 4 {
+		t.Errorf("MaxPending = %d", net.MMT[0].MaxPending)
+	}
+}
+
+func TestMMTDeterminism(t *testing.T) {
+	run := func() []string {
+		c := cfg2()
+		c.Ell = 100 * us
+		c.NewStep = UniformSteps
+		c.Clocks = clock.DriftFactory(300*us, 5)
+		net := BuildMMT(c, relayFactory(ms))
+		net.Invoke(0, "GO", 1)
+		net.Invoke(1, "FWD", "x")
+		if err := net.Sys.Run(simtime.Time(20 * ms)); err != nil {
+			t.Fatal(err)
+		}
+		return net.Sys.Trace().Visible().Labels()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStepPolicies(t *testing.T) {
+	ell := 100 * us
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range []StepPolicy{LazySteps(), EagerSteps(), UniformSteps()} {
+		for i := 0; i < 100; i++ {
+			g := p.Next(rng, ell)
+			if g <= 0 || g > ell {
+				t.Errorf("%s: gap %v outside (0, ℓ]", p.Name(), g)
+			}
+		}
+	}
+	if LazySteps().Next(nil, ell) != ell {
+		t.Error("lazy != ℓ")
+	}
+	if EagerSteps().Next(nil, ell) != ell/8 {
+		t.Error("eager != ℓ/8")
+	}
+}
+
+func TestBuildMMTValidation(t *testing.T) {
+	c := cfg2()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("BuildMMT without Ell did not panic")
+			}
+		}()
+		BuildMMT(c, relayFactory(0))
+	}()
+	c.Ell = 10 * us
+	c.TickPeriod = 20 * us
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("tick period > ℓ did not panic")
+			}
+		}()
+		BuildMMT(c, relayFactory(0))
+	}()
+}
+
+func TestResponsesAtMatcher(t *testing.T) {
+	m := ResponsesAt(1)
+	if !m(ta.Action{Name: "DONE", Node: 1, Kind: ta.KindOutput}) {
+		t.Error("response not matched")
+	}
+	if m(ta.Action{Name: "DONE", Node: 2, Kind: ta.KindOutput}) {
+		t.Error("wrong node matched")
+	}
+	if m(ta.Action{Name: ta.NameSendMsg, Node: 1, Peer: 0, Kind: ta.KindOutput}) {
+		t.Error("message matched")
+	}
+	if m(ta.Action{Name: ta.NameTick, Node: 1, Kind: ta.KindOutput}) {
+		t.Error("tick matched")
+	}
+	if m(ta.Action{Name: "READ", Node: 1, Kind: ta.KindInput}) {
+		t.Error("input matched")
+	}
+}
+
+// badSender tries to send along a nonexistent edge.
+type badSender struct{}
+
+func (badSender) Start(ctx Context)                 {}
+func (badSender) OnMessage(Context, ta.NodeID, any) {}
+func (badSender) OnTimer(Context, any)              {}
+func (badSender) OnInput(ctx Context, _ string, _ any) {
+	ctx.Send(2, "x") // node 2 is not a neighbor in the ring test
+}
+
+func TestTopologyRing(t *testing.T) {
+	// Directed ring 0→1→2→0; relay's FWD sends to (id+1) mod n, which is
+	// exactly the ring edge.
+	c := Config{
+		N:      3,
+		Bounds: simtime.NewInterval(1*ms, 1*ms),
+		Seed:   4,
+		Topology: func(from, to int) bool {
+			return to == (from+1)%3
+		},
+	}
+	net := BuildTimed(c, relayFactory(0))
+	if len(net.Edges) != 3 {
+		t.Fatalf("edges = %d, want 3 (ring)", len(net.Edges))
+	}
+	net.Invoke(0, "FWD", "m")
+	if _, err := net.Sys.RunQuiet(simtime.Time(simtime.Second)); err != nil {
+		t.Fatal(err)
+	}
+	got := net.Sys.Trace().Named("GOT")
+	if len(got) != 1 || got[0].Action.Node != 1 {
+		t.Fatalf("GOT = %v", got)
+	}
+}
+
+func TestTopologyNeighborsVisible(t *testing.T) {
+	eng := newEngine(1, 4, &relay{})
+	ns := eng.Neighbors()
+	if len(ns) != 4 {
+		t.Fatalf("default neighbors = %v", ns)
+	}
+	eng.restrict([]ta.NodeID{3, 0})
+	ns = eng.Neighbors()
+	if len(ns) != 2 || ns[0] != 0 || ns[1] != 3 {
+		t.Fatalf("restricted neighbors = %v (want sorted [0 3])", ns)
+	}
+	// Returned slice is a copy.
+	ns[0] = 99
+	if eng.Neighbors()[0] != 0 {
+		t.Error("Neighbors leaked internal state")
+	}
+}
+
+func TestTopologySendOutsideEdgePanics(t *testing.T) {
+	c := Config{
+		N:      3,
+		Bounds: simtime.NewInterval(1*ms, 1*ms),
+		Seed:   4,
+		Topology: func(from, to int) bool {
+			return to == (from+1)%3
+		},
+	}
+	net := BuildTimed(c, func(ta.NodeID, int) Algorithm { return badSender{} })
+	defer func() {
+		if recover() == nil {
+			t.Error("send along nonexistent edge did not panic")
+		}
+	}()
+	net.Invoke(0, "POKE", nil)
+}
+
+func TestTopologyBroadcastRespectsEdges(t *testing.T) {
+	// Star: node 0 has edges to everyone (and itself); leaves only back
+	// to 0.
+	c := Config{
+		N:      4,
+		Bounds: simtime.NewInterval(1*ms, 1*ms),
+		Seed:   4,
+		Topology: func(from, to int) bool {
+			return from == 0 || to == 0
+		},
+	}
+	net := BuildTimed(c, relayFactory(0))
+	net.Invoke(0, "BCAST", "hub")
+	if _, err := net.Sys.RunQuiet(simtime.Time(simtime.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Sys.Trace().Named("GOT"); len(got) != 4 {
+		t.Fatalf("hub broadcast reached %d, want 4 (incl. self)", len(got))
+	}
+	// A leaf broadcasts only to the hub (and not itself: no self-loop).
+	net2 := BuildTimed(c, relayFactory(0))
+	net2.Invoke(1, "BCAST", "leaf")
+	if _, err := net2.Sys.RunQuiet(simtime.Time(simtime.Second)); err != nil {
+		t.Fatal(err)
+	}
+	got := net2.Sys.Trace().Named("GOT")
+	if len(got) != 1 || got[0].Action.Node != 0 {
+		t.Fatalf("leaf broadcast = %v", got)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+// The paper explicitly defers failures (§1: "we do not consider failures.
+// However, it appears that the results will extend to cases involving
+// faulty nodes and also faulty message channels", citing [17]). This file
+// provides the fault adversaries the library uses to *explore* that
+// deferral empirically (experiment E12): a crash-stop wrapper for any
+// automaton, applied at a chosen real time.
+//
+// Two observations the experiments make concrete:
+//
+//   - Algorithm S never waits for peer replies (acks are timer-driven), so
+//     crash-stop failures of nodes that are not invoking operations leave
+//     the remaining nodes' histories linearizable.
+//   - A *lossy link* that drops an UPDATE leaves replicas divergent
+//     forever, violating linearizability — which is exactly why the
+//     fault-tolerant extension needs the machinery of [17] rather than
+//     being free.
+
+// CrashedAutomaton wraps an automaton so that it halts (accepts no inputs,
+// fires no actions) from a given real time onward: crash-stop failure.
+type CrashedAutomaton struct {
+	inner ta.Automaton
+	at    simtime.Time
+
+	// Crashed reports whether the crash time has been reached.
+	Crashed bool
+}
+
+var _ ta.Automaton = (*CrashedAutomaton)(nil)
+
+// WithCrash wraps a so it crash-stops at time at.
+func WithCrash(a ta.Automaton, at simtime.Time) *CrashedAutomaton {
+	return &CrashedAutomaton{inner: a, at: at}
+}
+
+// Name implements ta.Automaton.
+func (c *CrashedAutomaton) Name() string { return c.inner.Name() }
+
+// Init implements ta.Automaton.
+func (c *CrashedAutomaton) Init() []ta.Action {
+	if c.at == 0 {
+		c.Crashed = true
+		return nil
+	}
+	return c.inner.Init()
+}
+
+func (c *CrashedAutomaton) check(now simtime.Time) bool {
+	if !c.Crashed && !now.Before(c.at) {
+		c.Crashed = true
+	}
+	return c.Crashed
+}
+
+// Deliver implements ta.Automaton: inputs are dropped after the crash.
+func (c *CrashedAutomaton) Deliver(now simtime.Time, a ta.Action) []ta.Action {
+	if c.check(now) {
+		return nil
+	}
+	return c.inner.Deliver(now, a)
+}
+
+// Due implements ta.Automaton: a crashed automaton places no constraints
+// on time passage; an alive one must additionally wake at its crash time
+// so the crash takes effect punctually.
+func (c *CrashedAutomaton) Due(now simtime.Time) (simtime.Time, bool) {
+	if c.check(now) {
+		return 0, false
+	}
+	due, ok := c.inner.Due(now)
+	if !ok || c.at.Before(due) {
+		return c.at, true
+	}
+	return due, true
+}
+
+// Fire implements ta.Automaton.
+func (c *CrashedAutomaton) Fire(now simtime.Time) []ta.Action {
+	if c.check(now) {
+		return nil
+	}
+	return c.inner.Fire(now)
+}
+
+// CrashNode replaces node id's automaton in the net with a crash-stop
+// wrapper taking effect at the given time. It must be called before the
+// system runs. It returns the wrapper for inspection.
+func CrashNode(net *Net, id ta.NodeID, at simtime.Time) (*CrashedAutomaton, error) {
+	find := func() (ta.Automaton, func(*CrashedAutomaton)) {
+		switch {
+		case net.Timed != nil:
+			n := net.Timed[id]
+			return n, func(c *CrashedAutomaton) { net.Sys.Replace(n.Name(), c) }
+		case net.Clocked != nil:
+			n := net.Clocked[id]
+			return n, func(c *CrashedAutomaton) { net.Sys.Replace(n.Name(), c) }
+		default:
+			n := net.MMT[id]
+			return n, func(c *CrashedAutomaton) { net.Sys.Replace(n.Name(), c) }
+		}
+	}
+	if int(id) < 0 || int(id) >= net.N {
+		return nil, fmt.Errorf("core: no node %v", id)
+	}
+	inner, replace := find()
+	w := WithCrash(inner, at)
+	replace(w)
+	return w, nil
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"psclock/internal/clock"
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+func TestCrashedAutomatonStopsAtTime(t *testing.T) {
+	net := BuildTimed(cfg2(), relayFactory(5*ms))
+	w, err := CrashNode(net, 0, simtime.Time(3*ms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Invoke(0, "GO", "x") // DONE would fire at 5ms, after the crash
+	if _, err := net.Sys.RunQuiet(simtime.Time(simtime.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Sys.Trace().Named("DONE"); len(got) != 0 {
+		t.Errorf("crashed node produced DONE: %v", got)
+	}
+	if !w.Crashed {
+		t.Error("wrapper not marked crashed")
+	}
+}
+
+func TestCrashedAutomatonWorksBeforeCrash(t *testing.T) {
+	net := BuildTimed(cfg2(), relayFactory(2*ms))
+	if _, err := CrashNode(net, 0, simtime.Time(10*ms)); err != nil {
+		t.Fatal(err)
+	}
+	net.Invoke(0, "GO", "x") // DONE at 2ms, before the crash
+	if _, err := net.Sys.RunQuiet(simtime.Time(simtime.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Sys.Trace().Named("DONE"); len(got) != 1 {
+		t.Errorf("pre-crash work lost: %v", got)
+	}
+}
+
+func TestCrashAtZero(t *testing.T) {
+	net := BuildTimed(cfg2(), relayFactory(ms))
+	if _, err := CrashNode(net, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	net.Invoke(0, "FWD", "m") // node 1 should never GOT
+	if _, err := net.Sys.RunQuiet(simtime.Time(simtime.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Sys.Trace().Named("GOT"); len(got) != 0 {
+		t.Errorf("node crashed at 0 still handled input: %v", got)
+	}
+}
+
+func TestCrashNodeBadID(t *testing.T) {
+	net := BuildTimed(cfg2(), relayFactory(ms))
+	if _, err := CrashNode(net, 99, 0); err == nil {
+		t.Error("bad node id accepted")
+	}
+}
+
+func TestCrashNodeOnClockedAndMMT(t *testing.T) {
+	c := cfg2()
+	c.Clocks = clock.DriftFactory(200*us, 3)
+	net := BuildClocked(c, relayFactory(5*ms))
+	if _, err := CrashNode(net, 0, simtime.Time(ms)); err != nil {
+		t.Fatal(err)
+	}
+	net.Invoke(0, "GO", nil)
+	if _, err := net.Sys.RunQuiet(simtime.Time(simtime.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Sys.Trace().Named("DONE"); len(got) != 0 {
+		t.Errorf("crashed clock node fired: %v", got)
+	}
+
+	m := cfg2()
+	m.Ell = 100 * us
+	mnet := BuildMMT(m, relayFactory(5*ms))
+	if _, err := CrashNode(mnet, 0, simtime.Time(ms)); err != nil {
+		t.Fatal(err)
+	}
+	mnet.Invoke(0, "GO", nil)
+	if err := mnet.Sys.Run(simtime.Time(20 * ms)); err != nil {
+		t.Fatal(err)
+	}
+	if got := mnet.Sys.Trace().Named("DONE"); len(got) != 0 {
+		t.Errorf("crashed MMT node fired: %v", got)
+	}
+}
+
+func TestCrashDueWakesAtCrashTime(t *testing.T) {
+	// Even with no inner deadline, the wrapper must report the crash time
+	// as a deadline so Crashed flips punctually; and after the crash it
+	// must report none.
+	inner := &relay{wait: simtime.Forever}
+	node := NewTimedNode(0, 1, inner)
+	w := WithCrash(node, simtime.Time(5*ms))
+	w.Init()
+	due, ok := w.Due(0)
+	if !ok || due != simtime.Time(5*ms) {
+		t.Errorf("due = %v, %v; want crash time", due, ok)
+	}
+	if w.Fire(simtime.Time(5*ms)) != nil {
+		t.Error("crashed fire produced actions")
+	}
+	if _, ok := w.Due(simtime.Time(6 * ms)); ok {
+		t.Error("crashed automaton still has deadlines")
+	}
+	if out := w.Deliver(simtime.Time(6*ms), ta.Action{Name: "GO", Node: 0, Kind: ta.KindInput}); out != nil {
+		t.Error("crashed automaton handled input")
+	}
+}

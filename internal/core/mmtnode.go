@@ -1,0 +1,309 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"psclock/internal/clock"
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+// StepPolicy resolves the MMT model's step-time nondeterminism: every
+// locally controlled class has boundmap [0, ℓ] (§5.2), so consecutive step
+// opportunities are separated by some duration in (0, ℓ]. Next must return
+// a value in that range.
+type StepPolicy interface {
+	// Name describes the policy for reports.
+	Name() string
+	// Next picks the gap to the next step opportunity.
+	Next(r *rand.Rand, ell simtime.Duration) simtime.Duration
+}
+
+type stepFunc struct {
+	name string
+	fn   func(r *rand.Rand, ell simtime.Duration) simtime.Duration
+}
+
+func (s stepFunc) Name() string { return s.name }
+func (s stepFunc) Next(r *rand.Rand, ell simtime.Duration) simtime.Duration {
+	return s.fn(r, ell)
+}
+
+// LazySteps always waits the full ℓ: the worst-case adversary against which
+// the kℓ+2ε+3ℓ output-shift bound of Theorem 5.1 is tight.
+func LazySteps() StepPolicy {
+	return stepFunc{name: "lazy", fn: func(_ *rand.Rand, ell simtime.Duration) simtime.Duration {
+		return ell
+	}}
+}
+
+// EagerSteps steps at ℓ/8 (at least 1ns): a fast processor.
+func EagerSteps() StepPolicy {
+	return stepFunc{name: "eager", fn: func(_ *rand.Rand, ell simtime.Duration) simtime.Duration {
+		return (ell / 8).Max(1)
+	}}
+}
+
+// UniformSteps picks each gap uniformly in (0, ℓ].
+func UniformSteps() StepPolicy {
+	return stepFunc{name: "uniform", fn: func(r *rand.Rand, ell simtime.Duration) simtime.Duration {
+		return simtime.Duration(r.Int63n(int64(ell))) + 1
+	}}
+}
+
+// EmittedStamp records one output emitted by an MMT node: the clock value
+// the simulated clock automaton associated with it (its position in the
+// fragment), the real time it was actually emitted, and how long it sat in
+// the pending queue.
+type EmittedStamp struct {
+	Action   ta.Action
+	SimClock simtime.Time
+	Real     simtime.Time
+	Queued   simtime.Duration
+}
+
+// MMTNode is the transformed automaton M(A^c_{i,ε}, ℓ) of Definition 5.1.
+// It simulates the clock-model node composite A^c_{i,ε} with three
+// realistic restrictions:
+//
+//   - it acts only at step opportunities separated by at most ℓ;
+//   - it knows the clock only through TICK(c) inputs (the mmtclock
+//     component), so it can miss clock values entirely;
+//   - it emits at most one output per step, through the pending queue.
+//
+// Every step and every input first "catches up" the simulated composite to
+// mmtclock (the derived frag of Definition 5.1), collecting the outputs the
+// composite would have performed into pending.
+type MMTNode struct {
+	name  string
+	id    ta.NodeID
+	inner *clockInner
+
+	mmtclock simtime.Time
+	pending  []stamped
+	queuedAt []simtime.Time
+
+	ell      simtime.Duration
+	policy   StepPolicy
+	rng      *rand.Rand
+	nextStep simtime.Time
+
+	stamps []EmittedStamp
+	// RecordStamps controls emission recording (on by default).
+	RecordStamps bool
+	// MaxPending tracks the high-water mark of the pending queue; the
+	// Lemma 4.3 rate restriction keeps it bounded.
+	MaxPending int
+}
+
+var _ ta.Automaton = (*MMTNode)(nil)
+
+// NewMMTNode returns the MMT-model node automaton for node id of an n-node
+// system running alg with step bound ell.
+func NewMMTNode(id ta.NodeID, n int, alg Algorithm, ell simtime.Duration, policy StepPolicy, seed int64) *MMTNode {
+	if ell <= 0 {
+		panic(fmt.Sprintf("core: MMT step bound ℓ must be positive, got %v", ell))
+	}
+	return &MMTNode{
+		name:         fmt.Sprintf("mnode(%v)", id),
+		id:           id,
+		inner:        newClockInner(id, n, alg, false),
+		ell:          ell,
+		policy:       policy,
+		rng:          rand.New(rand.NewSource(seed)),
+		RecordStamps: true,
+	}
+}
+
+// Name implements ta.Automaton.
+func (mn *MMTNode) Name() string { return mn.name }
+
+// ID returns the node's identity.
+func (mn *MMTNode) ID() ta.NodeID { return mn.id }
+
+// Stamps returns the emission records for this node's outputs.
+func (mn *MMTNode) Stamps() []EmittedStamp { return mn.stamps }
+
+// RestrictNeighbors limits this node's outgoing edges to ns (§2.4
+// topology). Call before the system runs.
+func (mn *MMTNode) RestrictNeighbors(ns []ta.NodeID) { mn.inner.eng.restrict(ns) }
+
+// Pending returns the current length of the pending output queue.
+func (mn *MMTNode) Pending() int { return len(mn.pending) }
+
+// Matches reports whether a is an input of this node: a TICK from its
+// clock subsystem, an ERECVMSG from a clock-model edge, or an environment
+// invocation partitioned here.
+func (mn *MMTNode) Matches(a ta.Action) bool {
+	if a.Name == ta.NameTick || a.Name == ta.NameERecvMsg {
+		return a.Node == mn.id
+	}
+	return a.Node == mn.id && a.Kind == ta.KindInput && !a.IsMessage()
+}
+
+// pend routes inner actions: outputs of the composite (ESENDMSG and
+// environment responses) join the pending queue to be emitted one per
+// step; the composite's hidden interface actions (SENDMSG, RECVMSG) are
+// internal to the simulation and surface immediately for observability.
+func (mn *MMTNode) pend(now simtime.Time, ss []stamped) []ta.Action {
+	var out []ta.Action
+	for _, s := range ss {
+		switch s.act.Name {
+		case ta.NameSendMsg, ta.NameRecvMsg:
+			a := s.act
+			a.Kind = ta.KindInternal
+			out = append(out, a)
+		default:
+			mn.pending = append(mn.pending, s)
+			mn.queuedAt = append(mn.queuedAt, now)
+			if len(mn.pending) > mn.MaxPending {
+				mn.MaxPending = len(mn.pending)
+			}
+		}
+	}
+	return out
+}
+
+// Init implements ta.Automaton: the first step opportunity is scheduled,
+// and the composite starts at clock 0 (mmtclock starts at 0, C1).
+func (mn *MMTNode) Init() []ta.Action {
+	mn.nextStep = simtime.Zero.Add(mn.gap())
+	return mn.pend(0, mn.inner.start())
+}
+
+func (mn *MMTNode) gap() simtime.Duration {
+	g := mn.policy.Next(mn.rng, mn.ell)
+	if g < 1 {
+		g = 1
+	}
+	if g > mn.ell {
+		g = mn.ell
+	}
+	return g
+}
+
+// Deliver implements ta.Automaton. Per Definition 5.1, a TICK only updates
+// mmtclock; any other input applies to the caught-up state (fragstate) and
+// its outputs are added to pending.
+func (mn *MMTNode) Deliver(now simtime.Time, a ta.Action) []ta.Action {
+	if !mn.Matches(a) {
+		return nil
+	}
+	switch a.Name {
+	case ta.NameTick:
+		c, ok := a.Payload.(simtime.Time)
+		if !ok {
+			panic(fmt.Sprintf("core: TICK payload %T is not simtime.Time", a.Payload))
+		}
+		if c.After(mn.mmtclock) {
+			mn.mmtclock = c
+		}
+		return nil
+	case ta.NameERecvMsg:
+		tm, ok := a.Payload.(ta.TaggedMsg)
+		if !ok {
+			panic(fmt.Sprintf("core: ERECVMSG payload %T is not ta.TaggedMsg", a.Payload))
+		}
+		return mn.pend(now, mn.inner.erecv(mn.mmtclock, a.Peer, tm))
+	default:
+		return mn.pend(now, mn.inner.input(mn.mmtclock, a.Name, a.Payload))
+	}
+}
+
+// Due implements ta.Automaton: the next step opportunity. The single
+// partition class (all outputs plus the internal catch-up action τ) is
+// always enabled, so steps recur forever with gaps in (0, ℓ].
+func (mn *MMTNode) Due(simtime.Time) (simtime.Time, bool) {
+	return mn.nextStep, true
+}
+
+// Fire implements ta.Automaton: one MMT step. The simulated composite is
+// caught up to mmtclock; then, if pending is nonempty, the head output is
+// performed (the rest wait for subsequent steps), and otherwise the step
+// was the internal τ.
+func (mn *MMTNode) Fire(now simtime.Time) []ta.Action {
+	if now.Before(mn.nextStep) {
+		return nil
+	}
+	mn.nextStep = now.Add(mn.gap())
+	out := mn.pend(now, mn.inner.advance(mn.mmtclock))
+	if len(mn.pending) > 0 {
+		head := mn.pending[0]
+		qAt := mn.queuedAt[0]
+		mn.pending = mn.pending[1:]
+		mn.queuedAt = mn.queuedAt[1:]
+		if mn.RecordStamps {
+			mn.stamps = append(mn.stamps, EmittedStamp{
+				Action:   head.act,
+				SimClock: head.at,
+				Real:     now,
+				Queued:   now.Sub(qAt),
+			})
+		}
+		out = append(out, head.act)
+	}
+	return out
+}
+
+// TickSource is the clock subsystem automaton C^m_{i,ε,ℓ} of §5.2: its
+// sole output is TICK(c), where c is always within ε of real time. Ticks
+// recur with the given period (which must be ≤ ℓ for the node to keep
+// making progress against its clock deadlines).
+type TickSource struct {
+	name   string
+	id     ta.NodeID
+	clk    clock.Model
+	period simtime.Duration
+	next   simtime.Time
+}
+
+var _ ta.Automaton = (*TickSource)(nil)
+
+// NewTickSource returns the TICK emitter for node id driven by clk.
+func NewTickSource(id ta.NodeID, clk clock.Model, period simtime.Duration) *TickSource {
+	if period <= 0 {
+		panic(fmt.Sprintf("core: tick period must be positive, got %v", period))
+	}
+	return &TickSource{
+		name:   fmt.Sprintf("ticks(%v)", id),
+		id:     id,
+		clk:    clk,
+		period: period,
+	}
+}
+
+// Name implements ta.Automaton.
+func (ts *TickSource) Name() string { return ts.name }
+
+// Init implements ta.Automaton: a first TICK at time zero tells the node
+// its clock starts at 0.
+func (ts *TickSource) Init() []ta.Action {
+	ts.next = simtime.Zero.Add(ts.period)
+	return []ta.Action{ts.tick(0)}
+}
+
+// Deliver implements ta.Automaton (no inputs).
+func (ts *TickSource) Deliver(simtime.Time, ta.Action) []ta.Action { return nil }
+
+// Due implements ta.Automaton.
+func (ts *TickSource) Due(simtime.Time) (simtime.Time, bool) { return ts.next, true }
+
+// Fire implements ta.Automaton.
+func (ts *TickSource) Fire(now simtime.Time) []ta.Action {
+	if now.Before(ts.next) {
+		return nil
+	}
+	ts.next = now.Add(ts.period)
+	return []ta.Action{ts.tick(now)}
+}
+
+func (ts *TickSource) tick(now simtime.Time) ta.Action {
+	return ta.Action{
+		Name:    ta.NameTick,
+		Node:    ts.id,
+		Peer:    ta.NoNode,
+		Kind:    ta.KindOutput,
+		Payload: ts.clk.At(now),
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+
+	"psclock/internal/channel"
+	"psclock/internal/clock"
+	"psclock/internal/exec"
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+// Config describes a distributed system to build: the graph is the
+// complete directed graph on N nodes including self-loops (algorithm L of
+// §6 sends updates to every processor including itself), every edge having
+// delay bounds Bounds.
+type Config struct {
+	// N is the number of nodes.
+	N int
+	// Bounds is the link delay interval [d1, d2] of every edge.
+	Bounds simtime.Interval
+	// Seed derives all per-component seeds.
+	Seed int64
+	// NewDelay builds the delay policy for each edge (a fresh instance per
+	// edge, since policies may be stateful). Defaults to UniformDelay.
+	NewDelay func() channel.DelayPolicy
+	// FIFO forbids per-link reordering.
+	FIFO bool
+
+	// Clocks supplies the per-node clock models for the clock and MMT
+	// models. Defaults to perfect clocks.
+	Clocks clock.Factory
+
+	// Ell is the MMT step bound ℓ. Required for BuildMMT.
+	Ell simtime.Duration
+	// NewStep builds each node's step policy. Defaults to LazySteps.
+	NewStep func() StepPolicy
+	// TickPeriod is the TICK interval of the clock subsystem C^m; it
+	// defaults to Ell and must be positive for BuildMMT.
+	TickPeriod simtime.Duration
+
+	// DisableRecvBuffer turns off R_ji,ε on every node (§7.2 ablation).
+	DisableRecvBuffer bool
+
+	// Topology selects which directed edges exist (§2.4 defines systems
+	// on arbitrary graphs (V, E)). nil means the complete graph including
+	// self-loops, which the register algorithms require (their broadcasts
+	// include the sender). Algorithms may only Send along existing edges.
+	Topology func(from, to int) bool
+}
+
+func (cfg Config) hasEdge(i, j int) bool {
+	if cfg.Topology == nil {
+		return true
+	}
+	return cfg.Topology(i, j)
+}
+
+// neighborsOf lists cfg's outgoing edges from node i.
+func (cfg Config) neighborsOf(i int) []ta.NodeID {
+	out := make([]ta.NodeID, 0, cfg.N)
+	for j := 0; j < cfg.N; j++ {
+		if cfg.hasEdge(i, j) {
+			out = append(out, ta.NodeID(j))
+		}
+	}
+	return out
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.NewDelay == nil {
+		cfg.NewDelay = channel.UniformDelay
+	}
+	if cfg.Clocks == nil {
+		cfg.Clocks = clock.PerfectFactory()
+	}
+	if cfg.NewStep == nil {
+		cfg.NewStep = LazySteps
+	}
+	if cfg.TickPeriod == 0 {
+		cfg.TickPeriod = cfg.Ell
+	}
+	return cfg
+}
+
+// Net is a built distributed system: the executor plus handles to its
+// components. Exactly one of Timed, Clocked, MMT is populated, matching
+// the model the Net was built for.
+type Net struct {
+	Sys   *exec.System
+	N     int
+	Edges []*channel.Edge
+
+	Timed   []*TimedNode
+	Clocked []*ClockNode
+	MMT     []*MMTNode
+	Ticks   []*TickSource
+}
+
+// Invoke injects an environment invocation at the given node at the
+// current time, e.g. net.Invoke(0, "READ", nil).
+func (net *Net) Invoke(node ta.NodeID, name string, payload any) {
+	net.Sys.Inject(ta.Action{
+		Name:    name,
+		Node:    node,
+		Peer:    ta.NoNode,
+		Kind:    ta.KindInput,
+		Payload: payload,
+	})
+}
+
+// AddClient registers a client automaton driving node `node`: the client
+// receives that node's environment responses as inputs, and any invocation
+// actions it emits are routed to the node.
+func (net *Net) AddClient(c ta.Automaton, node ta.NodeID) {
+	net.Sys.Add(c)
+	net.Sys.Connect(ResponsesAt(node), c)
+}
+
+// ResponsesAt matches environment responses (visible non-message outputs)
+// at the given node.
+func ResponsesAt(node ta.NodeID) func(ta.Action) bool {
+	return func(a ta.Action) bool {
+		return a.Node == node && a.Kind == ta.KindOutput && !a.IsMessage() && a.Name != ta.NameTick
+	}
+}
+
+// Stamps returns the concatenated γ'_α records of all clock-model nodes in
+// executor dispatch order is not preserved across nodes; entries are
+// per-node ordered. Only valid for a Net built with BuildClocked.
+func (net *Net) Stamps() []ClockStamp {
+	var out []ClockStamp
+	for _, n := range net.Clocked {
+		out = append(out, n.Stamps()...)
+	}
+	return out
+}
+
+func hideInterface(s *exec.System) {
+	s.Hide(func(a ta.Action) bool { return a.IsMessage() || a.Name == ta.NameTick })
+}
+
+func edgeSeed(base int64, i, j, n int) int64 {
+	return base*1_000_003 + int64(i*n+j)*7919 + 17
+}
+
+// BuildTimed assembles D_T(G, A, E_[d1,d2]) (§3.3): the timed-automaton
+// model system in which the algorithm sees real time.
+func BuildTimed(cfg Config, f AlgorithmFactory) *Net {
+	cfg = cfg.withDefaults()
+	s := exec.New()
+	net := &Net{Sys: s, N: cfg.N}
+	for i := 0; i < cfg.N; i++ {
+		node := NewTimedNode(ta.NodeID(i), cfg.N, f(ta.NodeID(i), cfg.N))
+		if cfg.Topology != nil {
+			node.RestrictNeighbors(cfg.neighborsOf(i))
+		}
+		s.Add(node)
+		s.Connect(node.Matches, node)
+		net.Timed = append(net.Timed, node)
+	}
+	for i := 0; i < cfg.N; i++ {
+		for j := 0; j < cfg.N; j++ {
+			if !cfg.hasEdge(i, j) {
+				continue
+			}
+			e := channel.New(ta.NodeID(i), ta.NodeID(j), cfg.Bounds, cfg.NewDelay(), edgeSeed(cfg.Seed, i, j, cfg.N))
+			e.FIFO = cfg.FIFO
+			s.Add(e)
+			s.Connect(e.Matches, e)
+			net.Edges = append(net.Edges, e)
+		}
+	}
+	hideInterface(s)
+	return net
+}
+
+// BuildClocked assembles D_C(G, A^c_ε, E^c_[d1,d2]) (§4.1): every node is
+// the transformed composite A^c_{i,ε} (C(A_i,ε) plus send/receive buffers)
+// attached to its clock, and edges carry clock-tagged messages.
+func BuildClocked(cfg Config, f AlgorithmFactory) *Net {
+	cfg = cfg.withDefaults()
+	s := exec.New()
+	net := &Net{Sys: s, N: cfg.N}
+	for i := 0; i < cfg.N; i++ {
+		node := NewClockNode(ta.NodeID(i), cfg.N, f(ta.NodeID(i), cfg.N), cfg.Clocks(i))
+		if cfg.Topology != nil {
+			node.RestrictNeighbors(cfg.neighborsOf(i))
+		}
+		if cfg.DisableRecvBuffer {
+			node.DisableBuffering()
+		}
+		s.Add(node)
+		s.Connect(node.Matches, node)
+		net.Clocked = append(net.Clocked, node)
+	}
+	for i := 0; i < cfg.N; i++ {
+		for j := 0; j < cfg.N; j++ {
+			if !cfg.hasEdge(i, j) {
+				continue
+			}
+			e := channel.NewClock(ta.NodeID(i), ta.NodeID(j), cfg.Bounds, cfg.NewDelay(), edgeSeed(cfg.Seed, i, j, cfg.N))
+			e.FIFO = cfg.FIFO
+			s.Add(e)
+			s.Connect(e.Matches, e)
+			net.Edges = append(net.Edges, e)
+		}
+	}
+	hideInterface(s)
+	return net
+}
+
+// BuildMMT assembles D_M(G, A^m_{ε,ℓ}, E^m_[d1,d2]) (§5.2): every node is
+// M(A^c_{i,ε}, ℓ) composed with its TICK source C^m_{i,ε,ℓ}, and edges are
+// the clock-model edges.
+func BuildMMT(cfg Config, f AlgorithmFactory) *Net {
+	cfg = cfg.withDefaults()
+	if cfg.Ell <= 0 {
+		panic(fmt.Sprintf("core: BuildMMT requires Ell > 0, got %v", cfg.Ell))
+	}
+	if cfg.TickPeriod > cfg.Ell {
+		panic(fmt.Sprintf("core: tick period %v exceeds step bound ℓ = %v", cfg.TickPeriod, cfg.Ell))
+	}
+	s := exec.New()
+	net := &Net{Sys: s, N: cfg.N}
+	for i := 0; i < cfg.N; i++ {
+		node := NewMMTNode(ta.NodeID(i), cfg.N, f(ta.NodeID(i), cfg.N), cfg.Ell, cfg.NewStep(), cfg.Seed*31+int64(i))
+		if cfg.Topology != nil {
+			node.RestrictNeighbors(cfg.neighborsOf(i))
+		}
+		s.Add(node)
+		s.Connect(node.Matches, node)
+		net.MMT = append(net.MMT, node)
+
+		// The tick source's TICK(c) outputs reach the node through the
+		// node's own subscription above (TICK@node matches node.Matches).
+		ticks := NewTickSource(ta.NodeID(i), cfg.Clocks(i), cfg.TickPeriod)
+		s.Add(ticks)
+		net.Ticks = append(net.Ticks, ticks)
+	}
+	for i := 0; i < cfg.N; i++ {
+		for j := 0; j < cfg.N; j++ {
+			if !cfg.hasEdge(i, j) {
+				continue
+			}
+			e := channel.NewClock(ta.NodeID(i), ta.NodeID(j), cfg.Bounds, cfg.NewDelay(), edgeSeed(cfg.Seed, i, j, cfg.N))
+			e.FIFO = cfg.FIFO
+			s.Add(e)
+			s.Connect(e.Matches, e)
+			net.Edges = append(net.Edges, e)
+		}
+	}
+	hideInterface(s)
+	return net
+}

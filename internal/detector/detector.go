@@ -1,0 +1,175 @@
+// Package detector applies the paper's design techniques to the first use
+// of time its introduction names: "Time information can be used to ...
+// detect process failures."
+//
+// The algorithm is a heartbeat failure detector written in the §3
+// programming model: every node broadcasts HEARTBEAT each period π and
+// suspects a peer whose next heartbeat hasn't arrived within a timeout τ,
+// emitting SUSPECT (and RESTORE if the peer comes back).
+//
+// In the timed model, consecutive heartbeats from a live peer arrive at
+// most π + (d'2 − d'1) apart, so τ_TA = π + (d'2−d'1) never false-suspects.
+// Run unchanged in the clock model, send times wobble by ±ε on the
+// sender's clock and arrival times by ±ε on the receiver's, so observed
+// gaps stretch to π + (d2−d1) + 4ε: accuracy ("no false suspicions") is
+// not closed under the P_ε perturbation, exactly like the TDMA example.
+// The §7.1 fix is the same: strengthen the problem — add a 4ε margin to
+// the timeout — and the clock model inherits accuracy, at the price of
+// 4ε of detection latency. Experiment E15 measures both sides of that
+// boundary and the detection-time cost.
+package detector
+
+import (
+	"fmt"
+
+	"psclock/internal/core"
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+// Output action names.
+const (
+	// ActSuspect is emitted with the suspected node as payload.
+	ActSuspect = "SUSPECT"
+	// ActRestore is emitted when a suspected node's heartbeat returns.
+	ActRestore = "RESTORE"
+)
+
+// Params configures the detector.
+type Params struct {
+	// Period is the heartbeat period π.
+	Period simtime.Duration
+	// Timeout is τ: a peer is suspected when its inter-heartbeat gap (as
+	// measured on the local time source) exceeds this.
+	Timeout simtime.Duration
+	// Heartbeats bounds how many heartbeats each node sends (0 = forever);
+	// tests and experiments use a bound so systems quiesce.
+	Heartbeats int
+}
+
+// SafeTimeoutTA returns the smallest timeout that never false-suspects in
+// the timed model: π + (d2−d1).
+func SafeTimeoutTA(period simtime.Duration, bounds simtime.Interval) simtime.Duration {
+	return period + bounds.Width()
+}
+
+// SafeTimeoutClock returns the smallest timeout that never false-suspects
+// in the clock model: π + (d2−d1) + 4ε (±ε at the sender's send times,
+// ±ε at the receiver's measurements).
+func SafeTimeoutClock(period simtime.Duration, bounds simtime.Interval, eps simtime.Duration) simtime.Duration {
+	return period + bounds.Width() + 4*eps
+}
+
+type (
+	beatTimer  struct{}
+	watchTimer struct {
+		peer ta.NodeID
+		gen  int
+	}
+)
+
+// heartbeat is the message body; Seq keeps messages unique (§3).
+type heartbeat struct {
+	Seq int
+}
+
+// String implements fmt.Stringer.
+func (h heartbeat) String() string { return fmt.Sprintf("hb(%d)", h.Seq) }
+
+// Detector is the heartbeat failure detector for one node.
+type Detector struct {
+	p Params
+
+	seq       int
+	gen       map[ta.NodeID]int
+	suspected map[ta.NodeID]bool
+}
+
+var _ core.Algorithm = (*Detector)(nil)
+
+// New returns a detector with the given parameters.
+func New(p Params) *Detector {
+	if p.Period <= 0 || p.Timeout <= 0 {
+		panic(fmt.Sprintf("detector: invalid params %+v", p))
+	}
+	return &Detector{p: p, gen: make(map[ta.NodeID]int), suspected: make(map[ta.NodeID]bool)}
+}
+
+// Factory adapts New to core.AlgorithmFactory.
+func Factory(p Params) core.AlgorithmFactory {
+	return func(ta.NodeID, int) core.Algorithm { return New(p) }
+}
+
+// Start implements core.Algorithm: begin beating and watching every peer.
+func (d *Detector) Start(ctx core.Context) {
+	d.beat(ctx)
+	for j := 0; j < ctx.N(); j++ {
+		peer := ta.NodeID(j)
+		if peer == ctx.ID() {
+			continue
+		}
+		ctx.SetTimer(ctx.Time().Add(d.p.Timeout), watchTimer{peer: peer, gen: 0})
+	}
+}
+
+func (d *Detector) beat(ctx core.Context) {
+	d.seq++
+	for j := 0; j < ctx.N(); j++ {
+		if ta.NodeID(j) != ctx.ID() {
+			ctx.Send(ta.NodeID(j), heartbeat{Seq: d.seq})
+		}
+	}
+	if d.p.Heartbeats == 0 || d.seq < d.p.Heartbeats {
+		ctx.SetTimer(ctx.Time().Add(d.p.Period), beatTimer{})
+	}
+}
+
+// OnInput implements core.Algorithm (no environment inputs).
+func (d *Detector) OnInput(core.Context, string, any) {}
+
+// OnMessage implements core.Algorithm: a heartbeat re-arms the peer's
+// watch and clears any suspicion.
+func (d *Detector) OnMessage(ctx core.Context, from ta.NodeID, body any) {
+	if _, ok := body.(heartbeat); !ok {
+		panic(fmt.Sprintf("detector: unexpected message %T", body))
+	}
+	d.gen[from]++
+	if d.suspected[from] {
+		d.suspected[from] = false
+		ctx.Output(ActRestore, from)
+	}
+	ctx.SetTimer(ctx.Time().Add(d.p.Timeout), watchTimer{peer: from, gen: d.gen[from]})
+}
+
+// OnTimer implements core.Algorithm.
+func (d *Detector) OnTimer(ctx core.Context, key any) {
+	switch k := key.(type) {
+	case beatTimer:
+		d.beat(ctx)
+	case watchTimer:
+		if k.gen != d.gen[k.peer] || d.suspected[k.peer] {
+			return // superseded by a later heartbeat
+		}
+		d.suspected[k.peer] = true
+		ctx.Output(ActSuspect, k.peer)
+	default:
+		panic(fmt.Sprintf("detector: unknown timer %T", key))
+	}
+}
+
+// Suspicion is one SUSPECT event extracted from a trace.
+type Suspicion struct {
+	By, Of ta.NodeID
+	At     simtime.Time
+}
+
+// Suspicions extracts SUSPECT events from a trace.
+func Suspicions(tr ta.Trace) []Suspicion {
+	var out []Suspicion
+	for _, e := range tr {
+		if e.Action.Name == ActSuspect {
+			out = append(out, Suspicion{By: e.Action.Node, Of: e.Action.Payload.(ta.NodeID), At: e.At})
+		}
+	}
+	return out
+}

@@ -1,0 +1,303 @@
+// Package exec provides the discrete-event executor that composes
+// executable timed automata (Definition 2.2) and produces recorded
+// executions.
+//
+// The executor realizes admissible executions of the composed automaton:
+// between events it performs time-passage steps (the ν action) that respect
+// every component's Due deadline — the operational form of the ν
+// preconditions in Figures 1–3 — and at each reached deadline it performs
+// the enabled locally controlled actions, routing each output action to the
+// components that have it as an input (composition communicates on shared
+// actions, §2.1).
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+// maxChain bounds the number of same-instant action dispatches between two
+// time-passage steps, to detect zero-delay cycles in miswired systems.
+const maxChain = 1 << 14
+
+// ErrStuck reports a component that claims a due deadline but fires nothing.
+var ErrStuck = errors.New("exec: component due but fired no action")
+
+// ErrChain reports a runaway zero-delay dispatch chain.
+var ErrChain = errors.New("exec: same-instant dispatch chain exceeded limit")
+
+type subscription struct {
+	match func(ta.Action) bool
+	dst   ta.Automaton
+}
+
+// System is a composition of automata under execution. The zero value is
+// not usable; construct with New.
+type System struct {
+	comps   []ta.Automaton
+	index   map[string]int
+	subs    []subscription
+	hidden  func(ta.Action) bool
+	watches []func(ta.Event)
+
+	now    simtime.Time
+	seq    int
+	inited bool
+	err    error
+
+	// KeepTrace controls whether events are recorded. Disable for
+	// throughput benchmarks; watchers still run.
+	KeepTrace bool
+	trace     ta.Trace
+
+	chainDepth int
+}
+
+// New returns an empty system at time zero.
+func New() *System {
+	return &System{index: make(map[string]int), KeepTrace: true}
+}
+
+// Add registers a component. Component names must be unique; Add returns
+// the component for call chaining convenience.
+func (s *System) Add(a ta.Automaton) ta.Automaton {
+	if _, dup := s.index[a.Name()]; dup {
+		s.fail(fmt.Errorf("exec: duplicate component name %q", a.Name()))
+		return a
+	}
+	s.index[a.Name()] = len(s.comps)
+	s.comps = append(s.comps, a)
+	return a
+}
+
+// Replace swaps the component registered under name (which the
+// replacement must keep) with a, redirecting any subscriptions that
+// targeted the old component. It is intended for installing fault wrappers
+// before a system runs.
+func (s *System) Replace(name string, a ta.Automaton) {
+	idx, ok := s.index[name]
+	if !ok {
+		s.fail(fmt.Errorf("exec: Replace: no component named %q", name))
+		return
+	}
+	if a.Name() != name {
+		s.fail(fmt.Errorf("exec: Replace: replacement is named %q, want %q", a.Name(), name))
+		return
+	}
+	old := s.comps[idx]
+	s.comps[idx] = a
+	for i := range s.subs {
+		if s.subs[i].dst == old {
+			s.subs[i].dst = a
+		}
+	}
+}
+
+// Connect routes every dispatched action matching match to dst as an input.
+// A single action may have several subscribers (broadcast actions), matching
+// the composition rule that an output is an input of every automaton whose
+// signature contains it.
+func (s *System) Connect(match func(ta.Action) bool, dst ta.Automaton) {
+	s.subs = append(s.subs, subscription{match: match, dst: dst})
+}
+
+// Hide reclassifies matching actions as internal in the recorded trace,
+// realizing the hiding operator of §2.1. It does not affect routing.
+func (s *System) Hide(match func(ta.Action) bool) {
+	prev := s.hidden
+	s.hidden = func(a ta.Action) bool {
+		if prev != nil && prev(a) {
+			return true
+		}
+		return match(a)
+	}
+}
+
+// Watch registers an observer invoked for every dispatched event, hidden or
+// not, in dispatch order.
+func (s *System) Watch(fn func(ta.Event)) {
+	s.watches = append(s.watches, fn)
+}
+
+// Now returns the current simulated time.
+func (s *System) Now() simtime.Time { return s.now }
+
+// Err returns the first execution error, if any.
+func (s *System) Err() error { return s.err }
+
+// Trace returns the recorded execution trace (all actions, with hidden ones
+// reclassified as internal). The caller must not modify it.
+func (s *System) Trace() ta.Trace { return s.trace }
+
+func (s *System) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// record logs the event and notifies watchers.
+func (s *System) record(a ta.Action, src string) {
+	if s.hidden != nil && a.Kind != ta.KindInternal && s.hidden(a) {
+		a.Kind = ta.KindInternal
+	}
+	e := ta.Event{Action: a, At: s.now, Src: src, Seq: s.seq}
+	s.seq++
+	if s.KeepTrace {
+		s.trace = append(s.trace, e)
+	}
+	for _, w := range s.watches {
+		w(e)
+	}
+}
+
+// dispatch records the action and delivers it to all subscribers,
+// recursively dispatching any same-instant reactions.
+func (s *System) dispatch(a ta.Action, src string) {
+	if s.err != nil {
+		return
+	}
+	s.chainDepth++
+	if s.chainDepth > maxChain {
+		s.fail(fmt.Errorf("%w (last action %v at %v)", ErrChain, a, s.now))
+		return
+	}
+	s.record(a, src)
+	for _, sub := range s.subs {
+		if !sub.match(a) {
+			continue
+		}
+		for _, out := range sub.dst.Deliver(s.now, a) {
+			s.dispatch(out, sub.dst.Name())
+		}
+	}
+}
+
+// Inject delivers an environment-controlled input action at the current
+// time, e.g. an operation invocation driven directly by a test.
+func (s *System) Inject(a ta.Action) {
+	s.init()
+	s.chainDepth = 0
+	s.dispatch(a, "")
+	s.fireDue()
+}
+
+func (s *System) init() {
+	if s.inited {
+		return
+	}
+	s.inited = true
+	for _, c := range s.comps {
+		for _, a := range c.Init() {
+			s.chainDepth = 0
+			s.dispatch(a, c.Name())
+		}
+	}
+	s.fireDue()
+}
+
+// fireDue fires every component whose deadline has been reached, repeating
+// until the instant is quiescent.
+func (s *System) fireDue() {
+	for s.err == nil {
+		progressed := false
+		for _, c := range s.comps {
+			due, ok := c.Due(s.now)
+			if !ok || due.After(s.now) {
+				continue
+			}
+			acts := c.Fire(s.now)
+			if len(acts) == 0 {
+				// The component claimed a reached deadline but performed
+				// nothing: its Due must move forward or the system is stuck.
+				if due2, ok2 := c.Due(s.now); ok2 && !due2.After(s.now) {
+					s.fail(fmt.Errorf("%w: %s at %v", ErrStuck, c.Name(), s.now))
+					return
+				}
+				continue
+			}
+			progressed = true
+			for _, a := range acts {
+				s.chainDepth = 0
+				s.dispatch(a, c.Name())
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// NextDue returns the earliest pending deadline strictly after now, or
+// ok=false when no component has one.
+func (s *System) NextDue() (simtime.Time, bool) {
+	next := simtime.Never
+	found := false
+	for _, c := range s.comps {
+		if due, ok := c.Due(s.now); ok && due.Before(next) {
+			next = due
+			found = true
+		}
+	}
+	return next, found
+}
+
+// Step advances to the next deadline and processes it. It returns false
+// when no further deadline exists or an error occurred.
+func (s *System) Step() bool {
+	s.init()
+	if s.err != nil {
+		return false
+	}
+	next, ok := s.NextDue()
+	if !ok {
+		return false
+	}
+	if next.After(s.now) {
+		s.now = next // the ν time-passage step
+	}
+	s.fireDue()
+	return s.err == nil
+}
+
+// Run executes every event with time ≤ until, then advances now to until.
+// It returns the first execution error.
+func (s *System) Run(until simtime.Time) error {
+	s.init()
+	for s.err == nil {
+		next, ok := s.NextDue()
+		if !ok || next.After(until) {
+			break
+		}
+		if next.After(s.now) {
+			s.now = next
+		}
+		s.fireDue()
+	}
+	if s.err == nil && until.After(s.now) {
+		s.now = until
+	}
+	return s.err
+}
+
+// RunQuiet executes until no deadlines remain or the time limit is hit,
+// whichever comes first. It reports whether the system went quiescent.
+func (s *System) RunQuiet(limit simtime.Time) (bool, error) {
+	s.init()
+	for s.err == nil {
+		next, ok := s.NextDue()
+		if !ok {
+			return true, nil
+		}
+		if next.After(limit) {
+			return false, nil
+		}
+		if next.After(s.now) {
+			s.now = next
+		}
+		s.fireDue()
+	}
+	return false, s.err
+}

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"psclock/internal/clock"
+	"psclock/internal/core"
+	"psclock/internal/linearize"
+	"psclock/internal/object"
+	"psclock/internal/register"
+	"psclock/internal/simtime"
+	"psclock/internal/stats"
+	"psclock/internal/ta"
+	"psclock/internal/workload"
+)
+
+// runObjectSpec drives the generalized object algorithm for one spec in
+// one model and returns the history plus max latencies.
+func runObjectSpec(model string, spec object.Spec, gen object.OpGen, eps simtime.Duration, seed int64) ([]linearize.GOp, simtime.Duration, simtime.Duration, error) {
+	bounds := simtime.NewInterval(1*ms, 3*ms)
+	ell := 50 * us
+	d2p := bounds.Hi
+	if model != "timed" {
+		d2p += 2 * eps
+	}
+	if model == "mmt" {
+		d2p += 24 * ell
+	}
+	p := register.Params{C: 500 * us, Delta: 10 * us, D2: d2p, Epsilon: eps}
+	cfg := core.Config{N: 3, Bounds: bounds, Seed: seed, Clocks: clock.DriftFactory(eps, seed), Ell: ell}
+	factory := object.Factory(object.NewS, func() object.Spec { return spec }, p)
+	var net *core.Net
+	switch model {
+	case "timed":
+		cfg.Clocks = clock.PerfectFactory()
+		net = core.BuildTimed(cfg, factory)
+	case "clock":
+		net = core.BuildClocked(cfg, factory)
+	case "mmt":
+		net = core.BuildMMT(cfg, factory)
+	default:
+		return nil, 0, 0, fmt.Errorf("unknown model %q", model)
+	}
+	clients := object.Attach(net, object.ClientConfig{
+		Ops: 20, Think: simtime.NewInterval(0, 2*ms), Gen: gen, Seed: seed, Stagger: 300 * us,
+	})
+	done := func() bool {
+		for _, c := range clients {
+			if c.Done != 20 {
+				return false
+			}
+		}
+		return true
+	}
+	for net.Sys.Now() < simtime.Time(30*simtime.Second) && !done() {
+		if err := net.Sys.Run(net.Sys.Now().Add(20 * ms)); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	if !done() {
+		return nil, 0, 0, fmt.Errorf("%s/%s: clients did not finish", model, spec.Name())
+	}
+	ops, err := object.History(net.Sys.Trace().Visible())
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var qMax, uMax simtime.Duration
+	for _, o := range ops {
+		if o.Pending() {
+			continue
+		}
+		d := o.Res.Sub(o.Inv)
+		if o.Result != "" || o.Op == "get" || o.Op == "read" || o.Op == "size" {
+			if d > qMax {
+				qMax = d
+			}
+		} else if d > uMax {
+			uMax = d
+		}
+	}
+	return ops, qMax, uMax, nil
+}
+
+// E11Objects regenerates Table 8: the §6 result generalized to other
+// blind-update/query shared-memory objects ("we generalize our results to
+// other shared memory objects in the full paper"), across all three
+// models: linearizable everywhere, with the register's cost formulas.
+func E11Objects() Result {
+	eps := 400 * us
+	specs := []struct {
+		spec object.Spec
+		gen  object.OpGen
+	}{
+		{object.Counter{}, object.CounterOps(0.5)},
+		{object.GSet{}, object.GSetOps(0.5)},
+		{object.MaxRegister{}, object.MaxOps(0.5)},
+		{object.Register{}, object.RegisterOps(0.4)},
+	}
+	tb := stats.NewTable("object", "model", "query max", "query bound", "update max", "update bound", "linearizable")
+	var fails []string
+	for _, s := range specs {
+		for _, model := range []string{"timed", "clock", "mmt"} {
+			ops, qMax, uMax, err := runObjectSpec(model, s.spec, s.gen, eps, 1200)
+			if err != nil {
+				fails = append(fails, err.Error())
+				continue
+			}
+			// Bounds: query 2ε+δ+c, update d'2−c, in clock time; allow the
+			// ±2ε real-time envelope plus MMT's emission budget.
+			slop := simtime.Duration(0)
+			if model != "timed" {
+				slop = 2 * eps
+			}
+			if model == "mmt" {
+				slop += 24*50*us + 5*50*us
+			}
+			d2p := 3*ms + 2*eps
+			if model == "timed" {
+				d2p = 3 * ms
+			}
+			if model == "mmt" {
+				d2p += 24 * 50 * us
+			}
+			qBound := 2*eps + 10*us + 500*us + slop
+			uBound := d2p - 500*us + slop
+			r := linearize.CheckObject(ops, s.spec, linearize.Options{Initial: s.spec.Init()})
+			tb.AddRow(s.spec.Name(), model, fmtD(qMax), fmtD(qBound), fmtD(uMax), fmtD(uBound), checkMark(r.OK))
+			if !r.OK {
+				fails = append(fails, fmt.Sprintf("%s/%s: not linearizable: %s", s.spec.Name(), model, r.Reason))
+			}
+			if qMax > qBound {
+				fails = append(fails, fmt.Sprintf("%s/%s: query %v > bound %v", s.spec.Name(), model, qMax, qBound))
+			}
+			if uMax > uBound {
+				fails = append(fails, fmt.Sprintf("%s/%s: update %v > bound %v", s.spec.Name(), model, uMax, uBound))
+			}
+		}
+	}
+	return Result{ID: "E11", Title: "§6 generalized: blind-update/query objects across all models (ε=400µs)", Output: tb.String(), Failures: fails}
+}
+
+// E12Failures regenerates Table 9: the paper's §7.3 deferral of failures,
+// explored. Crash-stop failures of non-participating replicas are
+// harmless to algorithm S (its acks are timer-driven, never waiting on
+// peers); a crashed *client's* operation is left pending and the rest
+// stays linearizable; but a lossy link that drops an UPDATE leaves
+// replicas divergent and violates linearizability — the reason the
+// fault-tolerant extension needs [17]-style machinery.
+func E12Failures() Result {
+	bounds := simtime.NewInterval(1*ms, 3*ms)
+	eps := 500 * us
+	p := register.Params{C: 500 * us, Delta: 10 * us, D2: bounds.Hi + 2*eps, Epsilon: eps}
+	tb := stats.NewTable("row", "fault", "expected", "observed", "ok")
+	var fails []string
+
+	addRow := func(row, fault string, expectHold, observedHold bool) {
+		exp, obs := "linearizable", "linearizable"
+		if !expectHold {
+			exp = "violated"
+		}
+		if !observedHold {
+			obs = "violated"
+		}
+		ok := expectHold == observedHold
+		tb.AddRow(row, fault, exp, obs, checkMark(ok))
+		if !ok {
+			fails = append(fails, fmt.Sprintf("row %s (%s): expected %s, observed %s", row, fault, exp, obs))
+		}
+	}
+
+	build := func(seed int64, mutate func(*core.Net)) (bool, error) {
+		cfg := core.Config{N: 3, Bounds: bounds, Seed: seed, Clocks: clock.SpreadFactory(eps)}
+		net := core.BuildClocked(cfg, register.Factory(register.NewS, p))
+		if mutate != nil {
+			mutate(net)
+		}
+		// Clients only at nodes 0 and 1; node 2 is a pure replica.
+		var clients []*workload.Client
+		for i := 0; i < 2; i++ {
+			c := workload.NewClient(ta.NodeID(i), workload.Config{
+				Ops: 30, Think: simtime.NewInterval(0, 1500*us), WriteRatio: 0.5, Seed: seed + int64(i), Stagger: 200 * us,
+			})
+			net.AddClient(c, ta.NodeID(i))
+			clients = append(clients, c)
+		}
+		if _, err := net.Sys.RunQuiet(simtime.Time(30 * simtime.Second)); err != nil {
+			return false, err
+		}
+		for _, c := range clients {
+			_ = c // completion not required: crashed clients leave pending ops
+		}
+		ops, err := register.History(net.Sys.Trace().Visible())
+		if err != nil {
+			return false, err
+		}
+		return linearize.CheckLinearizable(ops, register.Initial.String()).OK, nil
+	}
+
+	// Row 1: no fault (control).
+	if ok, err := build(1, nil); err != nil {
+		fails = append(fails, err.Error())
+	} else {
+		addRow("1", "none (control)", true, ok)
+	}
+
+	// Row 2: crash the pure replica (node 2) mid-run.
+	if ok, err := build(2, func(net *core.Net) {
+		if _, err := core.CrashNode(net, 2, simtime.Time(40*ms)); err != nil {
+			fails = append(fails, err.Error())
+		}
+	}); err != nil {
+		fails = append(fails, err.Error())
+	} else {
+		addRow("2", "crash-stop of non-invoking replica at 40ms", true, ok)
+	}
+
+	// Row 3: crash an invoking node mid-run; its last op stays pending.
+	if ok, err := build(3, func(net *core.Net) {
+		if _, err := core.CrashNode(net, 1, simtime.Time(40*ms)); err != nil {
+			fails = append(fails, err.Error())
+		}
+	}); err != nil {
+		fails = append(fails, err.Error())
+	} else {
+		addRow("3", "crash-stop of invoking node at 40ms", true, ok)
+	}
+
+	// Row 4: lossy link 0→1 dropping every 3rd message: dropped UPDATEs
+	// leave node 1 permanently divergent. A violation must be observed on
+	// some seed.
+	violated := false
+	for seed := int64(10); seed < 18 && !violated; seed++ {
+		ok, err := build(seed, func(net *core.Net) {
+			for _, e := range net.Edges {
+				if e.Name() == "cedge(n0->n1)" {
+					e.Drop = func(seq int, _ *rand.Rand) bool { return seq%3 == 2 }
+				}
+			}
+		})
+		if err != nil {
+			fails = append(fails, err.Error())
+			break
+		}
+		if !ok {
+			violated = true
+		}
+	}
+	addRow("4", "lossy link n0→n1 (every 3rd message dropped)", false, !violated)
+
+	return Result{ID: "E12", Title: "§7.3 failures explored: crash-stop tolerated, lossy links not", Output: tb.String(), Failures: fails}
+}

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"psclock/internal/channel"
+	"psclock/internal/clock"
+	"psclock/internal/core"
+	"psclock/internal/register"
+	"psclock/internal/simtime"
+	"psclock/internal/stats"
+	"psclock/internal/ta"
+	"psclock/internal/workload"
+)
+
+// causalProbe is a minimal algorithm that checks Lamport's condition — a
+// message must never arrive at a (clock) time earlier than the (clock)
+// time at which it was sent [5] — which is exactly the property the
+// receive buffer R_ji,ε exists to restore (§4). Each node periodically
+// broadcasts its current time; receivers count violations.
+type causalProbe struct {
+	interval   simtime.Duration
+	rounds     int
+	violations *int
+}
+
+var _ core.Algorithm = (*causalProbe)(nil)
+
+func (c *causalProbe) Start(ctx core.Context) {
+	ctx.SetTimer(ctx.Time().Add(c.interval), 0)
+}
+
+func (c *causalProbe) OnInput(core.Context, string, any) {}
+
+func (c *causalProbe) OnMessage(ctx core.Context, from ta.NodeID, body any) {
+	sent, ok := body.(simtime.Time)
+	if !ok {
+		panic(fmt.Sprintf("experiments: causal probe got %T", body))
+	}
+	if ctx.Time().Before(sent) {
+		*c.violations++
+	}
+}
+
+func (c *causalProbe) OnTimer(ctx core.Context, round any) {
+	r := round.(int)
+	for j := 0; j < ctx.N(); j++ {
+		if ta.NodeID(j) != ctx.ID() {
+			ctx.Send(ta.NodeID(j), ctx.Time())
+		}
+	}
+	if r+1 < c.rounds {
+		ctx.SetTimer(ctx.Time().Add(c.interval), r+1)
+	}
+}
+
+// runCausal runs the probe in the clock model and returns the violation
+// count.
+func runCausal(d1 simtime.Duration, eps simtime.Duration, noBuffer bool) (int, error) {
+	violations := 0
+	cfg := core.Config{
+		N:                 3,
+		Bounds:            simtime.NewInterval(d1, d1+2*ms),
+		Seed:              33,
+		Clocks:            clock.SpreadFactory(eps),
+		NewDelay:          channel.MinDelay,
+		DisableRecvBuffer: noBuffer,
+	}
+	net := core.BuildClocked(cfg, func(ta.NodeID, int) core.Algorithm {
+		return &causalProbe{interval: 2 * ms, rounds: 25, violations: &violations}
+	})
+	if _, err := net.Sys.RunQuiet(simtime.Time(simtime.Second)); err != nil {
+		return 0, err
+	}
+	return violations, nil
+}
+
+// E9Matrix regenerates Table 7: the verification matrix, including
+// mutation rows that must fail — showing both that the system-under-test
+// satisfies the paper's claims and that the checkers would catch
+// violations.
+func E9Matrix() Result {
+	bounds := simtime.NewInterval(1*ms, 3*ms)
+	eps := 800 * us
+	delta := 10 * us
+	tb := stats.NewTable("row", "system", "property", "expected", "observed", "ok")
+	var fails []string
+
+	addRow := func(row, system, property string, expectHold, observedHold bool) {
+		exp, obs := "holds", "holds"
+		if !expectHold {
+			exp = "violated"
+		}
+		if !observedHold {
+			obs = "violated"
+		}
+		ok := expectHold == observedHold
+		tb.AddRow(row, system, property, exp, obs, checkMark(ok))
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s (%s): expected %s, observed %s", row, system, exp, obs))
+		}
+	}
+
+	regRun := func(model string, factory core.AlgorithmFactory, cf clock.Factory, noBuffer bool, ell simtime.Duration) (runOut, error) {
+		return run(runSpec{
+			model: model, factory: factory,
+			n: 3, bounds: bounds, seed: 1001,
+			clocks: cf, delays: channel.UniformDelay,
+			ell: ell, noBuffer: noBuffer,
+			ops: 25, think: simtime.NewInterval(0, 1500*us), writeRatio: 0.4,
+		})
+	}
+
+	pL := register.Params{C: 200 * us, Delta: delta, D2: bounds.Hi, Epsilon: 0}
+	pS := register.Params{C: 200 * us, Delta: delta, D2: bounds.Hi + 2*eps, Epsilon: eps}
+
+	if out, err := regRun("timed", register.Factory(register.NewL, pL), nil, false, 0); err != nil {
+		fails = append(fails, err.Error())
+	} else {
+		addRow("1", "L in D_T", "linearizable", true, linCheck(out, 0))
+	}
+	if out, err := regRun("timed", register.Factory(register.NewS, pS), nil, false, 0); err != nil {
+		fails = append(fails, err.Error())
+	} else {
+		addRow("2", "S in D_T", "ε-superlinearizable", true, superCheck(out, eps))
+	}
+	if out, err := regRun("clock", register.Factory(register.NewS, pS), clock.SpreadFactory(eps), false, 0); err != nil {
+		fails = append(fails, err.Error())
+	} else {
+		addRow("3", "S^c in D_C (max-skew clocks)", "linearizable", true, linCheck(out, 0))
+	}
+	if out, err := regRun("clock", register.BaselineFactory(2*eps, bounds.Hi), clock.SpreadFactory(eps), false, 0); err != nil {
+		fails = append(fails, err.Error())
+	} else {
+		addRow("4", "baseline [10] in D_C", "linearizable", true, linCheck(out, 0))
+	}
+	if out, err := regRun("mmt", register.Factory(register.NewS, register.Params{
+		C: 200 * us, Delta: delta, D2: bounds.Hi + 2*eps + 24*50*us, Epsilon: eps,
+	}), clock.DriftFactory(eps, 3), false, 50*us); err != nil {
+		fails = append(fails, err.Error())
+	} else {
+		addRow("5", "S through both simulations in D_M", "linearizable", true, linCheck(out, 0))
+	}
+
+	// Mutation: L (no 2ε wait) in the clock model must violate
+	// linearizability under adversarial clocks for some seed.
+	violated := false
+	for seed := int64(0); seed < 8 && !violated; seed++ {
+		out, err := run(runSpec{
+			model:   "clock",
+			factory: register.Factory(register.NewL, register.Params{C: 0, Delta: 5 * us, D2: 400*us + 2*ms, Epsilon: 0}),
+			n:       3, bounds: simtime.NewInterval(200*us, 400*us), seed: seed,
+			clocks: clock.SpreadFactory(1 * ms), delays: channel.UniformDelay,
+			ops: 60, think: simtime.NewInterval(0, 700*us), writeRatio: 0.3,
+		})
+		if err != nil {
+			fails = append(fails, err.Error())
+			break
+		}
+		if !linCheck(out, 0) {
+			violated = true
+		}
+	}
+	addRow("6", "mutation: L (no 2ε wait) in D_C", "linearizable", false, !violated)
+
+	// S without the receive buffer stays linearizable: its updates fire at
+	// absolute clock times, so early delivery is harmless — the buffer
+	// matters for algorithms sensitive to receive-time order.
+	if out, err := regRun("clock", register.Factory(register.NewS, pS), clock.SpreadFactory(eps), true, 0); err != nil {
+		fails = append(fails, err.Error())
+	} else {
+		addRow("7", "S^c in D_C without R buffer", "linearizable", true, linCheck(out, 0))
+	}
+
+	// Lamport's condition probe: buffering restores it when d1 < 2ε.
+	if v, err := runCausal(100*us, eps, false); err != nil {
+		fails = append(fails, err.Error())
+	} else {
+		addRow("8", "probe in D_C, d1<2ε, buffered", "recv clock ≥ send clock", true, v == 0)
+	}
+	if v, err := runCausal(100*us, eps, true); err != nil {
+		fails = append(fails, err.Error())
+	} else {
+		addRow("9", "mutation: probe, d1<2ε, no buffer", "recv clock ≥ send clock", false, v == 0)
+	}
+	if v, err := runCausal(2*eps, eps, true); err != nil {
+		fails = append(fails, err.Error())
+	} else {
+		addRow("10", "probe, d1 = 2ε, no buffer (§7.2)", "recv clock ≥ send clock", true, v == 0)
+	}
+
+	return Result{ID: "E9", Title: "verification matrix with mutations", Output: tb.String(), Failures: fails}
+}
+
+// E10Throughput regenerates Figure 5: executor throughput (simulated
+// operations and dispatched events per wall-clock second) for each model
+// as the system grows.
+func E10Throughput() Result {
+	bounds := simtime.NewInterval(1*ms, 3*ms)
+	eps := 200 * us
+	delta := 10 * us
+	tb := stats.NewTable("model", "n", "ops", "events", "wall ms", "ops/s", "events/s")
+	var fails []string
+	for _, n := range []int{2, 4, 8} {
+		for _, model := range []string{"timed", "clock", "mmt"} {
+			p := register.Params{C: 200 * us, Delta: delta, D2: bounds.Hi + 2*eps + 24*100*us, Epsilon: eps}
+			ell := simtime.Duration(0)
+			if model == "mmt" {
+				ell = 100 * us
+			}
+			cfg := core.Config{
+				N: n, Bounds: bounds, Seed: 1100, Clocks: clock.DriftFactory(eps, 7), Ell: ell,
+			}
+			var net *core.Net
+			switch model {
+			case "timed":
+				net = core.BuildTimed(cfg, register.Factory(register.NewS, p))
+			case "clock":
+				net = core.BuildClocked(cfg, register.Factory(register.NewS, p))
+			case "mmt":
+				net = core.BuildMMT(cfg, register.Factory(register.NewS, p))
+				for _, mn := range net.MMT {
+					mn.RecordStamps = false
+				}
+			}
+			if model == "clock" {
+				for _, cn := range net.Clocked {
+					cn.RecordStamps = false
+				}
+			}
+			net.Sys.KeepTrace = false
+			events := 0
+			net.Sys.Watch(func(ta.Event) { events++ })
+			opsTotal := 40 * n
+			clients := workload.Attach(net, workload.Config{
+				Ops:        40,
+				Think:      simtime.NewInterval(0, 2*ms),
+				WriteRatio: 0.4,
+				Seed:       12,
+			})
+			start := time.Now()
+			if _, err := net.Sys.RunQuiet(simtime.Time(60 * simtime.Second)); err != nil {
+				fails = append(fails, fmt.Sprintf("%s n=%d: %v", model, n, err))
+				continue
+			}
+			wall := time.Since(start)
+			done := 0
+			for _, c := range clients {
+				done += c.Done
+			}
+			if done != opsTotal {
+				fails = append(fails, fmt.Sprintf("%s n=%d: %d/%d ops", model, n, done, opsTotal))
+				continue
+			}
+			secs := wall.Seconds()
+			if secs <= 0 {
+				secs = 1e-9
+			}
+			tb.AddRow(model, fmt.Sprint(n), fmt.Sprint(done), fmt.Sprint(events),
+				fmt.Sprintf("%.1f", float64(wall.Microseconds())/1000),
+				fmt.Sprintf("%.0f", float64(done)/secs),
+				fmt.Sprintf("%.0f", float64(events)/secs))
+		}
+	}
+	return Result{ID: "E10", Title: "executor throughput by model and size", Output: tb.String(), Failures: fails}
+}

@@ -1,0 +1,227 @@
+// Package experiments regenerates every quantitative claim of the paper as
+// a table or figure series (the per-experiment index of DESIGN.md and the
+// paper-vs-measured record of EXPERIMENTS.md).
+//
+// The paper is a theory paper and prints no empirical tables; each
+// experiment here measures one of its theorems/lemmas over seeded
+// adversarial executions:
+//
+//	E1  Lemma 6.1     — algorithm L costs in D_T (Table 1)
+//	E2  Lemma 6.2     — algorithm S superlinearizability and costs (Table 2)
+//	E3  Theorem 6.5   — transformed S in D_C (Table 3)
+//	E4  §6.3          — comparison vs the [10] baseline (Table 4, Figure 1)
+//	E5  Theorem 4.7   — simulation-1 real-time preservation (Table 5)
+//	E6  Lemma 4.5     — message clock-time delays (Figure 2)
+//	E7  §7.2          — receive-buffer cost vs d1/2ε (Figure 3)
+//	E8  Theorem 5.1/5.2 — simulation-2 output shift (Table 6, Figure 4)
+//	E9  §6.2/§7.2     — verification matrix with mutations (Table 7)
+//	E10 —             — executor throughput (Figure 5)
+//	E11 §6 remark     — other shared-memory objects (Table 8)
+//	E12 §1/§7.3       — failures explored (Table 9)
+//	E13 §1/§5         — clock granularity: TICK period sweep (Figure 6)
+//	E14 ref [2]       — sequential consistency vs linearizability (Table 10)
+//	E15 §1 intro      — failure detection timeout margins (Table 11)
+//	E16 §4.3          — real-time vs internal specifications (Table 12)
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"psclock/internal/channel"
+	"psclock/internal/clock"
+	"psclock/internal/core"
+	"psclock/internal/linearize"
+	"psclock/internal/register"
+	"psclock/internal/simtime"
+	"psclock/internal/workload"
+)
+
+// Result is one experiment's rendered output.
+type Result struct {
+	// ID is the experiment identifier, e.g. "E3".
+	ID string
+	// Title names the paper claim being reproduced.
+	Title string
+	// Output is the rendered table or series.
+	Output string
+	// Failures lists assertion violations; empty means the paper's claim
+	// held on every measured row.
+	Failures []string
+}
+
+// Pass reports whether every assertion held.
+func (r Result) Pass() bool { return len(r.Failures) == 0 }
+
+// String renders the result for the harness.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	b.WriteString(r.Output)
+	if r.Pass() {
+		b.WriteString("RESULT: PASS\n")
+	} else {
+		fmt.Fprintf(&b, "RESULT: FAIL (%d violations)\n", len(r.Failures))
+		for _, f := range r.Failures {
+			b.WriteString("  - " + f + "\n")
+		}
+	}
+	return b.String()
+}
+
+// Experiment couples an ID with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() Result
+}
+
+// All returns every experiment in order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Lemma 6.1: algorithm L in the timed model", E1AlgorithmL},
+		{"E2", "Lemma 6.2: algorithm S superlinearizability in the timed model", E2AlgorithmS},
+		{"E3", "Theorem 6.5: transformed S in the clock model", E3ClockModel},
+		{"E4", "§6.3: comparison against the [10] baseline", E4Comparison},
+		{"E5", "Theorem 4.7: simulation-1 real-time preservation", E5Sim1Shift},
+		{"E6", "Lemma 4.5: message clock-time delay bounds", E6ClockDelay},
+		{"E7", "§7.2: receive-buffer cost vs d1/2ε", E7Buffering},
+		{"E8", "Theorems 5.1/5.2: simulation-2 output shift", E8MMTShift},
+		{"E9", "verification matrix with mutations", E9Matrix},
+		{"E10", "executor throughput by model and size", E10Throughput},
+		{"E11", "§6 generalized to other shared-memory objects", E11Objects},
+		{"E12", "§7.3 failures explored: crashes and lossy links", E12Failures},
+		{"E13", "clock granularity: TICK period sweep in D_M", E13Granularity},
+		{"E14", "Attiya-Welch boundary: sequential consistency vs linearizability", E14SeqConsistency},
+		{"E15", "failure detection: timeout margins in the clock model", E15Detector},
+		{"E16", "real-time vs internal specifications under simulation 1", E16RealTimeSpecs},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Shared workload/runner plumbing.
+
+const (
+	ms = simtime.Millisecond
+	us = simtime.Microsecond
+)
+
+// runSpec describes one measured register execution.
+type runSpec struct {
+	model   string // "timed" | "clock" | "mmt"
+	factory core.AlgorithmFactory
+	n       int
+	bounds  simtime.Interval
+	seed    int64
+	clocks  clock.Factory
+	delays  func() channel.DelayPolicy
+	ell     simtime.Duration
+	steps   func() core.StepPolicy
+
+	ops        int
+	think      simtime.Interval
+	writeRatio float64
+	noBuffer   bool
+}
+
+// runOut is what a run produces.
+type runOut struct {
+	net *core.Net
+	ops []linearize.Op
+}
+
+// run executes the spec to completion and extracts the history.
+func run(spec runSpec) (runOut, error) {
+	cfg := core.Config{
+		N:                 spec.n,
+		Bounds:            spec.bounds,
+		Seed:              spec.seed,
+		Clocks:            spec.clocks,
+		NewDelay:          spec.delays,
+		Ell:               spec.ell,
+		NewStep:           spec.steps,
+		DisableRecvBuffer: spec.noBuffer,
+	}
+	var net *core.Net
+	switch spec.model {
+	case "timed":
+		net = core.BuildTimed(cfg, spec.factory)
+	case "clock":
+		net = core.BuildClocked(cfg, spec.factory)
+	case "mmt":
+		net = core.BuildMMT(cfg, spec.factory)
+	default:
+		return runOut{}, fmt.Errorf("experiments: unknown model %q", spec.model)
+	}
+	clients := workload.Attach(net, workload.Config{
+		Ops:        spec.ops,
+		Think:      spec.think,
+		WriteRatio: spec.writeRatio,
+		Seed:       spec.seed + 1,
+		Stagger:    300 * us,
+	})
+	// MMT systems never quiesce (step opportunities recur forever), so run
+	// in slices and stop once every client has finished and in-flight work
+	// has had time to settle.
+	const horizon = 60 * simtime.Second
+	allDone := func() bool {
+		for _, c := range clients {
+			if c.Done != spec.ops {
+				return false
+			}
+		}
+		return true
+	}
+	for net.Sys.Now() < simtime.Time(horizon) && !allDone() {
+		if err := net.Sys.Run(net.Sys.Now().Add(20 * ms)); err != nil {
+			return runOut{}, err
+		}
+	}
+	if _, err := net.Sys.RunQuiet(net.Sys.Now().Add(50 * ms)); err != nil {
+		return runOut{}, err
+	}
+	for _, c := range clients {
+		if c.Done != spec.ops {
+			return runOut{}, fmt.Errorf("experiments: %s completed %d/%d ops", c.Name(), c.Done, spec.ops)
+		}
+	}
+	ops, err := register.History(net.Sys.Trace().Visible())
+	if err != nil {
+		return runOut{}, err
+	}
+	return runOut{net: net, ops: ops}, nil
+}
+
+// linearizeCheck decides plain linearizability (widen = 0) or P_ε
+// membership (widen = ε) of a run's history.
+func linearizeCheck(out runOut, widen simtime.Duration) linearize.Result {
+	if widen > 0 {
+		return linearize.CheckEps(out.ops, register.Initial.String(), widen)
+	}
+	return linearize.CheckLinearizable(out.ops, register.Initial.String())
+}
+
+// superlinearizeCheck decides ε-superlinearizability of a run's history.
+func superlinearizeCheck(out runOut, eps simtime.Duration) linearize.Result {
+	return linearize.CheckSuperLinearizable(out.ops, register.Initial.String(), eps)
+}
+
+// fmtD renders a duration compactly for tables.
+func fmtD(d simtime.Duration) string { return d.String() }
+
+// checkMark renders a boolean verdict.
+func checkMark(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "NO"
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass regenerates every table/figure and asserts the
+// paper's claims hold — the same assertions the bench harness makes, kept
+// in the unit suite so a plain `go test ./...` exercises the full
+// reproduction.
+func TestAllExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take several seconds; skipped with -short")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			r := e.Run()
+			if r.ID != e.ID {
+				t.Errorf("result ID %q != %q", r.ID, e.ID)
+			}
+			if !r.Pass() {
+				t.Fatalf("%s failed:\n%s", e.ID, r)
+			}
+			if r.Output == "" {
+				t.Error("empty output")
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E3"); !ok {
+		t.Error("E3 not found")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("E99 found")
+	}
+}
+
+func TestAllHaveDistinctIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%s incomplete", e.ID)
+		}
+	}
+	if len(seen) != 16 {
+		t.Errorf("expected 16 experiments, got %d", len(seen))
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{ID: "EX", Title: "t", Output: "body\n"}
+	s := r.String()
+	if !strings.Contains(s, "EX") || !strings.Contains(s, "PASS") {
+		t.Errorf("String = %q", s)
+	}
+	r.Failures = []string{"boom"}
+	s = r.String()
+	if !strings.Contains(s, "FAIL") || !strings.Contains(s, "boom") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestMeasuredKWindows(t *testing.T) {
+	// measuredK is exercised end-to-end by E8; sanity-check helpers here.
+	if got := checkMark(true); got != "yes" {
+		t.Errorf("checkMark(true) = %q", got)
+	}
+	if got := checkMark(false); got != "NO" {
+		t.Errorf("checkMark(false) = %q", got)
+	}
+}
+
+func TestRunRejectsUnknownModel(t *testing.T) {
+	_, err := run(runSpec{model: "bogus"})
+	if err == nil {
+		t.Error("bogus model accepted")
+	}
+}

@@ -1,0 +1,240 @@
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+// Model is a sequential object specification for the generic checker: the
+// paper's §6 closing remark generalizes the register result to other
+// shared-memory objects, and this interface is what a history is checked
+// against. States are canonical strings so the search can memoize them.
+type Model interface {
+	// Name identifies the object type.
+	Name() string
+	// Init returns the canonical encoding of the initial state.
+	Init() string
+	// Apply applies one operation to a state, returning the successor
+	// state and the operation's result ("" for pure updates).
+	Apply(state, op string) (newState, result string)
+}
+
+// GOp is one operation of a generic object history: the operation
+// description (e.g. "inc", "add:3", "get"), the observed result, and the
+// real-time window.
+type GOp struct {
+	Node   ta.NodeID
+	Op     string
+	Result string
+	Inv    simtime.Time
+	Res    simtime.Time
+}
+
+// Pending reports whether the operation never received its response.
+func (o GOp) Pending() bool { return o.Res == simtime.Never }
+
+// String implements fmt.Stringer.
+func (o GOp) String() string {
+	return fmt.Sprintf("%v %s=%q [%v, %v]", o.Node, o.Op, o.Result, o.Inv, o.Res)
+}
+
+// CheckObject decides whether the history is linearizable with respect to
+// the sequential specification m, under the same Options as the register
+// checker (MinAfterInv for superlinearizability, Widen for P_ε,
+// ShiftFuture for P^δ).
+//
+// Unlike the register fast path, no uniqueness assumption is needed: this
+// is a plain Wing-Gong search with greedy earliest-point assignment,
+// memoized on (linearized set, object state). Pending operations are
+// always offered both fates — linearized with an unbounded window, or
+// dropped.
+func CheckObject(ops []GOp, m Model, opt Options) Result {
+	if opt.MaxStates == 0 {
+		opt.MaxStates = 4 << 20
+	}
+	ivs := make([]gInterval, 0, len(ops))
+	for _, o := range ops {
+		iv := gInterval{op: o}
+		lo := o.Inv.Add(opt.MinAfterInv)
+		if opt.Widen > 0 {
+			lo = lo.Add(-opt.Widen)
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		iv.lo = lo
+		if o.Pending() {
+			iv.hi = simtime.Never
+			iv.optional = true
+		} else {
+			iv.hi = o.Res.Add(opt.Widen).Add(opt.ShiftFuture)
+		}
+		ivs = append(ivs, iv)
+	}
+	sort.SliceStable(ivs, func(i, j int) bool {
+		if ivs[i].lo != ivs[j].lo {
+			return ivs[i].lo < ivs[j].lo
+		}
+		return ivs[i].hi < ivs[j].hi
+	})
+	c := &gChecker{ivs: ivs, model: m, maxStates: opt.MaxStates, memo: make(map[string]bool)}
+	ok, reason := c.dfs(0, nil, m.Init())
+	r := Result{OK: ok, States: c.states}
+	if !ok {
+		if reason == "" {
+			reason = fmt.Sprintf("no valid linearization of the %s history exists", m.Name())
+		}
+		r.Reason = reason
+	}
+	return r
+}
+
+type gInterval struct {
+	op       GOp
+	lo, hi   simtime.Time
+	optional bool // pending: may be dropped
+}
+
+type gChecker struct {
+	ivs       []gInterval
+	model     Model
+	maxStates int
+	states    int
+	memo      map[string]bool
+}
+
+// gKey encodes (prefix, extras, dropped, state). Dropped pending ops are
+// marked with a minus sign.
+func gKey(prefix int, extras []int, dropped map[int]bool, state string) string {
+	var b strings.Builder
+	b.Grow(24 + 4*len(extras) + len(state))
+	b.WriteString(strconv.Itoa(prefix))
+	for _, e := range extras {
+		b.WriteByte(',')
+		if dropped[e] {
+			b.WriteByte('-')
+		}
+		b.WriteString(strconv.Itoa(e))
+	}
+	b.WriteByte('|')
+	b.WriteString(state)
+	return b.String()
+}
+
+// dfs mirrors the register checker's search: the linearized set is
+// (prefix, extras); `dropped` marks pending ops decided to have never
+// taken effect; `state` is the object's canonical state. The point lower
+// bound L is the max lo over *linearized* (not dropped) ops.
+func (c *gChecker) dfs(prefix int, extras []int, state string) (bool, string) {
+	return c.dfsInner(prefix, extras, map[int]bool{}, state)
+}
+
+func (c *gChecker) dfsInner(prefix int, extras []int, dropped map[int]bool, state string) (bool, string) {
+	c.states++
+	if c.states > c.maxStates {
+		return false, fmt.Sprintf("linearize: state budget (%d) exhausted", c.maxStates)
+	}
+	for len(extras) > 0 && extras[0] == prefix {
+		extras = extras[1:]
+		prefix++
+	}
+	if prefix == len(c.ivs) {
+		return true, ""
+	}
+	key := gKey(prefix, extras, dropped, state)
+	if done, seen := c.memo[key]; seen {
+		return done, ""
+	}
+
+	inExtras := make(map[int]bool, len(extras))
+	for _, e := range extras {
+		inExtras[e] = true
+	}
+	var l simtime.Time
+	for i := 0; i < prefix; i++ {
+		if !dropped[i] && c.ivs[i].lo > l {
+			l = c.ivs[i].lo
+		}
+	}
+	for _, e := range extras {
+		if !dropped[e] && c.ivs[e].lo > l {
+			l = c.ivs[e].lo
+		}
+	}
+	minHi := simtime.Never
+	for i := prefix; i < len(c.ivs); i++ {
+		if inExtras[i] || c.ivs[i].optional {
+			continue
+		}
+		if c.ivs[i].hi < minHi {
+			minHi = c.ivs[i].hi
+		}
+	}
+	if minHi < l {
+		c.memo[key] = false
+		return false, ""
+	}
+
+	place := func(i int, drop bool) (bool, string) {
+		newExtras := make([]int, 0, len(extras)+1)
+		newExtras = append(newExtras, extras...)
+		newExtras = append(newExtras, i)
+		sort.Ints(newExtras)
+		newDropped := dropped
+		if drop {
+			newDropped = make(map[int]bool, len(dropped)+1)
+			for k := range dropped {
+				newDropped[k] = true
+			}
+			newDropped[i] = true
+		}
+		next := state
+		if !drop {
+			var result string
+			next, result = c.model.Apply(state, c.ivs[i].op.Op)
+			if result != c.ivs[i].op.Result && !c.ivs[i].optional {
+				return false, ""
+			}
+			if c.ivs[i].optional && c.ivs[i].op.Result != "" && result != c.ivs[i].op.Result {
+				return false, ""
+			}
+		}
+		return c.dfsInner(prefix, newExtras, newDropped, next)
+	}
+
+	for i := prefix; i < len(c.ivs); i++ {
+		if inExtras[i] {
+			continue
+		}
+		iv := c.ivs[i]
+		if iv.lo > minHi {
+			break
+		}
+		point := iv.lo.Max(l)
+		if !iv.optional && point > iv.hi {
+			continue
+		}
+		if ok, reason := place(i, false); ok {
+			c.memo[key] = true
+			return true, ""
+		} else if reason != "" {
+			return false, reason
+		}
+		if iv.optional {
+			// A pending op may instead never take effect.
+			if ok, reason := place(i, true); ok {
+				c.memo[key] = true
+				return true, ""
+			} else if reason != "" {
+				return false, reason
+			}
+		}
+	}
+	c.memo[key] = false
+	return false, ""
+}

@@ -1,0 +1,335 @@
+// Package linearize decides linearizability of read/write register
+// histories (§6 of the paper), including the paper's two variants:
+//
+//   - ε-superlinearizability (§6.2): every operation's linearization point
+//     must additionally lie at least 2ε after its invocation;
+//   - the P_ε relaxation (Definition 2.11): the history may first be
+//     perturbed by moving every event up to ε in time, which for interval
+//     placement is equivalent to widening every operation's window by ε on
+//     both sides.
+//
+// The checker assumes unique written values (the §3 uniqueness assumption,
+// guaranteed by the workloads), under which linearizability of a register
+// history is decidable by a Wing-Gong style search: choose the next
+// operation to linearize among those whose window opens before every
+// remaining window closes, assign it the earliest feasible point, and
+// backtrack on read-value mismatches. Greedy earliest-point assignment is
+// safe (an exchange argument: delaying a point never enables an otherwise
+// infeasible order), and memoizing on (set of linearized operations, last
+// written value) makes the search fast for the bounded-concurrency
+// histories the workloads generate.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+// Kind distinguishes reads from writes.
+type Kind int
+
+// Operation kinds.
+const (
+	Read Kind = iota + 1
+	Write
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return "kind(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// Op is one complete register operation: invoked at Inv, responded at Res.
+// Value is the value written (writes) or returned (reads), compared as an
+// opaque string. A pending operation (no response observed) has
+// Res == simtime.Never.
+type Op struct {
+	Node  ta.NodeID
+	Kind  Kind
+	Value string
+	Inv   simtime.Time
+	Res   simtime.Time
+}
+
+// Pending reports whether the operation never received its response.
+func (o Op) Pending() bool { return o.Res == simtime.Never }
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	return fmt.Sprintf("%v %v(%s) [%v, %v]", o.Node, o.Kind, o.Value, o.Inv, o.Res)
+}
+
+// Options tunes the placement constraints.
+type Options struct {
+	// Initial is the register's initial value (read by reads that precede
+	// every write).
+	Initial string
+	// MinAfterInv forces every linearization point to be at least this far
+	// after the operation's invocation: 2ε for the superlinearizability
+	// property Q of §6.2, 0 for plain linearizability.
+	MinAfterInv simtime.Duration
+	// Widen relaxes every operation's window by this much on both sides:
+	// ε when checking membership in P_ε (Definition 2.11), 0 otherwise.
+	Widen simtime.Duration
+	// ShiftFuture additionally allows every window's close to move this
+	// much later: δ when checking membership in P^δ (Definition 2.12),
+	// where responses may shift into the future.
+	ShiftFuture simtime.Duration
+	// MaxStates bounds the search; 0 means the default (4 million).
+	MaxStates int
+}
+
+// Result reports the outcome of a check.
+type Result struct {
+	// OK reports whether a valid linearization exists.
+	OK bool
+	// Reason describes the failure when OK is false.
+	Reason string
+	// States counts search states explored, for diagnostics.
+	States int
+}
+
+// Check decides whether the history is linearizable under the options.
+func Check(ops []Op, opt Options) Result {
+	c, err := newChecker(ops, opt)
+	if err != nil {
+		return Result{OK: false, Reason: err.Error()}
+	}
+	return c.solve()
+}
+
+// CheckLinearizable decides plain linearizability (the problem P of §6.1)
+// with the given initial value.
+func CheckLinearizable(ops []Op, initial string) Result {
+	return Check(ops, Options{Initial: initial})
+}
+
+// CheckSuperLinearizable decides ε-superlinearizability (the problem Q of
+// §6.2): points at least 2ε after invocation.
+func CheckSuperLinearizable(ops []Op, initial string, eps simtime.Duration) Result {
+	return Check(ops, Options{Initial: initial, MinAfterInv: 2 * eps})
+}
+
+// CheckEps decides membership in P_ε (Definition 2.11) for the
+// linearizability problem: some ≤ε perturbation of the history is
+// linearizable.
+func CheckEps(ops []Op, initial string, eps simtime.Duration) Result {
+	return Check(ops, Options{Initial: initial, Widen: eps})
+}
+
+// interval is one operation's admissible placement window after applying
+// the options.
+type interval struct {
+	op     Op
+	lo, hi simtime.Time
+	drop   bool // pending op whose effect was provably never observed
+}
+
+type checker struct {
+	ivs       []interval
+	initial   string
+	maxStates int
+
+	states int
+	memo   map[string]bool
+}
+
+func newChecker(ops []Op, opt Options) (*checker, error) {
+	if opt.MaxStates == 0 {
+		opt.MaxStates = 4 << 20
+	}
+	// Uniqueness of written values is a precondition (§3).
+	writers := make(map[string]int, len(ops))
+	observed := make(map[string]bool, len(ops))
+	for i, o := range ops {
+		if o.Kind == Write {
+			if j, dup := writers[o.Value]; dup {
+				return nil, fmt.Errorf("linearize: value %q written twice (ops %d and %d)", o.Value, j, i)
+			}
+			writers[o.Value] = i
+		} else if !o.Pending() {
+			// Pending reads returned nothing; only completed reads
+			// witness values.
+			observed[o.Value] = true
+		}
+	}
+	for v := range observed {
+		if _, ok := writers[v]; !ok && v != opt.Initial {
+			return nil, fmt.Errorf("linearize: value %q read but never written", v)
+		}
+	}
+
+	ivs := make([]interval, 0, len(ops))
+	for _, o := range ops {
+		iv := interval{op: o}
+		lo := o.Inv.Add(opt.MinAfterInv)
+		if opt.Widen > 0 {
+			lo = lo.Add(-opt.Widen)
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		iv.lo = lo
+		switch {
+		case o.Pending():
+			if o.Kind == Read {
+				// A pending read returned nothing; it may simply not have
+				// taken effect.
+				iv.drop = true
+			} else if !observed[o.Value] {
+				// A pending write whose value nobody read may not have
+				// taken effect either. (If it was observed it must be
+				// placeable, with an unbounded window.)
+				iv.drop = true
+			}
+			iv.hi = simtime.Never
+		default:
+			iv.hi = o.Res.Add(opt.Widen).Add(opt.ShiftFuture)
+		}
+		if !iv.drop {
+			ivs = append(ivs, iv)
+		}
+	}
+	sort.SliceStable(ivs, func(i, j int) bool {
+		if ivs[i].lo != ivs[j].lo {
+			return ivs[i].lo < ivs[j].lo
+		}
+		return ivs[i].hi < ivs[j].hi
+	})
+	return &checker{ivs: ivs, initial: opt.Initial, maxStates: opt.MaxStates, memo: make(map[string]bool)}, nil
+}
+
+// state: all operations with index < prefix are linearized, plus those in
+// extras; last is the last written value.
+func stateKey(prefix int, extras []int, last string) string {
+	var b strings.Builder
+	b.Grow(16 + 4*len(extras) + len(last))
+	b.WriteString(strconv.Itoa(prefix))
+	for _, e := range extras {
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(e))
+	}
+	b.WriteByte('|')
+	b.WriteString(last)
+	return b.String()
+}
+
+func (c *checker) solve() Result {
+	ok, reason := c.dfs(0, nil, c.initial)
+	r := Result{OK: ok, States: c.states}
+	if !ok {
+		if reason == "" {
+			reason = "no valid linearization order exists"
+		}
+		r.Reason = reason
+	}
+	return r
+}
+
+// dfs explores linearization orders. prefix/extras identify the linearized
+// set; last is the current register value. The running point lower bound L
+// equals the max lo over the linearized set, so it needs no explicit
+// tracking: an op placed next gets point max(L, lo), feasible iff that is
+// ≤ its hi; since L only matters through comparisons with hi values, it
+// suffices to verify hi ≥ lo for candidates and hi ≥ L via the minHi
+// candidate rule below.
+func (c *checker) dfs(prefix int, extras []int, last string) (bool, string) {
+	c.states++
+	if c.states > c.maxStates {
+		return false, fmt.Sprintf("linearize: state budget (%d) exhausted", c.maxStates)
+	}
+	// Advance prefix past contiguously linearized ops.
+	for len(extras) > 0 && extras[0] == prefix {
+		extras = extras[1:]
+		prefix++
+	}
+	if prefix == len(c.ivs) {
+		return true, ""
+	}
+	key := stateKey(prefix, extras, last)
+	if done, seen := c.memo[key]; seen {
+		return done, ""
+	}
+
+	// L = max lo over linearized ops; every remaining op's point will be
+	// ≥ L, so any remaining op with hi < L is dead. L is bounded above by
+	// lo of any candidate we may still place... we compute L explicitly
+	// from the linearized set: it is the max lo among ops < prefix or in
+	// extras. Since ivs is sorted by lo, that is the lo of the latest
+	// linearized index.
+	lastIdx := prefix - 1
+	if len(extras) > 0 {
+		lastIdx = extras[len(extras)-1]
+	}
+	var l simtime.Time
+	if lastIdx >= 0 {
+		l = c.ivs[lastIdx].lo
+	}
+
+	// minHi over remaining ops: a candidate whose lo exceeds minHi would
+	// strand the minHi op (its point would be forced past its close).
+	minHi := simtime.Never
+	inExtras := make(map[int]bool, len(extras))
+	for _, e := range extras {
+		inExtras[e] = true
+	}
+	for i := prefix; i < len(c.ivs); i++ {
+		if inExtras[i] {
+			continue
+		}
+		if c.ivs[i].hi < minHi {
+			minHi = c.ivs[i].hi
+		}
+	}
+	if minHi < l {
+		c.memo[key] = false
+		return false, ""
+	}
+
+	for i := prefix; i < len(c.ivs); i++ {
+		if inExtras[i] {
+			continue
+		}
+		iv := c.ivs[i]
+		if iv.lo > minHi {
+			break // sorted by lo: no further candidates
+		}
+		point := iv.lo.Max(l)
+		if point > iv.hi {
+			continue
+		}
+		next := last
+		switch iv.op.Kind {
+		case Write:
+			next = iv.op.Value
+		case Read:
+			if iv.op.Value != last {
+				continue
+			}
+		}
+		newExtras := make([]int, 0, len(extras)+1)
+		newExtras = append(newExtras, extras...)
+		newExtras = append(newExtras, i)
+		sort.Ints(newExtras)
+		if ok, reason := c.dfs(prefix, newExtras, next); ok {
+			c.memo[key] = true
+			return true, ""
+		} else if reason != "" {
+			return false, reason
+		}
+	}
+	c.memo[key] = false
+	return false, ""
+}

@@ -1,0 +1,356 @@
+package linearize
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+func op(node int, k Kind, v string, inv, res simtime.Time) Op {
+	return Op{Node: ta.NodeID(node), Kind: k, Value: v, Inv: inv, Res: res}
+}
+
+func TestEmptyHistory(t *testing.T) {
+	r := CheckLinearizable(nil, "v0")
+	if !r.OK {
+		t.Errorf("empty history rejected: %s", r.Reason)
+	}
+}
+
+func TestSequentialHistory(t *testing.T) {
+	ops := []Op{
+		op(0, Write, "a", 0, 10),
+		op(1, Read, "a", 20, 30),
+		op(0, Write, "b", 40, 50),
+		op(1, Read, "b", 60, 70),
+	}
+	if r := CheckLinearizable(ops, "v0"); !r.OK {
+		t.Errorf("sequential history rejected: %s", r.Reason)
+	}
+}
+
+func TestReadInitial(t *testing.T) {
+	ops := []Op{
+		op(0, Read, "v0", 0, 10),
+		op(1, Write, "a", 20, 30),
+		op(0, Read, "a", 40, 50),
+	}
+	if r := CheckLinearizable(ops, "v0"); !r.OK {
+		t.Errorf("rejected: %s", r.Reason)
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	// Read of v0 strictly after write of a completed.
+	ops := []Op{
+		op(0, Write, "a", 0, 10),
+		op(1, Read, "v0", 20, 30),
+	}
+	if r := CheckLinearizable(ops, "v0"); r.OK {
+		t.Error("stale read accepted")
+	}
+}
+
+func TestConcurrentReadMaySeeEither(t *testing.T) {
+	// Read overlaps the write: both old and new values are fine.
+	for _, v := range []string{"v0", "a"} {
+		ops := []Op{
+			op(0, Write, "a", 0, 100),
+			op(1, Read, v, 50, 60),
+		}
+		if r := CheckLinearizable(ops, "v0"); !r.OK {
+			t.Errorf("concurrent read of %q rejected: %s", v, r.Reason)
+		}
+	}
+}
+
+func TestNewOldInversionRejected(t *testing.T) {
+	// Two sequential reads during one long write: new-then-old is the
+	// classic linearizability violation.
+	ops := []Op{
+		op(0, Write, "a", 0, 100),
+		op(1, Read, "a", 10, 20),
+		op(1, Read, "v0", 30, 40),
+	}
+	if r := CheckLinearizable(ops, "v0"); r.OK {
+		t.Error("new-old inversion accepted")
+	}
+	// Old-then-new is fine.
+	ops2 := []Op{
+		op(0, Write, "a", 0, 100),
+		op(1, Read, "v0", 10, 20),
+		op(1, Read, "a", 30, 40),
+	}
+	if r := CheckLinearizable(ops2, "v0"); !r.OK {
+		t.Errorf("old-new rejected: %s", r.Reason)
+	}
+}
+
+func TestWriteOrderForcedByReads(t *testing.T) {
+	// Concurrent writes; overlapping reads pin their order to a-then-b.
+	ops := []Op{
+		op(0, Write, "a", 0, 100),
+		op(1, Write, "b", 0, 100),
+		op(2, Read, "a", 40, 60),
+		op(2, Read, "b", 70, 180),
+	}
+	if r := CheckLinearizable(ops, "v0"); !r.OK {
+		t.Errorf("rejected: %s", r.Reason)
+	}
+	// Reading a again after b is a violation (a was overwritten).
+	ops = append(ops, op(2, Read, "a", 190, 200))
+	if r := CheckLinearizable(ops, "v0"); r.OK {
+		t.Error("a-b-a read sequence accepted with unique writes")
+	}
+}
+
+func TestReadsAfterQuiescencePinValue(t *testing.T) {
+	// Both writes complete by 100; two sequential reads after 150 cannot
+	// observe different values.
+	ops := []Op{
+		op(0, Write, "a", 0, 100),
+		op(1, Write, "b", 0, 100),
+		op(2, Read, "a", 150, 160),
+		op(2, Read, "b", 170, 180),
+	}
+	if r := CheckLinearizable(ops, "v0"); r.OK {
+		t.Error("value change after write quiescence accepted")
+	}
+}
+
+func TestValueWrittenTwiceRejected(t *testing.T) {
+	ops := []Op{
+		op(0, Write, "a", 0, 10),
+		op(1, Write, "a", 20, 30),
+	}
+	if r := CheckLinearizable(ops, "v0"); r.OK {
+		t.Error("duplicate write values accepted")
+	}
+}
+
+func TestReadOfUnwrittenRejected(t *testing.T) {
+	ops := []Op{op(0, Read, "ghost", 0, 10)}
+	if r := CheckLinearizable(ops, "v0"); r.OK {
+		t.Error("read of unwritten value accepted")
+	}
+}
+
+func TestPendingReadDropped(t *testing.T) {
+	ops := []Op{
+		op(0, Write, "a", 0, 10),
+		op(1, Read, "", 20, simtime.Never),
+	}
+	if r := CheckLinearizable(ops, "v0"); !r.OK {
+		t.Errorf("pending read not dropped: %s", r.Reason)
+	}
+}
+
+func TestPendingWriteObservedMustLinearize(t *testing.T) {
+	// The pending write's value was read, so it must have taken effect.
+	ops := []Op{
+		op(0, Write, "a", 0, simtime.Never),
+		op(1, Read, "a", 20, 30),
+	}
+	if r := CheckLinearizable(ops, "v0"); !r.OK {
+		t.Errorf("observed pending write rejected: %s", r.Reason)
+	}
+	// And it must respect its invocation: a read of "a" entirely before
+	// the write's invocation is impossible.
+	ops2 := []Op{
+		op(0, Write, "a", 50, simtime.Never),
+		op(1, Read, "a", 0, 10),
+	}
+	if r := CheckLinearizable(ops2, "v0"); r.OK {
+		t.Error("read before pending write's invocation accepted")
+	}
+}
+
+func TestPendingWriteUnobservedDropped(t *testing.T) {
+	ops := []Op{
+		op(0, Write, "a", 0, simtime.Never),
+		op(1, Read, "v0", 100, 110),
+	}
+	if r := CheckLinearizable(ops, "v0"); !r.OK {
+		t.Errorf("unobserved pending write not droppable: %s", r.Reason)
+	}
+}
+
+func TestSuperLinearizability(t *testing.T) {
+	eps := simtime.Duration(10)
+	// Points must be ≥ Inv+2ε: a read whose whole window is inside
+	// [Inv, Inv+2ε) is infeasible.
+	ops := []Op{op(0, Read, "v0", 100, 110)}
+	if r := CheckSuperLinearizable(ops, "v0", eps); r.OK {
+		t.Error("too-short read accepted under superlinearizability")
+	}
+	ops = []Op{op(0, Read, "v0", 100, 125)}
+	if r := CheckSuperLinearizable(ops, "v0", eps); !r.OK {
+		t.Errorf("feasible superlinearizable read rejected: %s", r.Reason)
+	}
+	// ε = 0 degenerates to plain linearizability.
+	if r := CheckSuperLinearizable(ops, "v0", 0); !r.OK {
+		t.Errorf("ε=0 rejected: %s", r.Reason)
+	}
+}
+
+func TestEpsWidening(t *testing.T) {
+	// Stale read barely after a write: rejected plainly, accepted in P_ε
+	// when ε covers the gap (the write window can slide over the read's).
+	ops := []Op{
+		op(0, Write, "a", 0, 10),
+		op(1, Read, "v0", 14, 20),
+	}
+	if r := CheckLinearizable(ops, "v0"); r.OK {
+		t.Error("plain check accepted stale read")
+	}
+	if r := CheckEps(ops, "v0", 5); !r.OK {
+		t.Errorf("P_ε check rejected: %s", r.Reason)
+	}
+	if r := CheckEps(ops, "v0", 1); r.OK {
+		t.Error("P_ε with tiny ε accepted")
+	}
+}
+
+func TestShiftFuture(t *testing.T) {
+	// P^δ: response edges may move δ into the future. A read that
+	// completed strictly before the write's invocation becomes placeable
+	// after it once its window is allowed to stretch.
+	ops := []Op{
+		op(1, Read, "a", 0, 10),
+		op(0, Write, "a", 20, 30),
+	}
+	if r := CheckLinearizable(ops, "v0"); r.OK {
+		t.Error("plain check accepted")
+	}
+	if r := Check(ops, Options{Initial: "v0", ShiftFuture: 15}); !r.OK {
+		t.Errorf("P^δ check rejected: %s", r.Reason)
+	}
+	if r := Check(ops, Options{Initial: "v0", ShiftFuture: 5}); r.OK {
+		t.Error("P^δ with tiny δ accepted")
+	}
+}
+
+// bruteForce tries every permutation with greedy point assignment: the
+// reference implementation for small histories.
+func bruteForce(ops []Op, initial string) bool {
+	n := len(ops)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var perm func(k int) bool
+	try := func(order []int) bool {
+		val := initial
+		var l simtime.Time
+		for _, i := range order {
+			o := ops[i]
+			p := o.Inv.Max(l)
+			if p > o.Res {
+				return false
+			}
+			l = p
+			if o.Kind == Write {
+				val = o.Value
+			} else if o.Value != val {
+				return false
+			}
+		}
+		return true
+	}
+	perm = func(k int) bool {
+		if k == n {
+			return try(idx)
+		}
+		for i := k; i < n; i++ {
+			idx[k], idx[i] = idx[i], idx[k]
+			if perm(k + 1) {
+				idx[k], idx[i] = idx[i], idx[k]
+				return true
+			}
+			idx[k], idx[i] = idx[i], idx[k]
+		}
+		return false
+	}
+	return perm(0)
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 400; trial++ {
+		n := 2 + r.Intn(5)
+		values := []string{"v0"}
+		ops := make([]Op, 0, n)
+		for i := 0; i < n; i++ {
+			inv := simtime.Time(r.Intn(50))
+			res := inv.Add(simtime.Duration(1 + r.Intn(30)))
+			if r.Intn(2) == 0 {
+				v := fmt.Sprintf("w%d", i)
+				values = append(values, v)
+				ops = append(ops, op(i%3, Write, v, inv, res))
+			} else {
+				ops = append(ops, op(i%3, Read, values[r.Intn(len(values))], inv, res))
+			}
+		}
+		want := bruteForce(ops, "v0")
+		got := CheckLinearizable(ops, "v0")
+		if got.OK != want {
+			t.Fatalf("trial %d: checker=%v brute=%v for:\n%v", trial, got.OK, want, ops)
+		}
+	}
+}
+
+func TestLongSequentialHistoryFast(t *testing.T) {
+	// Thousands of strictly sequential ops must check in linear-ish time.
+	var ops []Op
+	val := "v0"
+	ts := simtime.Time(0)
+	for i := 0; i < 5000; i++ {
+		if i%3 == 0 {
+			val = fmt.Sprintf("w%d", i)
+			ops = append(ops, op(i%5, Write, val, ts, ts+10))
+		} else {
+			ops = append(ops, op(i%5, Read, val, ts, ts+10))
+		}
+		ts += 20
+	}
+	r := CheckLinearizable(ops, "v0")
+	if !r.OK {
+		t.Fatalf("rejected: %s", r.Reason)
+	}
+	if r.States > 3*len(ops)+10 {
+		t.Errorf("states = %d, expected near-linear", r.States)
+	}
+}
+
+func TestStateBudget(t *testing.T) {
+	// A pathological all-concurrent history with an impossible read mix
+	// should hit the budget rather than hang.
+	var ops []Op
+	for i := 0; i < 20; i++ {
+		ops = append(ops, op(i, Write, fmt.Sprintf("w%d", i), 0, 1000))
+	}
+	// Interleaved contradictory reads force exhaustive search.
+	ops = append(ops, op(21, Read, "w0", 2000, 2010))
+	ops = append(ops, op(21, Read, "w1", 2020, 2030))
+	ops = append(ops, op(21, Read, "w0", 2040, 2050))
+	r := Check(ops, Options{Initial: "v0", MaxStates: 1000})
+	if r.OK {
+		t.Error("impossible history accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" || Kind(9).String() != "kind(9)" {
+		t.Error("Kind.String misbehaves")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	s := op(1, Write, "a", 5, 10).String()
+	if s == "" {
+		t.Error("empty String")
+	}
+}

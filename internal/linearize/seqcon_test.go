@@ -1,0 +1,146 @@
+package linearize
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+func TestSCLinearizableImpliesSC(t *testing.T) {
+	// Linearizability implies sequential consistency: every linearizable
+	// random history must also be SC.
+	r := rand.New(rand.NewSource(21))
+	checked := 0
+	for trial := 0; trial < 500 && checked < 60; trial++ {
+		ops := randSequentialPerNode(r)
+		if !CheckLinearizable(ops, "v0").OK {
+			continue
+		}
+		checked++
+		if sc := CheckSequentiallyConsistent(ops, "v0"); !sc.OK {
+			t.Fatalf("linearizable but not SC: %s\n%v", sc.Reason, ops)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no linearizable samples generated")
+	}
+}
+
+// randSequentialPerNode draws a history whose per-node operations never
+// overlap (the alternation condition SC's program order needs).
+func randSequentialPerNode(r *rand.Rand) []Op {
+	nNodes := 2 + r.Intn(2)
+	values := []string{"v0"}
+	var ops []Op
+	vi := 0
+	for n := 0; n < nNodes; n++ {
+		t := simtime.Time(r.Intn(10))
+		k := 1 + r.Intn(3)
+		for i := 0; i < k; i++ {
+			dur := simtime.Duration(1 + r.Intn(20))
+			if r.Intn(2) == 0 {
+				v := fmt.Sprintf("w%d", vi)
+				vi++
+				values = append(values, v)
+				ops = append(ops, Op{Node: ta.NodeID(n), Kind: Write, Value: v, Inv: t, Res: t.Add(dur)})
+			} else {
+				ops = append(ops, Op{Node: ta.NodeID(n), Kind: Read, Value: values[r.Intn(len(values))], Inv: t, Res: t.Add(dur)})
+			}
+			t = t.Add(dur + simtime.Duration(1+r.Intn(15)))
+		}
+	}
+	return ops
+}
+
+func TestSCAllowsStaleReads(t *testing.T) {
+	// The classic SC-but-not-linearizable history: a read strictly after a
+	// completed write still returns the old value — fine under SC (the
+	// read is ordered before the write in the total order).
+	ops := []Op{
+		op(0, Write, "a", 0, 10),
+		op(1, Read, "v0", 20, 30),
+	}
+	if CheckLinearizable(ops, "v0").OK {
+		t.Fatal("unexpectedly linearizable")
+	}
+	if sc := CheckSequentiallyConsistent(ops, "v0"); !sc.OK {
+		t.Fatalf("stale read rejected under SC: %s", sc.Reason)
+	}
+}
+
+func TestSCRejectsProgramOrderViolation(t *testing.T) {
+	// One node writes a then reads v0: program order forbids ordering the
+	// read before its own write.
+	ops := []Op{
+		op(0, Write, "a", 0, 10),
+		op(0, Read, "v0", 20, 30),
+	}
+	if sc := CheckSequentiallyConsistent(ops, "v0"); sc.OK {
+		t.Fatal("read-own-write violation accepted")
+	}
+}
+
+func TestSCRejectsIncoherence(t *testing.T) {
+	// Two nodes observing two writes in opposite orders: no single total
+	// order exists.
+	ops := []Op{
+		op(0, Write, "a", 0, 10),
+		op(1, Write, "b", 0, 10),
+		op(2, Read, "a", 20, 30),
+		op(2, Read, "b", 40, 50),
+		op(3, Read, "b", 20, 30),
+		op(3, Read, "a", 40, 50),
+	}
+	if sc := CheckSequentiallyConsistent(ops, "v0"); sc.OK {
+		t.Fatal("incoherent observation orders accepted")
+	}
+}
+
+func TestSCPendingOps(t *testing.T) {
+	// A pending write may or may not be observed.
+	ops := []Op{
+		op(0, Write, "a", 0, simtime.Never),
+		op(1, Read, "a", 20, 30),
+	}
+	if sc := CheckSequentiallyConsistent(ops, "v0"); !sc.OK {
+		t.Fatalf("observed pending write rejected: %s", sc.Reason)
+	}
+	ops[1].Value = "v0"
+	if sc := CheckSequentiallyConsistent(ops, "v0"); !sc.OK {
+		t.Fatalf("unobserved pending write rejected: %s", sc.Reason)
+	}
+	// A pending read is dropped.
+	ops = append(ops, Op{Node: 2, Kind: Read, Value: "", Inv: 5, Res: simtime.Never})
+	if sc := CheckSequentiallyConsistent(ops, "v0"); !sc.OK {
+		t.Fatalf("pending read broke SC: %s", sc.Reason)
+	}
+}
+
+func TestSCOverlapAtNodeRejected(t *testing.T) {
+	ops := []Op{
+		op(0, Write, "a", 0, 100),
+		op(0, Read, "a", 50, 60), // overlaps its own node's write
+	}
+	if sc := CheckSequentiallyConsistent(ops, "v0"); sc.OK {
+		t.Fatal("overlapping per-node ops accepted")
+	}
+}
+
+func TestSCDuplicateWriteRejected(t *testing.T) {
+	ops := []Op{
+		op(0, Write, "a", 0, 10),
+		op(1, Write, "a", 20, 30),
+	}
+	if sc := CheckSequentiallyConsistent(ops, "v0"); sc.OK {
+		t.Fatal("duplicate write accepted")
+	}
+}
+
+func TestSCEmpty(t *testing.T) {
+	if sc := CheckSequentiallyConsistent(nil, "v0"); !sc.OK {
+		t.Fatal("empty rejected")
+	}
+}

@@ -1,0 +1,54 @@
+package linearize
+
+// Shrink reduces a non-linearizable history to a locally minimal violating
+// sub-history: removing any single remaining operation makes it
+// linearizable (or structurally invalid). Minimal counterexamples turn a
+// "no valid linearization order exists" verdict into something a human can
+// read — typically the two or three operations of a new/old inversion.
+//
+// Shrink returns the input unchanged if the history is linearizable or
+// invalid to begin with.
+func Shrink(ops []Op, opt Options) []Op {
+	violates := func(h []Op) bool {
+		c, err := newChecker(h, opt)
+		if err != nil {
+			return false // structurally invalid ≠ a violation witness
+		}
+		return !c.solve().OK
+	}
+	return shrinkWith(ops, violates)
+}
+
+// ShrinkObject is Shrink for generic object histories.
+func ShrinkObject(ops []GOp, m Model, opt Options) []GOp {
+	violates := func(h []GOp) bool {
+		return !CheckObject(h, m, opt).OK
+	}
+	return shrinkWith(ops, violates)
+}
+
+// shrinkWith greedily removes elements while the predicate still holds,
+// repeating until no single removal preserves it.
+func shrinkWith[T any](ops []T, violates func([]T) bool) []T {
+	if !violates(ops) {
+		return ops
+	}
+	cur := make([]T, len(ops))
+	copy(cur, ops)
+	for {
+		removed := false
+		for i := 0; i < len(cur); i++ {
+			cand := make([]T, 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			if violates(cand) {
+				cur = cand
+				removed = true
+				i--
+			}
+		}
+		if !removed {
+			return cur
+		}
+	}
+}

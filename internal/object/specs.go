@@ -1,0 +1,205 @@
+package object
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Operation encodings shared by the replicas and the checker. Updates and
+// queries are strings so one Spec serves both sides:
+//
+//	register:    "write:<v>"          / "read"
+//	counter:     "add:<k>"            / "get"
+//	grow-set:    "insert:<x>"         / "has:<x>", "size"
+//	max-register:"raise:<k>"          / "get"
+
+// Register is the paper's own object as a Spec, for cross-validation with
+// the specialized §6 implementation.
+type Register struct{}
+
+// Name implements Spec.
+func (Register) Name() string { return "register" }
+
+// Init implements Spec.
+func (Register) Init() string { return "v0" }
+
+// Apply implements Spec.
+func (Register) Apply(state, op string) (string, string) {
+	if v, ok := strings.CutPrefix(op, "write:"); ok {
+		return v, ""
+	}
+	if op == "read" {
+		return state, state
+	}
+	return state, "bad-op:" + op
+}
+
+// Counter is an add/get counter.
+type Counter struct{}
+
+// Name implements Spec.
+func (Counter) Name() string { return "counter" }
+
+// Init implements Spec.
+func (Counter) Init() string { return "0" }
+
+// Apply implements Spec.
+func (Counter) Apply(state, op string) (string, string) {
+	cur, err := strconv.Atoi(state)
+	if err != nil {
+		return state, "bad-state"
+	}
+	if ks, ok := strings.CutPrefix(op, "add:"); ok {
+		k, err := strconv.Atoi(ks)
+		if err != nil {
+			return state, "bad-op:" + op
+		}
+		return strconv.Itoa(cur + k), ""
+	}
+	if op == "get" {
+		return state, state
+	}
+	return state, "bad-op:" + op
+}
+
+// GSet is a grow-only set with insert/has/size.
+type GSet struct{}
+
+// Name implements Spec.
+func (GSet) Name() string { return "gset" }
+
+// Init implements Spec.
+func (GSet) Init() string { return "" }
+
+func gsetElems(state string) []string {
+	if state == "" {
+		return nil
+	}
+	return strings.Split(state, ",")
+}
+
+// Apply implements Spec.
+func (GSet) Apply(state, op string) (string, string) {
+	elems := gsetElems(state)
+	if x, ok := strings.CutPrefix(op, "insert:"); ok {
+		for _, e := range elems {
+			if e == x {
+				return state, ""
+			}
+		}
+		elems = append(elems, x)
+		sort.Strings(elems)
+		return strings.Join(elems, ","), ""
+	}
+	if x, ok := strings.CutPrefix(op, "has:"); ok {
+		for _, e := range elems {
+			if e == x {
+				return state, "true"
+			}
+		}
+		return state, "false"
+	}
+	if op == "size" {
+		return state, strconv.Itoa(len(elems))
+	}
+	return state, "bad-op:" + op
+}
+
+// MaxRegister keeps the maximum of all raised values.
+type MaxRegister struct{}
+
+// Name implements Spec.
+func (MaxRegister) Name() string { return "maxreg" }
+
+// Init implements Spec.
+func (MaxRegister) Init() string { return "0" }
+
+// Apply implements Spec.
+func (MaxRegister) Apply(state, op string) (string, string) {
+	cur, err := strconv.Atoi(state)
+	if err != nil {
+		return state, "bad-state"
+	}
+	if ks, ok := strings.CutPrefix(op, "raise:"); ok {
+		k, err := strconv.Atoi(ks)
+		if err != nil {
+			return state, "bad-op:" + op
+		}
+		if k > cur {
+			return ks, ""
+		}
+		return state, ""
+	}
+	if op == "get" {
+		return state, state
+	}
+	return state, "bad-op:" + op
+}
+
+// KVStore is a map of independent registers: blind puts and deletes,
+// keyed gets — the shape of a replicated configuration store. State is a
+// canonical "k=v;k2=v2" encoding with keys sorted.
+type KVStore struct{}
+
+// Name implements Spec.
+func (KVStore) Name() string { return "kvstore" }
+
+// Init implements Spec.
+func (KVStore) Init() string { return "" }
+
+func kvParse(state string) map[string]string {
+	m := make(map[string]string)
+	if state == "" {
+		return m
+	}
+	for _, pair := range strings.Split(state, ";") {
+		if k, v, ok := strings.Cut(pair, "="); ok {
+			m[k] = v
+		}
+	}
+	return m
+}
+
+func kvEncode(m map[string]string) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + m[k]
+	}
+	return strings.Join(parts, ";")
+}
+
+// Apply implements Spec.
+func (KVStore) Apply(state, op string) (string, string) {
+	switch {
+	case strings.HasPrefix(op, "put:"):
+		kv := strings.TrimPrefix(op, "put:")
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return state, "bad-op:" + op
+		}
+		m := kvParse(state)
+		m[k] = v
+		return kvEncode(m), ""
+	case strings.HasPrefix(op, "del:"):
+		k := strings.TrimPrefix(op, "del:")
+		m := kvParse(state)
+		delete(m, k)
+		return kvEncode(m), ""
+	case strings.HasPrefix(op, "get:"):
+		k := strings.TrimPrefix(op, "get:")
+		if v, ok := kvParse(state)[k]; ok {
+			return state, v
+		}
+		return state, "<nil>"
+	case op == "keys":
+		m := kvParse(state)
+		return state, strconv.Itoa(len(m))
+	}
+	return state, "bad-op:" + op
+}

@@ -1,0 +1,158 @@
+package register_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"psclock/internal/channel"
+	"psclock/internal/clock"
+	"psclock/internal/core"
+	"psclock/internal/linearize"
+	"psclock/internal/register"
+	"psclock/internal/simtime"
+	"psclock/internal/workload"
+)
+
+// TestRandomizedGrid runs the transformed register through dozens of
+// randomly drawn configurations — system size, delay bounds, ε, the c
+// knob, clock adversary, delay adversary — and requires linearizability
+// every time. This is the library's fuzz net: any regression in the
+// transformation, the buffers, the clock inversion, or the executor shows
+// up here as a seed to replay.
+func TestRandomizedGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid is several seconds; skipped with -short")
+	}
+	const trials = 36
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("seed=%d", trial), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(int64(trial) * 7717))
+			n := 2 + r.Intn(4)
+			d1 := simtime.Duration(r.Int63n(int64(2 * ms)))
+			d2 := d1 + 200*us + simtime.Duration(r.Int63n(int64(3*ms)))
+			eps := simtime.Duration(r.Int63n(int64(ms))) + 10*us
+			bounds := simtime.NewInterval(d1, d2)
+			d2p := d2 + 2*eps
+			cKnob := simtime.Duration(r.Int63n(int64(d2p - 2*eps + 1)))
+			p := register.Params{C: cKnob, Delta: 5 * us, D2: d2p, Epsilon: eps}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("drew invalid params: %v", err)
+			}
+
+			var cf clock.Factory
+			switch r.Intn(4) {
+			case 0:
+				cf = clock.PerfectFactory()
+			case 1:
+				cf = clock.SpreadFactory(eps)
+			case 2:
+				cf = clock.DriftFactory(eps, int64(trial))
+			default:
+				cf = clock.SawtoothFactory(eps, 8*eps+ms)
+			}
+			var df func() channel.DelayPolicy
+			switch r.Intn(4) {
+			case 0:
+				df = channel.MinDelay
+			case 1:
+				df = channel.MaxDelay
+			case 2:
+				df = channel.SpreadDelay
+			default:
+				df = channel.UniformDelay
+			}
+
+			cfg := core.Config{
+				N: n, Bounds: bounds, Seed: int64(trial),
+				Clocks: cf, NewDelay: df, FIFO: r.Intn(2) == 0,
+			}
+			net := core.BuildClocked(cfg, register.Factory(register.NewS, p))
+			clients := workload.Attach(net, workload.Config{
+				Ops:        12,
+				Think:      simtime.NewInterval(0, simtime.Duration(r.Int63n(int64(3*ms)))),
+				WriteRatio: 0.2 + 0.6*r.Float64(),
+				Seed:       int64(trial) * 13,
+				Stagger:    simtime.Duration(r.Int63n(int64(ms))),
+			})
+			if _, err := net.Sys.RunQuiet(simtime.Time(60 * simtime.Second)); err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range clients {
+				if c.Done != 12 {
+					t.Fatalf("%s: %d/12 (n=%d d=[%v,%v] ε=%v c=%v)", c.Name(), c.Done, n, d1, d2, eps, cKnob)
+				}
+			}
+			tr := net.Sys.Trace()
+			if err := tr.CheckWellFormed(); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.CheckUniqueMessages(); err != nil {
+				t.Fatal(err)
+			}
+			ops, err := register.History(tr.Visible())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res := linearize.CheckLinearizable(ops, register.Initial.String()); !res.OK {
+				t.Fatalf("not linearizable (n=%d d=[%v,%v] ε=%v c=%v): %s",
+					n, d1, d2, eps, cKnob, res.Reason)
+			}
+			// The paper's stronger statement holds too: every clock-model
+			// execution of S is in Q_ε.
+			if res := linearize.Check(ops, linearize.Options{
+				Initial:     register.Initial.String(),
+				MinAfterInv: 2 * eps,
+				Widen:       eps,
+			}); !res.OK {
+				t.Fatalf("not in Q_ε (n=%d d=[%v,%v] ε=%v c=%v): %s",
+					n, d1, d2, eps, cKnob, res.Reason)
+			}
+			// And every node action's clock stamp is within ε of real time
+			// (Theorem 4.6's core fact).
+			for _, node := range net.Clocked {
+				for _, s := range node.Stamps() {
+					if s.Skew().Abs() > eps {
+						t.Fatalf("stamp skew %v > ε at %v", s.Skew(), s.Action)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestScaleSixteenNodes runs the transformed register at n=16 (240 edges,
+// 16 clients): a scaling smoke test for the executor and the checker.
+func TestScaleSixteenNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=16 run; skipped with -short")
+	}
+	eps := 300 * us
+	bounds := simtime.NewInterval(1*ms, 3*ms)
+	p := register.Params{C: 400 * us, Delta: 10 * us, D2: bounds.Hi + 2*eps, Epsilon: eps}
+	cfg := core.Config{N: 16, Bounds: bounds, Seed: 99, Clocks: clock.DriftFactory(eps, 4)}
+	net := core.BuildClocked(cfg, register.Factory(register.NewS, p))
+	clients := workload.Attach(net, workload.Config{
+		Ops: 8, Think: simtime.NewInterval(0, 3*ms), WriteRatio: 0.3, Seed: 6, Stagger: 200 * us,
+	})
+	if _, err := net.Sys.RunQuiet(simtime.Time(60 * simtime.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range clients {
+		if c.Done != 8 {
+			t.Fatalf("%s: %d/8", c.Name(), c.Done)
+		}
+	}
+	ops, err := register.History(net.Sys.Trace().Visible())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 128 {
+		t.Fatalf("ops = %d", len(ops))
+	}
+	if res := linearize.CheckLinearizable(ops, register.Initial.String()); !res.OK {
+		t.Fatalf("n=16 not linearizable: %s", res.Reason)
+	}
+}

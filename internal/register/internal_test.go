@@ -1,0 +1,27 @@
+package register
+
+import (
+	"testing"
+
+	"psclock/internal/simtime"
+)
+
+func TestCeilSlot(t *testing.T) {
+	ms := simtime.Millisecond
+	b := NewBaseline(ms, 10*ms)
+	cases := []struct{ in, want simtime.Time }{
+		{0, 0},
+		{1, simtime.Time(ms)},
+		{simtime.Time(ms), simtime.Time(ms)},
+		{simtime.Time(ms) + 1, simtime.Time(2 * ms)},
+	}
+	for _, c := range cases {
+		if got := b.ceilSlot(c.in); got != c.want {
+			t.Errorf("ceilSlot(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	z := NewBaseline(0, 10*ms)
+	if z.ceilSlot(12345) != 12345 {
+		t.Error("u=0 slotting should be identity")
+	}
+}

@@ -1,0 +1,228 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeAdd(t *testing.T) {
+	cases := []struct {
+		t    Time
+		d    Duration
+		want Time
+	}{
+		{0, 0, 0},
+		{0, Second, Time(Second)},
+		{Time(5 * Millisecond), 3 * Millisecond, Time(8 * Millisecond)},
+		{Time(5 * Millisecond), -2 * Millisecond, Time(3 * Millisecond)},
+		{Never, Second, Never},
+		{0, Forever, Never},
+		{Never - 1, 10, Never}, // saturating overflow
+	}
+	for _, c := range cases {
+		if got := c.t.Add(c.d); got != c.want {
+			t.Errorf("%v.Add(%v) = %v, want %v", c.t, c.d, got, c.want)
+		}
+	}
+}
+
+func TestTimeSub(t *testing.T) {
+	if got := Time(10).Sub(3); got != 7 {
+		t.Errorf("Sub = %v, want 7", got)
+	}
+	if got := Time(3).Sub(10); got != -7 {
+		t.Errorf("Sub = %v, want -7", got)
+	}
+}
+
+func TestTimeOrdering(t *testing.T) {
+	if !Time(1).Before(2) || Time(2).Before(1) || Time(1).Before(1) {
+		t.Error("Before misbehaves")
+	}
+	if !Time(2).After(1) || Time(1).After(2) || Time(1).After(1) {
+		t.Error("After misbehaves")
+	}
+	if Time(1).Min(2) != 1 || Time(2).Min(1) != 1 {
+		t.Error("Min misbehaves")
+	}
+	if Time(1).Max(2) != 2 || Time(2).Max(1) != 2 {
+		t.Error("Max misbehaves")
+	}
+}
+
+func TestDurationAbsMinMax(t *testing.T) {
+	if Duration(-5).Abs() != 5 || Duration(5).Abs() != 5 {
+		t.Error("Abs misbehaves")
+	}
+	if Duration(1).Min(2) != 1 || Duration(2).Min(1) != 1 {
+		t.Error("Min misbehaves")
+	}
+	if Duration(1).Max(2) != 2 || Duration(2).Max(1) != 2 {
+		t.Error("Max misbehaves")
+	}
+}
+
+func TestScaleExact(t *testing.T) {
+	cases := []struct {
+		d        Duration
+		num, den int64
+		want     Duration
+	}{
+		{1000, 1, 1, 1000},
+		{1000, 3, 2, 1500},
+		{1000, 1, 3, 333},
+		{Second, 999, 1000, 999 * Millisecond},
+		{0, 7, 3, 0},
+	}
+	for _, c := range cases {
+		if got := c.d.Scale(c.num, c.den); got != c.want {
+			t.Errorf("%d.Scale(%d,%d) = %d, want %d", c.d, c.num, c.den, got, c.want)
+		}
+	}
+}
+
+func TestScaleMonotoneProperty(t *testing.T) {
+	// Scaling with a positive rate must be monotone non-decreasing in d,
+	// which the clock models rely on for invertibility.
+	f := func(a, b int32, num8, den8 uint8) bool {
+		num := int64(num8%50) + 1
+		den := int64(den8%50) + 1
+		x, y := Duration(a), Duration(b)
+		if x > y {
+			x, y = y, x
+		}
+		return x.Scale(num, den) <= y.Scale(num, den)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalePanicsOnBadDen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scale(1, 0) did not panic")
+		}
+	}()
+	Duration(1).Scale(1, 0)
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0s"},
+		{5, "5ns"},
+		{1500, "1.5µs"},
+		{250 * Microsecond, "250µs"},
+		{1500 * Microsecond, "1.5ms"},
+		{2 * Second, "2s"},
+		{-3 * Millisecond, "-3ms"},
+		{Forever, "forever"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := Time(3 * Millisecond).String(); got != "3ms" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Never.String(); got != "never" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParseDuration(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Duration
+		ok   bool
+	}{
+		{"12ns", 12, true},
+		{"3us", 3 * Microsecond, true},
+		{"3µs", 3 * Microsecond, true},
+		{"1.5ms", 1500 * Microsecond, true},
+		{"2s", 2 * Second, true},
+		{"0.001s", Millisecond, true},
+		{"nope", 0, false},
+		{"5", 0, false},
+		{"xms", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseDuration(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseDuration(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseDuration(%q) succeeded, want error", c.in)
+		}
+	}
+}
+
+func TestParseDurationRoundTrip(t *testing.T) {
+	for _, d := range []Duration{1, 999, Microsecond, 42 * Millisecond, 7 * Second} {
+		got, err := ParseDuration(d.String())
+		if err != nil {
+			t.Fatalf("round trip %v: %v", d, err)
+		}
+		if got != d {
+			t.Errorf("round trip %v = %v", d, got)
+		}
+	}
+}
+
+func TestInterval(t *testing.T) {
+	iv := NewInterval(Millisecond, 3*Millisecond)
+	if !iv.Contains(Millisecond) || !iv.Contains(3*Millisecond) || !iv.Contains(2*Millisecond) {
+		t.Error("Contains endpoints/interior failed")
+	}
+	if iv.Contains(Millisecond-1) || iv.Contains(3*Millisecond+1) {
+		t.Error("Contains outside failed")
+	}
+	if iv.Width() != 2*Millisecond {
+		t.Errorf("Width = %v", iv.Width())
+	}
+	if got := iv.String(); got != "[1ms, 3ms]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestIntervalWiden(t *testing.T) {
+	// The Theorem 4.7 delay transformation: d'1 = max(d1−2ε, 0), d'2 = d2+2ε.
+	iv := NewInterval(Millisecond, 3*Millisecond)
+	w := iv.Widen(2 * Millisecond)
+	if w.Lo != 0 || w.Hi != 5*Millisecond {
+		t.Errorf("Widen = %v", w)
+	}
+	w2 := iv.Widen(200 * Microsecond)
+	if w2.Lo != 800*Microsecond || w2.Hi != 3200*Microsecond {
+		t.Errorf("Widen = %v", w2)
+	}
+}
+
+func TestNewIntervalPanics(t *testing.T) {
+	for _, c := range []struct{ lo, hi Duration }{{5, 3}, {-1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewInterval(%v,%v) did not panic", c.lo, c.hi)
+				}
+			}()
+			NewInterval(c.lo, c.hi)
+		}()
+	}
+}
+
+func TestSecondsMillis(t *testing.T) {
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Errorf("Seconds = %v", got)
+	}
+	if got := (2500 * Microsecond).Millis(); got != 2.5 {
+		t.Errorf("Millis = %v", got)
+	}
+}

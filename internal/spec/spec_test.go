@@ -1,0 +1,222 @@
+package spec_test
+
+import (
+	"strings"
+	"testing"
+
+	"psclock/internal/core"
+	"psclock/internal/object"
+	"psclock/internal/register"
+	"psclock/internal/simtime"
+	"psclock/internal/spec"
+	"psclock/internal/ta"
+	"psclock/internal/workload"
+)
+
+const (
+	ms = simtime.Millisecond
+	us = simtime.Microsecond
+)
+
+// buildRegister returns a Solves build function for the transformed S
+// register under the given adversary.
+func buildRegister(t *testing.T, eps simtime.Duration) func(spec.Adversary) (ta.Trace, error) {
+	t.Helper()
+	bounds := simtime.NewInterval(1*ms, 3*ms)
+	p := register.Params{C: 500 * us, Delta: 10 * us, D2: bounds.Hi + 2*eps, Epsilon: eps}
+	return func(adv spec.Adversary) (ta.Trace, error) {
+		cfg := core.Config{
+			N: 3, Bounds: bounds, Seed: 5,
+			Clocks: adv.Clocks, NewDelay: adv.Delays, NewStep: adv.Steps,
+		}
+		net := core.BuildClocked(cfg, register.Factory(register.NewS, p))
+		workload.Attach(net, workload.Config{
+			Ops: 15, Think: simtime.NewInterval(0, 2*ms), WriteRatio: 0.4, Seed: 2, Stagger: 300 * us,
+		})
+		if _, err := net.Sys.RunQuiet(simtime.Time(30 * simtime.Second)); err != nil {
+			return nil, err
+		}
+		return net.Sys.Trace().Visible(), nil
+	}
+}
+
+func TestSolvesRegisterEnsemble(t *testing.T) {
+	eps := 400 * us
+	advs := spec.StandardAdversaries(eps, 9)
+	if len(advs) != 16 {
+		t.Fatalf("ensemble size %d", len(advs))
+	}
+	verdicts := spec.Solves(spec.Linearizable{}, advs, buildRegister(t, eps))
+	if ok, first := spec.AllOK(verdicts); !ok {
+		t.Fatalf("ensemble failed: %s", first)
+	}
+	// And the stronger statement of Theorem 4.7 directly: membership in
+	// Q_ε for Q = ε-superlinearizability.
+	verdicts = spec.SolvesEps(spec.SuperLinearizable{Eps: eps}, eps, advs, buildRegister(t, eps))
+	if ok, first := spec.AllOK(verdicts); !ok {
+		t.Fatalf("Q_ε ensemble failed: %s", first)
+	}
+}
+
+func TestSolvesReportsFailures(t *testing.T) {
+	// A problem that always fails must produce failing verdicts with the
+	// adversary named.
+	advs := spec.StandardAdversaries(100*us, 1)[:2]
+	verdicts := spec.Solves(spec.Linearizable{}, advs, func(spec.Adversary) (ta.Trace, error) {
+		// A malformed trace: a response with no invocation.
+		return ta.Trace{{Action: ta.Action{Name: register.ActAck, Node: 0, Kind: ta.KindOutput}, At: 5}}, nil
+	})
+	ok, first := spec.AllOK(verdicts)
+	if ok {
+		t.Fatal("malformed trace accepted")
+	}
+	if !strings.Contains(first, "FAIL") {
+		t.Errorf("first = %q", first)
+	}
+}
+
+func TestSolvesBuildErrors(t *testing.T) {
+	advs := spec.StandardAdversaries(100*us, 1)[:1]
+	verdicts := spec.Solves(spec.Linearizable{}, advs, func(spec.Adversary) (ta.Trace, error) {
+		return nil, errBoom
+	})
+	if verdicts[0].OK || !strings.Contains(verdicts[0].Reason, "boom") {
+		t.Errorf("verdict = %v", verdicts[0])
+	}
+}
+
+var errBoom = errTest("boom")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+func TestObjectLinearizableProblem(t *testing.T) {
+	good := ta.Trace{
+		{Action: ta.Action{Name: object.ActUpdate, Node: 0, Kind: ta.KindInput, Payload: "add:2"}, At: 0},
+		{Action: ta.Action{Name: object.ActAck, Node: 0, Kind: ta.KindOutput}, At: 10},
+		{Action: ta.Action{Name: object.ActQuery, Node: 1, Kind: ta.KindInput, Payload: "get"}, At: 20},
+		{Action: ta.Action{Name: object.ActReturn, Node: 1, Kind: ta.KindOutput, Payload: "2"}, At: 30},
+	}
+	p := spec.ObjectLinearizable{Spec: object.Counter{}}
+	if ok, reason := p.Holds(good); !ok {
+		t.Fatalf("good counter trace rejected: %s", reason)
+	}
+	bad := make(ta.Trace, len(good))
+	copy(bad, good)
+	bad[3].Action.Payload = "7"
+	if ok, _ := p.Holds(bad); ok {
+		t.Fatal("bad counter trace accepted")
+	}
+	// P_ε cannot rescue a wrong value.
+	if ok, _ := p.HoldsEps(bad, simtime.Duration(1*ms)); ok {
+		t.Fatal("P_ε rescued a wrong value")
+	}
+	if p.Name() != "linearizable-counter" {
+		t.Errorf("name = %q", p.Name())
+	}
+}
+
+func mutexTrace(overlap simtime.Duration) ta.Trace {
+	return ta.Trace{
+		{Action: ta.Action{Name: "ACQUIRE", Node: 0, Kind: ta.KindOutput}, At: 0},
+		{Action: ta.Action{Name: "RELEASE", Node: 0, Kind: ta.KindOutput}, At: 100},
+		{Action: ta.Action{Name: "ACQUIRE", Node: 1, Kind: ta.KindOutput}, At: simtime.Time(100 - int64(overlap))},
+		{Action: ta.Action{Name: "RELEASE", Node: 1, Kind: ta.KindOutput}, At: 200},
+	}
+}
+
+func TestMutualExclusion(t *testing.T) {
+	m := spec.MutualExclusion{}
+	if ok, _ := m.Holds(mutexTrace(0)); !ok {
+		t.Error("touching handover rejected")
+	}
+	if ok, _ := m.Holds(mutexTrace(10)); ok {
+		t.Error("overlap accepted")
+	}
+	// P_ε tolerates overlaps up to 2ε.
+	if ok, _ := m.HoldsEps(mutexTrace(10), 5); !ok {
+		t.Error("2ε-overlap rejected under P_ε")
+	}
+	if ok, _ := m.HoldsEps(mutexTrace(11), 5); ok {
+		t.Error(">2ε overlap accepted under P_ε")
+	}
+}
+
+func TestMutualExclusionMalformed(t *testing.T) {
+	m := spec.MutualExclusion{}
+	doubleAcq := ta.Trace{
+		{Action: ta.Action{Name: "ACQUIRE", Node: 0, Kind: ta.KindOutput}, At: 0},
+		{Action: ta.Action{Name: "ACQUIRE", Node: 0, Kind: ta.KindOutput}, At: 5},
+	}
+	if _, _, err := m.Overlaps(doubleAcq); err == nil {
+		t.Error("double acquire accepted")
+	}
+	orphanRel := ta.Trace{
+		{Action: ta.Action{Name: "RELEASE", Node: 0, Kind: ta.KindOutput}, At: 5},
+	}
+	if _, _, err := m.Overlaps(orphanRel); err == nil {
+		t.Error("orphan release accepted")
+	}
+}
+
+func TestProblemNames(t *testing.T) {
+	if (spec.Linearizable{}).Name() == "" {
+		t.Error("empty name")
+	}
+	if !strings.Contains((spec.SuperLinearizable{Eps: ms}).Name(), "1ms") {
+		t.Errorf("name = %q", (spec.SuperLinearizable{Eps: ms}).Name())
+	}
+	if (spec.MutualExclusion{}).Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	ok := spec.Verdict{Adversary: "a", OK: true}
+	if ok.String() != "a: ok" {
+		t.Errorf("String = %q", ok.String())
+	}
+	bad := spec.Verdict{Adversary: "a", OK: false, Reason: "r"}
+	if !strings.Contains(bad.String(), "FAIL") {
+		t.Errorf("String = %q", bad.String())
+	}
+}
+
+func TestResponsiveProblem(t *testing.T) {
+	mk := func(readDur, writeDur simtime.Duration) ta.Trace {
+		return ta.Trace{
+			{Action: ta.Action{Name: register.ActRead, Node: 0, Kind: ta.KindInput}, At: 0},
+			{Action: ta.Action{Name: register.ActReturn, Node: 0, Kind: ta.KindOutput, Payload: register.Initial}, At: simtime.Time(readDur)},
+			{Action: ta.Action{Name: register.ActWrite, Node: 1, Kind: ta.KindInput, Payload: register.Value{Writer: 1, Seq: 0}}, At: 100},
+			{Action: ta.Action{Name: register.ActAck, Node: 1, Kind: ta.KindOutput}, At: simtime.Time(100 + int64(writeDur))},
+		}
+	}
+	r := spec.Responsive{ReadBound: 10, WriteBound: 20}
+	if ok, _ := r.Holds(mk(10, 20)); !ok {
+		t.Error("exact bounds rejected")
+	}
+	if ok, reason := r.Holds(mk(11, 20)); ok {
+		t.Error("slow read accepted")
+	} else if reason == "" {
+		t.Error("no reason given")
+	}
+	if ok, _ := r.Holds(mk(10, 21)); ok {
+		t.Error("slow write accepted")
+	}
+	// P_ε: durations relax by 2ε.
+	if ok, _ := r.HoldsEps(mk(14, 24), 2); !ok {
+		t.Error("bound+2ε rejected under P_ε")
+	}
+	if ok, _ := r.HoldsEps(mk(15, 20), 2); ok {
+		t.Error("bound+2ε+1 accepted under P_ε")
+	}
+	if r.Name() == "" {
+		t.Error("empty name")
+	}
+	// Malformed trace reported.
+	bad := ta.Trace{{Action: ta.Action{Name: register.ActAck, Node: 0, Kind: ta.KindOutput}, At: 1}}
+	if ok, _ := r.Holds(bad); ok {
+		t.Error("malformed trace accepted")
+	}
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is one (x, y) sample of a figure series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one labeled line of a figure.
+type Series struct {
+	Name   string
+	Marker rune
+	Points []Point
+}
+
+// Chart renders an ASCII scatter of the series over shared axes: the
+// "figure" renderer of the experiment harness. Width and height count the
+// plot area; axes and labels are added around it.
+func Chart(title, xlabel, ylabel string, series []Series, width, height int) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	n := 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+			n++
+		}
+	}
+	if n == 0 {
+		return title + ": (no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = make([]rune, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	col := func(x float64) int {
+		c := int((x - minX) / (maxX - minX) * float64(width-1))
+		return clampInt(c, 0, width-1)
+	}
+	row := func(y float64) int {
+		r := int((y - minY) / (maxY - minY) * float64(height-1))
+		return clampInt(height-1-r, 0, height-1)
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			r, c := row(p.Y), col(p.X)
+			if grid[r][c] != ' ' && grid[r][c] != s.Marker {
+				grid[r][c] = '#'
+			} else {
+				grid[r][c] = s.Marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	yHi := fmt.Sprintf("%.3g", maxY)
+	yLo := fmt.Sprintf("%.3g", minY)
+	pad := len(yHi)
+	if len(yLo) > pad {
+		pad = len(yLo)
+	}
+	for i, line := range grid {
+		label := strings.Repeat(" ", pad)
+		if i == 0 {
+			label = fmt.Sprintf("%*s", pad, yHi)
+		}
+		if i == height-1 {
+			label = fmt.Sprintf("%*s", pad, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	xLo := fmt.Sprintf("%.3g", minX)
+	xHi := fmt.Sprintf("%.3g", maxX)
+	gap := width - len(xLo) - len(xHi)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s   (x: %s, y: %s)\n",
+		strings.Repeat(" ", pad), xLo, strings.Repeat(" ", gap), xHi, xlabel, ylabel)
+	legend := make([]string, 0, len(series))
+	for _, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.Marker, s.Name))
+	}
+	fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", pad), strings.Join(legend, "  "))
+	return b.String()
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+// Timeline renders a per-node ASCII lane chart of a trace: one lane per
+// node, time flowing left to right, each visible action marked by the
+// first rune of its name (collisions at one cell render '*'). It is the
+// quick-look tool behind pscsim's -timeline flag.
+func Timeline(tr ta.Trace, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	vis := tr.Visible()
+	if len(vis) == 0 {
+		return "(empty trace)\n"
+	}
+	nodes := vis.Nodes()
+	span := vis.LTime()
+	if span == 0 {
+		span = 1
+	}
+	col := func(at simtime.Time) int {
+		c := int(int64(at) * int64(width-1) / int64(span))
+		if c < 0 {
+			c = 0
+		}
+		if c > width-1 {
+			c = width - 1
+		}
+		return c
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "0s%s%v\n", strings.Repeat(" ", max(1, width-len("0s")-len(span.String()))), simtime.Duration(span))
+	legend := make(map[rune]map[string]bool)
+	for _, n := range nodes {
+		lane := make([]rune, width)
+		for i := range lane {
+			lane[i] = '-'
+		}
+		for _, e := range vis.AtNode(n) {
+			c := col(e.At)
+			marker := firstRune(e.Action.Name)
+			if lane[c] != '-' && lane[c] != marker {
+				marker = '*'
+			}
+			lane[c] = marker
+			if marker != '*' {
+				if legend[marker] == nil {
+					legend[marker] = make(map[string]bool)
+				}
+				legend[marker][e.Action.Name] = true
+			}
+		}
+		fmt.Fprintf(&b, "%-4s %s\n", n.String(), string(lane))
+	}
+	// Legend, sorted by marker.
+	marks := make([]rune, 0, len(legend))
+	for m := range legend {
+		marks = append(marks, m)
+	}
+	sort.Slice(marks, func(i, j int) bool { return marks[i] < marks[j] })
+	if len(marks) > 0 {
+		b.WriteString("legend: ")
+		parts := make([]string, 0, len(marks)+1)
+		for _, m := range marks {
+			names := make([]string, 0, len(legend[m]))
+			for n := range legend[m] {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			parts = append(parts, fmt.Sprintf("%c=%s", m, strings.Join(names, "/")))
+		}
+		parts = append(parts, "*=overlap")
+		b.WriteString(strings.Join(parts, "  "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func firstRune(s string) rune {
+	for _, r := range s {
+		return r
+	}
+	return '?'
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

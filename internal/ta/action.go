@@ -1,0 +1,153 @@
+// Package ta defines the executable timed-automaton vocabulary shared by
+// every model in the library: actions, node identities, timed traces and
+// schedules, the component interface driven by the executor, and checkers
+// for the paper's trajectory axioms (S1–S5 of §2.1).
+//
+// The paper's timed automata are mathematical transition relations; this
+// package fixes an operational sub-case sufficient to express every
+// automaton the paper writes down (the edge automaton of Figure 1, the
+// buffers of Figure 2, the register automaton of Figure 3, and the MMT
+// wrapper of Definition 5.1): components react to delivered input actions
+// and fire locally controlled actions at self-chosen deadlines, which is
+// exactly the precondition/effect + bounded-time-passage (ν/mintime) idiom
+// the paper uses.
+package ta
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// NodeID identifies a node v_i of the distributed system's graph (V, E).
+type NodeID int
+
+// NoNode marks actions with no peer endpoint (non-message actions).
+const NoNode NodeID = -1
+
+// String renders the node as "n<i>".
+func (id NodeID) String() string {
+	if id == NoNode {
+		return "n-"
+	}
+	return "n" + strconv.Itoa(int(id))
+}
+
+// Kind classifies an action within the composed system's signature.
+// Following the Uber style guide, the enum starts at 1 so the zero value is
+// detectably invalid.
+type Kind int
+
+// Action kinds.
+const (
+	// KindInput is an action controlled by the environment (e.g. READ).
+	KindInput Kind = iota + 1
+	// KindOutput is an action controlled by a component and visible to the
+	// environment (e.g. RETURN), unless hidden by the system composition.
+	KindOutput
+	// KindInternal is controlled by a component and never visible.
+	KindInternal
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindInput:
+		return "input"
+	case KindOutput:
+		return "output"
+	case KindInternal:
+		return "internal"
+	default:
+		return "kind(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// Standard action names used across the library. The names mirror the
+// paper's: SENDMSG/RECVMSG form the node↔network interface of §3.1, the
+// E-prefixed forms are the clock-model edge interface of §4.1, TICK is the
+// clock report of §5.2.
+const (
+	NameSendMsg  = "SENDMSG"
+	NameRecvMsg  = "RECVMSG"
+	NameESendMsg = "ESENDMSG"
+	NameERecvMsg = "ERECVMSG"
+	NameTick     = "TICK"
+)
+
+// Action is a single labeled transition of the composed system. Two actions
+// are "the same action" for the purposes of the trace relations of §2.3 iff
+// their Labels are equal.
+type Action struct {
+	// Name is the action's family, e.g. "READ" or SENDMSG.
+	Name string
+	// Node is the node whose partition class the action belongs to
+	// (Definition 2.10 associates actions with nodes). For message actions
+	// this is the node performing the send or receive.
+	Node NodeID
+	// Peer is the other endpoint for message actions, NoNode otherwise.
+	Peer NodeID
+	// Kind classifies the action in the composed system.
+	Kind Kind
+	// Payload carries values: the message, the operation value, the clock
+	// reading, etc. It must have a stable fmt representation, since labels
+	// are compared textually.
+	Payload any
+}
+
+// Label returns the canonical identity of the action, used for equality in
+// the trace relations of §2.3.
+func (a Action) Label() string {
+	var b strings.Builder
+	b.Grow(32)
+	b.WriteString(a.Name)
+	b.WriteByte('@')
+	b.WriteString(a.Node.String())
+	if a.Peer != NoNode {
+		b.WriteString("->")
+		b.WriteString(a.Peer.String())
+	}
+	if a.Payload != nil {
+		fmt.Fprintf(&b, "(%v)", a.Payload)
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer.
+func (a Action) String() string { return a.Label() }
+
+// IsMessage reports whether the action belongs to the node↔network or
+// network↔node interface.
+func (a Action) IsMessage() bool {
+	switch a.Name {
+	case NameSendMsg, NameRecvMsg, NameESendMsg, NameERecvMsg:
+		return true
+	}
+	return false
+}
+
+// Msg is the payload of SENDMSG/RECVMSG actions: an opaque message body.
+// The paper assumes each message sent is unique within an execution (§3);
+// workloads guarantee this by construction.
+type Msg struct {
+	// Body is the algorithm-level message.
+	Body any
+}
+
+// String implements fmt.Stringer.
+func (m Msg) String() string { return fmt.Sprintf("%v", m.Body) }
+
+// TaggedMsg is the payload of ESENDMSG/ERECVMSG actions in the clock model:
+// the message together with the sender's clock reading c, as produced by
+// the send buffer S_ij,ε (§4.2.1).
+type TaggedMsg struct {
+	// Body is the algorithm-level message.
+	Body any
+	// SentClock is the sender's clock value at the SENDMSG action.
+	SentClock Time
+}
+
+// String implements fmt.Stringer.
+func (m TaggedMsg) String() string {
+	return fmt.Sprintf("%v#c=%v", m.Body, m.SentClock)
+}

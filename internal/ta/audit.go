@@ -1,0 +1,106 @@
+package ta
+
+import (
+	"fmt"
+
+	"psclock/internal/simtime"
+)
+
+// Auditor wraps an automaton and checks, at runtime, the operational
+// contracts that make a component a legitimate executable timed automaton
+// — the testable faces of the §2.1 axioms:
+//
+//   - monotone interaction times: the executor never calls Deliver or Fire
+//     with a time earlier than a previous call's (S2/S3: non-time-passage
+//     actions leave now unchanged and ν only increases it);
+//   - no firing before the declared deadline: Fire may return actions only
+//     when the component's most recent Due permitted it (the ν
+//     precondition discipline);
+//   - Deliver and Fire must not return input actions (locally controlled
+//     actions are outputs or internals).
+//
+// Wrap any component with Audit in tests; Violations collects every
+// breach without disturbing the wrapped behavior.
+type Auditor struct {
+	inner Automaton
+
+	last    simtime.Time
+	lastDue simtime.Time
+	dueSet  bool
+
+	// Violations lists contract breaches in occurrence order.
+	Violations []string
+}
+
+var _ Automaton = (*Auditor)(nil)
+
+// Audit wraps a for contract checking.
+func Audit(a Automaton) *Auditor {
+	return &Auditor{inner: a}
+}
+
+// Name implements Automaton.
+func (au *Auditor) Name() string { return au.inner.Name() }
+
+func (au *Auditor) violate(format string, args ...any) {
+	au.Violations = append(au.Violations, fmt.Sprintf("%s: ", au.Name())+fmt.Sprintf(format, args...))
+}
+
+func (au *Auditor) observe(now simtime.Time, what string) {
+	if now.Before(au.last) {
+		au.violate("%s at %v after interaction at %v (time went backwards)", what, now, au.last)
+	}
+	if now.After(au.last) {
+		au.last = now
+	}
+}
+
+func (au *Auditor) checkActs(now simtime.Time, what string, acts []Action) {
+	for _, a := range acts {
+		if a.Kind == KindInput {
+			au.violate("%s at %v returned an input action %v (locally controlled actions only)", what, now, a)
+		}
+	}
+}
+
+// Init implements Automaton.
+func (au *Auditor) Init() []Action {
+	acts := au.inner.Init()
+	au.checkActs(0, "Init", acts)
+	return acts
+}
+
+// Deliver implements Automaton.
+func (au *Auditor) Deliver(now simtime.Time, a Action) []Action {
+	au.observe(now, "Deliver")
+	acts := au.inner.Deliver(now, a)
+	au.checkActs(now, "Deliver", acts)
+	return acts
+}
+
+// Due implements Automaton.
+func (au *Auditor) Due(now simtime.Time) (simtime.Time, bool) {
+	due, ok := au.inner.Due(now)
+	au.lastDue, au.dueSet = due, ok
+	return due, ok
+}
+
+// Fire implements Automaton.
+func (au *Auditor) Fire(now simtime.Time) []Action {
+	au.observe(now, "Fire")
+	acts := au.inner.Fire(now)
+	if len(acts) > 0 && (!au.dueSet || now.Before(au.lastDue)) {
+		au.violate("Fire at %v produced %d actions before declared deadline (due=%v set=%v)",
+			now, len(acts), au.lastDue, au.dueSet)
+	}
+	au.checkActs(now, "Fire", acts)
+	return acts
+}
+
+// Err returns an error summarizing the violations, or nil.
+func (au *Auditor) Err() error {
+	if len(au.Violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("ta: %d contract violations, first: %s", len(au.Violations), au.Violations[0])
+}

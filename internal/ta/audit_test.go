@@ -1,0 +1,103 @@
+package ta
+
+import (
+	"strings"
+	"testing"
+
+	"psclock/internal/simtime"
+)
+
+// wellBehaved fires one OUT at its due time.
+type wellBehaved struct {
+	due   simtime.Time
+	fired bool
+}
+
+func (w *wellBehaved) Name() string                                { return "wb" }
+func (w *wellBehaved) Init() []Action                              { return nil }
+func (w *wellBehaved) Deliver(now simtime.Time, a Action) []Action { return nil }
+func (w *wellBehaved) Due(simtime.Time) (simtime.Time, bool) {
+	if w.fired {
+		return 0, false
+	}
+	return w.due, true
+}
+func (w *wellBehaved) Fire(now simtime.Time) []Action {
+	if now.Before(w.due) || w.fired {
+		return nil
+	}
+	w.fired = true
+	return []Action{{Name: "OUT", Node: 0, Peer: NoNode, Kind: KindOutput}}
+}
+
+func TestAuditorCleanRun(t *testing.T) {
+	au := Audit(&wellBehaved{due: 10})
+	au.Init()
+	au.Deliver(5, Action{Name: "IN", Node: 0, Kind: KindInput})
+	if due, ok := au.Due(5); !ok || due != 10 {
+		t.Fatalf("due = %v %v", due, ok)
+	}
+	if acts := au.Fire(10); len(acts) != 1 {
+		t.Fatalf("acts = %v", acts)
+	}
+	if err := au.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuditorDetectsTimeReversal(t *testing.T) {
+	au := Audit(&wellBehaved{due: 10})
+	au.Deliver(20, Action{Name: "IN", Kind: KindInput})
+	au.Deliver(15, Action{Name: "IN", Kind: KindInput})
+	if err := au.Err(); err == nil {
+		t.Fatal("time reversal undetected")
+	}
+	if !strings.Contains(au.Violations[0], "backwards") {
+		t.Errorf("violation = %q", au.Violations[0])
+	}
+}
+
+// eagerFirer fires without ever declaring a deadline.
+type eagerFirer struct{ wellBehaved }
+
+func (e *eagerFirer) Due(simtime.Time) (simtime.Time, bool) { return 0, false }
+func (e *eagerFirer) Fire(now simtime.Time) []Action {
+	return []Action{{Name: "OUT", Kind: KindOutput}}
+}
+
+func TestAuditorDetectsFireWithoutDue(t *testing.T) {
+	au := Audit(&eagerFirer{})
+	au.Due(0)
+	au.Fire(5)
+	if err := au.Err(); err == nil {
+		t.Fatal("undeclared fire undetected")
+	}
+}
+
+// inputEmitter illegally returns an input action.
+type inputEmitter struct{ wellBehaved }
+
+func (ie *inputEmitter) Deliver(now simtime.Time, a Action) []Action {
+	return []Action{{Name: "BAD", Kind: KindInput}}
+}
+
+func TestAuditorDetectsInputEmission(t *testing.T) {
+	au := Audit(&inputEmitter{})
+	au.Deliver(1, Action{Name: "IN", Kind: KindInput})
+	if err := au.Err(); err == nil {
+		t.Fatal("input emission undetected")
+	}
+}
+
+func TestAuditorPassesThrough(t *testing.T) {
+	inner := &wellBehaved{due: 7}
+	au := Audit(inner)
+	if au.Name() != "wb" {
+		t.Error("name not forwarded")
+	}
+	au.Due(0)
+	au.Fire(7)
+	if !inner.fired {
+		t.Error("inner did not fire")
+	}
+}

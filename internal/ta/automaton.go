@@ -1,0 +1,48 @@
+package ta
+
+import (
+	"psclock/internal/simtime"
+)
+
+// Time and Duration alias the simulation time types so that automaton
+// signatures stay compact. They are type aliases, not new types: values
+// flow freely between packages.
+type (
+	Time     = simtime.Time
+	Duration = simtime.Duration
+)
+
+// Automaton is an executable timed (I/O) automaton, the unit the executor
+// composes. The executor drives a component as follows:
+//
+//   - Init is called once at time zero; returned actions are performed at 0.
+//   - Deliver presents an input action at the current time; any returned
+//     actions are locally controlled actions performed at the same instant
+//     (the zero-delay chains of Figure 2, e.g. the send buffer's ESENDMSG
+//     whose precondition "c = clock" forbids time passing first).
+//   - Due reports the next instant at which the automaton has a locally
+//     controlled action that time may not pass over: the ν precondition.
+//     The composed system's time-passage steps advance now to the minimum
+//     Due over all components (axioms S3–S5 hold by construction: time
+//     advances by positive, arbitrarily divisible amounts).
+//   - Fire performs every locally controlled action enabled at now. The
+//     executor calls it whenever now reaches the component's Due time and
+//     also repolls after same-time deliveries.
+//
+// Implementations must be deterministic given their construction-time seed;
+// all nondeterminism of the paper's models (message delays, clock behavior,
+// step times) is resolved by injected, seeded policies.
+type Automaton interface {
+	// Name identifies the component, e.g. "edge(n0->n1)".
+	Name() string
+	// Init performs the component's time-zero activity.
+	Init() []Action
+	// Deliver handles an input action at time now, returning any locally
+	// controlled actions performed at the same instant.
+	Deliver(now Time, a Action) []Action
+	// Due returns the next deadline, or ok=false when the component places
+	// no constraint on time passage.
+	Due(now Time) (Time, bool)
+	// Fire performs the locally controlled actions enabled at now.
+	Fire(now Time) []Action
+}

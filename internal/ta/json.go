@@ -1,0 +1,73 @@
+package ta
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Trace serialization: a line-oriented JSON form for dumping recorded
+// executions to disk and inspecting them with cmd/psctrace. Payloads are
+// serialized as their display strings (labels are what the trace relations
+// compare), so a round trip preserves labels and times but not payload
+// types — inspection-grade, not resume-grade.
+
+type jsonEvent struct {
+	Name    string `json:"name"`
+	Node    int    `json:"node"`
+	Peer    int    `json:"peer"`
+	Kind    int    `json:"kind"`
+	Payload string `json:"payload,omitempty"`
+	At      int64  `json:"at"`
+	Src     string `json:"src,omitempty"`
+	Seq     int    `json:"seq"`
+}
+
+// WriteJSON writes the trace as one JSON object per line.
+func (tr Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range tr {
+		je := jsonEvent{
+			Name: e.Action.Name,
+			Node: int(e.Action.Node),
+			Peer: int(e.Action.Peer),
+			Kind: int(e.Action.Kind),
+			At:   int64(e.At),
+			Src:  e.Src,
+			Seq:  e.Seq,
+		}
+		if e.Action.Payload != nil {
+			je.Payload = fmt.Sprintf("%v", e.Action.Payload)
+		}
+		if err := enc.Encode(je); err != nil {
+			return fmt.Errorf("ta: encoding event %d: %w", e.Seq, err)
+		}
+	}
+	return nil
+}
+
+// ReadTraceJSON reads a trace written by WriteJSON. Payloads come back as
+// strings.
+func ReadTraceJSON(r io.Reader) (Trace, error) {
+	dec := json.NewDecoder(r)
+	var tr Trace
+	for i := 0; ; i++ {
+		var je jsonEvent
+		if err := dec.Decode(&je); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("ta: decoding event %d: %w", i, err)
+		}
+		a := Action{
+			Name: je.Name,
+			Node: NodeID(je.Node),
+			Peer: NodeID(je.Peer),
+			Kind: Kind(je.Kind),
+		}
+		if je.Payload != "" {
+			a.Payload = je.Payload
+		}
+		tr = append(tr, Event{Action: a, At: Time(je.At), Src: je.Src, Seq: je.Seq})
+	}
+	return tr, nil
+}

@@ -1,0 +1,49 @@
+package ta
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	orig := mkTrace()
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("len %d vs %d", len(got), len(orig))
+	}
+	for i := range orig {
+		// Labels and times survive the round trip (payloads become their
+		// display strings, which label comparison is defined over).
+		if got[i].Action.Label() != orig[i].Action.Label() {
+			t.Errorf("event %d label %q vs %q", i, got[i].Action.Label(), orig[i].Action.Label())
+		}
+		if got[i].At != orig[i].At || got[i].Action.Kind != orig[i].Action.Kind {
+			t.Errorf("event %d metadata mismatch", i)
+		}
+	}
+}
+
+func TestTraceJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Trace{}).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceJSON(&buf)
+	if err != nil || len(got) != 0 {
+		t.Errorf("got %v, %v", got, err)
+	}
+}
+
+func TestReadTraceJSONBadInput(t *testing.T) {
+	if _, err := ReadTraceJSON(strings.NewReader("not json")); err == nil {
+		t.Error("bad input accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package ta
+
+import "psclock/internal/simtime"
+
+// Renamed applies the renaming operator of §2.1 to an executable
+// automaton: inbound actions are translated before delivery, and the
+// automaton's locally controlled actions are translated after production.
+// The clock-model edge interface (SENDMSG ↦ ESENDMSG, RECVMSG ↦ ERECVMSG,
+// §4.1) is an instance of this operator; Renamed makes it available for
+// ad-hoc compositions and tests.
+type Renamed struct {
+	inner Automaton
+	name  string
+	in    func(Action) (Action, bool)
+	out   func(Action) Action
+}
+
+var _ Automaton = (*Renamed)(nil)
+
+// Rename wraps inner under a new component name. in translates inbound
+// actions (returning ok=false drops the action: it is not in the renamed
+// signature); out translates produced actions. Either may be nil for the
+// identity.
+func Rename(inner Automaton, name string, in func(Action) (Action, bool), out func(Action) Action) *Renamed {
+	if in == nil {
+		in = func(a Action) (Action, bool) { return a, true }
+	}
+	if out == nil {
+		out = func(a Action) Action { return a }
+	}
+	return &Renamed{inner: inner, name: name, in: in, out: out}
+}
+
+// Name implements Automaton.
+func (r *Renamed) Name() string { return r.name }
+
+func (r *Renamed) mapOut(acts []Action) []Action {
+	for i := range acts {
+		acts[i] = r.out(acts[i])
+	}
+	return acts
+}
+
+// Init implements Automaton.
+func (r *Renamed) Init() []Action { return r.mapOut(r.inner.Init()) }
+
+// Deliver implements Automaton.
+func (r *Renamed) Deliver(now simtime.Time, a Action) []Action {
+	in, ok := r.in(a)
+	if !ok {
+		return nil
+	}
+	return r.mapOut(r.inner.Deliver(now, in))
+}
+
+// Due implements Automaton.
+func (r *Renamed) Due(now simtime.Time) (simtime.Time, bool) { return r.inner.Due(now) }
+
+// Fire implements Automaton.
+func (r *Renamed) Fire(now simtime.Time) []Action { return r.mapOut(r.inner.Fire(now)) }

@@ -1,0 +1,50 @@
+package ta
+
+import (
+	"testing"
+)
+
+func TestRenameTranslatesBothWays(t *testing.T) {
+	inner := &wellBehaved{due: 10}
+	r := Rename(inner, "renamed",
+		func(a Action) (Action, bool) {
+			if a.Name != "PING2" {
+				return a, false
+			}
+			a.Name = "PING"
+			return a, true
+		},
+		func(a Action) Action {
+			a.Name = "E" + a.Name
+			return a
+		})
+	if r.Name() != "renamed" {
+		t.Errorf("Name = %q", r.Name())
+	}
+	// Inbound translation: PING2 reaches the inner as PING; others drop.
+	if out := r.Deliver(1, Action{Name: "OTHER", Kind: KindInput}); out != nil {
+		t.Error("unrenamed input delivered")
+	}
+	r.Deliver(1, Action{Name: "PING2", Kind: KindInput})
+	// Outbound translation: OUT becomes EOUT.
+	if due, ok := r.Due(5); !ok || due != 10 {
+		t.Fatalf("due = %v %v", due, ok)
+	}
+	acts := r.Fire(10)
+	if len(acts) != 1 || acts[0].Name != "EOUT" {
+		t.Fatalf("acts = %v", acts)
+	}
+}
+
+func TestRenameIdentityDefaults(t *testing.T) {
+	inner := &wellBehaved{due: 3}
+	r := Rename(inner, "id", nil, nil)
+	r.Deliver(0, Action{Name: "X", Kind: KindInput})
+	acts := r.Fire(3)
+	if len(acts) != 1 || acts[0].Name != "OUT" {
+		t.Fatalf("acts = %v", acts)
+	}
+	if len(r.Init()) != 0 {
+		t.Error("Init not forwarded")
+	}
+}

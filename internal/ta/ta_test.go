@@ -1,0 +1,179 @@
+package ta
+
+import (
+	"strings"
+	"testing"
+
+	"psclock/internal/simtime"
+)
+
+func TestNodeIDString(t *testing.T) {
+	if got := NodeID(3).String(); got != "n3" {
+		t.Errorf("String = %q", got)
+	}
+	if got := NoNode.String(); got != "n-" {
+		t.Errorf("NoNode String = %q", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindInput:    "input",
+		KindOutput:   "output",
+		KindInternal: "internal",
+		Kind(0):      "kind(0)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestActionLabel(t *testing.T) {
+	a := Action{Name: "READ", Node: 2, Peer: NoNode, Kind: KindInput}
+	if got := a.Label(); got != "READ@n2" {
+		t.Errorf("Label = %q", got)
+	}
+	b := Action{Name: NameSendMsg, Node: 0, Peer: 1, Kind: KindOutput, Payload: Msg{Body: "x"}}
+	if got := b.Label(); got != "SENDMSG@n0->n1(x)" {
+		t.Errorf("Label = %q", got)
+	}
+	c := Action{Name: "RETURN", Node: 1, Peer: NoNode, Kind: KindOutput, Payload: 42}
+	if got := c.Label(); got != "RETURN@n1(42)" {
+		t.Errorf("Label = %q", got)
+	}
+}
+
+func TestActionLabelDistinguishes(t *testing.T) {
+	base := Action{Name: "X", Node: 1, Peer: 2, Payload: "p"}
+	variants := []Action{
+		{Name: "Y", Node: 1, Peer: 2, Payload: "p"},
+		{Name: "X", Node: 3, Peer: 2, Payload: "p"},
+		{Name: "X", Node: 1, Peer: 3, Payload: "p"},
+		{Name: "X", Node: 1, Peer: 2, Payload: "q"},
+	}
+	for _, v := range variants {
+		if v.Label() == base.Label() {
+			t.Errorf("labels collide: %v vs %v", base, v)
+		}
+	}
+}
+
+func TestActionIsMessage(t *testing.T) {
+	for _, name := range []string{NameSendMsg, NameRecvMsg, NameESendMsg, NameERecvMsg} {
+		if !(Action{Name: name}).IsMessage() {
+			t.Errorf("%s not recognized as message", name)
+		}
+	}
+	if (Action{Name: "READ"}).IsMessage() {
+		t.Error("READ recognized as message")
+	}
+}
+
+func TestTaggedMsgString(t *testing.T) {
+	m := TaggedMsg{Body: "hello", SentClock: simtime.Time(3 * simtime.Millisecond)}
+	if got := m.String(); got != "hello#c=3ms" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func mkTrace() Trace {
+	return Trace{
+		{Action: Action{Name: "READ", Node: 0, Peer: NoNode, Kind: KindInput}, At: 0, Seq: 0},
+		{Action: Action{Name: NameSendMsg, Node: 0, Peer: 1, Kind: KindInternal, Payload: Msg{"m1"}}, At: 10, Seq: 1},
+		{Action: Action{Name: NameRecvMsg, Node: 1, Peer: 0, Kind: KindInternal, Payload: Msg{"m1"}}, At: 25, Seq: 2},
+		{Action: Action{Name: "RETURN", Node: 0, Peer: NoNode, Kind: KindOutput, Payload: 7}, At: 30, Seq: 3},
+	}
+}
+
+func TestTraceFilters(t *testing.T) {
+	tr := mkTrace()
+	if got := len(tr.Visible()); got != 2 {
+		t.Errorf("Visible len = %d, want 2", got)
+	}
+	if got := len(tr.AtNode(0)); got != 3 {
+		t.Errorf("AtNode(0) len = %d, want 3", got)
+	}
+	if got := len(tr.AtNode(1)); got != 1 {
+		t.Errorf("AtNode(1) len = %d, want 1", got)
+	}
+	if got := len(tr.Named("READ")); got != 1 {
+		t.Errorf("Named(READ) len = %d, want 1", got)
+	}
+}
+
+func TestTraceLabelsNodesLTime(t *testing.T) {
+	tr := mkTrace()
+	labels := tr.Labels()
+	if len(labels) != 4 || labels[0] != "READ@n0" {
+		t.Errorf("Labels = %v", labels)
+	}
+	nodes := tr.Nodes()
+	if len(nodes) != 2 || nodes[0] != 0 || nodes[1] != 1 {
+		t.Errorf("Nodes = %v", nodes)
+	}
+	if tr.LTime() != 30 {
+		t.Errorf("LTime = %v", tr.LTime())
+	}
+	if (Trace{}).LTime() != 0 {
+		t.Error("empty LTime != 0")
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	s := mkTrace().String()
+	if !strings.Contains(s, "READ@n0") || !strings.Contains(s, "RETURN@n0(7)") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestCheckWellFormed(t *testing.T) {
+	if err := mkTrace().CheckWellFormed(); err != nil {
+		t.Errorf("well-formed trace rejected: %v", err)
+	}
+	bad := Trace{
+		{Action: Action{Name: "A"}, At: 10},
+		{Action: Action{Name: "B"}, At: 5},
+	}
+	if err := bad.CheckWellFormed(); err == nil {
+		t.Error("decreasing times accepted")
+	}
+	neg := Trace{{Action: Action{Name: "A"}, At: -1}}
+	if err := neg.CheckWellFormed(); err == nil {
+		t.Error("negative time accepted")
+	}
+}
+
+func TestCheckUniqueMessages(t *testing.T) {
+	if err := mkTrace().CheckUniqueMessages(); err != nil {
+		t.Errorf("unique messages rejected: %v", err)
+	}
+	dup := Trace{
+		{Action: Action{Name: NameSendMsg, Node: 0, Peer: 1, Payload: Msg{"m"}}, At: 1},
+		{Action: Action{Name: NameSendMsg, Node: 0, Peer: 1, Payload: Msg{"m"}}, At: 2},
+	}
+	if err := dup.CheckUniqueMessages(); err == nil {
+		t.Error("duplicate sends accepted")
+	}
+}
+
+func TestMessageDelays(t *testing.T) {
+	tr := mkTrace()
+	delays, err := tr.MessageDelays(NameSendMsg, NameRecvMsg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delays) != 1 || delays[0] != 15 {
+		t.Errorf("delays = %v, want [15]", delays)
+	}
+}
+
+func TestMessageDelaysUnmatched(t *testing.T) {
+	orphan := Trace{
+		{Action: Action{Name: NameRecvMsg, Node: 1, Peer: 0, Payload: Msg{"ghost"}}, At: 5},
+	}
+	if _, err := orphan.MessageDelays(NameSendMsg, NameRecvMsg); err == nil {
+		t.Error("unmatched receive accepted")
+	}
+}

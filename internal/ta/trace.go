@@ -1,0 +1,172 @@
+package ta
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Event is one action-time pair (a, t) of a timed sequence (§2.1). Src
+// records which component performed the action (empty for environment
+// inputs), and Seq is the event's global index in the execution, used for
+// stable ordering among simultaneous events.
+type Event struct {
+	Action Action
+	At     Time
+	Src    string
+	Seq    int
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	return fmt.Sprintf("%v %s", e.At, e.Action.Label())
+}
+
+// Trace is a timed sequence over actions: the t-sched / t-trace objects of
+// §2.1, depending on which actions have been filtered out.
+type Trace []Event
+
+// Filter returns the subsequence of events whose action satisfies keep,
+// preserving order (the projection operator | of §2.1).
+func (tr Trace) Filter(keep func(Action) bool) Trace {
+	out := make(Trace, 0, len(tr))
+	for _, e := range tr {
+		if keep(e.Action) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Visible returns the subsequence of non-internal actions: the timed trace
+// of the execution.
+func (tr Trace) Visible() Trace {
+	return tr.Filter(func(a Action) bool { return a.Kind != KindInternal })
+}
+
+// AtNode returns the subsequence of actions partitioned at node id.
+func (tr Trace) AtNode(id NodeID) Trace {
+	return tr.Filter(func(a Action) bool { return a.Node == id })
+}
+
+// Named returns the subsequence of actions with the given name.
+func (tr Trace) Named(name string) Trace {
+	return tr.Filter(func(a Action) bool { return a.Name == name })
+}
+
+// Labels returns the label sequence of the trace.
+func (tr Trace) Labels() []string {
+	out := make([]string, len(tr))
+	for i, e := range tr {
+		out[i] = e.Action.Label()
+	}
+	return out
+}
+
+// Nodes returns the sorted set of nodes appearing in the trace.
+func (tr Trace) Nodes() []NodeID {
+	seen := make(map[NodeID]bool)
+	for _, e := range tr {
+		if e.Action.Node != NoNode {
+			seen[e.Action.Node] = true
+		}
+	}
+	out := make([]NodeID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LTime returns α.ltime: the supremum of event times (§2.1), or 0 for an
+// empty trace.
+func (tr Trace) LTime() Time {
+	var max Time
+	for _, e := range tr {
+		if e.At > max {
+			max = e.At
+		}
+	}
+	return max
+}
+
+// String renders one event per line.
+func (tr Trace) String() string {
+	var b strings.Builder
+	for _, e := range tr {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CheckWellFormed verifies the basic timed-sequence axioms on a recorded
+// trace: times are non-negative (S1: executions start at now = 0) and
+// non-decreasing (S2/S3: non-time-passage actions do not change now, and
+// time passage only increases it). It returns the first violation found.
+func (tr Trace) CheckWellFormed() error {
+	var prev Time
+	for i, e := range tr {
+		if e.At < 0 {
+			return fmt.Errorf("ta: event %d (%v) at negative time %v", i, e.Action, e.At)
+		}
+		if e.At < prev {
+			return fmt.Errorf("ta: event %d (%v) at %v precedes previous event at %v (time must be non-decreasing)",
+				i, e.Action, e.At, prev)
+		}
+		prev = e.At
+	}
+	return nil
+}
+
+// CheckUniqueMessages verifies the §3 assumption that every message sent in
+// an execution is unique, i.e. no two SENDMSG/ESENDMSG events carry the
+// same label.
+func (tr Trace) CheckUniqueMessages() error {
+	seen := make(map[string]int, len(tr))
+	for i, e := range tr {
+		if e.Action.Name != NameSendMsg && e.Action.Name != NameESendMsg {
+			continue
+		}
+		l := e.Action.Label()
+		if j, dup := seen[l]; dup {
+			return fmt.Errorf("ta: duplicate message send %q at events %d and %d", l, j, i)
+		}
+		seen[l] = i
+	}
+	return nil
+}
+
+// MessageDelays pairs each receive event with its send event (matched by
+// message body label) and returns the observed delays. The bool result of
+// the callback-free form: unmatched receives are reported as errors.
+// Delays are measured on the event times recorded in the trace, so applying
+// this to a clock-time-valued trace measures the "clock time used by a
+// message" of Lemma 4.5.
+func (tr Trace) MessageDelays(sendName, recvName string) ([]Duration, error) {
+	type key struct {
+		from, to NodeID
+		body     string
+	}
+	sends := make(map[key]Time)
+	var delays []Duration
+	for _, e := range tr {
+		switch e.Action.Name {
+		case sendName:
+			k := key{e.Action.Node, e.Action.Peer, fmt.Sprintf("%v", e.Action.Payload)}
+			sends[k] = e.At
+		case recvName:
+			// A receive at node i from peer j matches a send at node j to
+			// peer i with the same body.
+			k := key{e.Action.Peer, e.Action.Node, fmt.Sprintf("%v", e.Action.Payload)}
+			st, ok := sends[k]
+			if !ok {
+				return nil, fmt.Errorf("ta: receive %v has no matching send", e.Action)
+			}
+			delays = append(delays, e.At.Sub(st))
+			delete(sends, k)
+		}
+	}
+	return delays, nil
+}

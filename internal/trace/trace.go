@@ -1,0 +1,186 @@
+// Package trace implements the timed-sequence relations of §2.3 as
+// decision and measurement procedures:
+//
+//   - =_{ε,κ} (Definition 2.8): a label-preserving bijection that keeps
+//     the order of actions within each class of κ and moves no action by
+//     more than ε in time. The problems P_ε (Definition 2.11) are defined
+//     through it with κ = the per-node action partition.
+//
+//   - ≤_{δ,K} (Definition 2.9): actions outside every class keep their
+//     exact times and mutual order; actions within a class may shift up to
+//     δ into the future, keeping their order within the class. The
+//     problems P^δ (Definition 2.12) are defined through it with K = the
+//     per-node output sets.
+//
+// Classes must be label-derivable (the same label is always in the same
+// class), which holds for the paper's per-node partitions since labels
+// embed the node. Under that assumption a qualifying bijection exists iff
+// the positional per-class matching qualifies, so the procedures below are
+// exact decisions, and the Min variants return the smallest ε (resp. δ)
+// for which the traces are related.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+// Classifier assigns an action to a κ-class. ok=false means the action is
+// in no class (only meaningful for ≤_{δ,K}, where unclassified actions are
+// the ones that must match exactly).
+type Classifier func(ta.Action) (class string, ok bool)
+
+// ByNode is the κ of Theorem 4.7's statement: one class per node, covering
+// every action.
+func ByNode(a ta.Action) (string, bool) { return a.Node.String(), true }
+
+// OutputsByNode is the K of Definition 2.12: one class per node containing
+// its output actions; inputs are unclassified and must match exactly.
+func OutputsByNode(a ta.Action) (string, bool) {
+	if a.Kind == ta.KindOutput {
+		return a.Node.String(), true
+	}
+	return "", false
+}
+
+// group splits a trace into per-class subsequences (preserving order),
+// plus the unclassified subsequence.
+func group(tr ta.Trace, classOf Classifier) (map[string]ta.Trace, ta.Trace) {
+	classes := make(map[string]ta.Trace)
+	var rest ta.Trace
+	for _, e := range tr {
+		if cl, ok := classOf(e.Action); ok {
+			classes[cl] = append(classes[cl], e)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	return classes, rest
+}
+
+func classKeys(m1, m2 map[string]ta.Trace) []string {
+	seen := make(map[string]bool, len(m1)+len(m2))
+	for k := range m1 {
+		seen[k] = true
+	}
+	for k := range m2 {
+		seen[k] = true
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// matchClasses verifies the positional label matching per class and calls
+// visit for every matched pair.
+func matchClasses(c1, c2 map[string]ta.Trace, visit func(class string, e1, e2 ta.Event) error) error {
+	for _, cl := range classKeys(c1, c2) {
+		s1, s2 := c1[cl], c2[cl]
+		if len(s1) != len(s2) {
+			return fmt.Errorf("trace: class %s has %d vs %d actions", cl, len(s1), len(s2))
+		}
+		for i := range s1 {
+			if s1[i].Action.Label() != s2[i].Action.Label() {
+				return fmt.Errorf("trace: class %s position %d: %s vs %s",
+					cl, i, s1[i].Action.Label(), s2[i].Action.Label())
+			}
+			if err := visit(cl, s1[i], s2[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// MinEps returns the smallest ε for which a1 =_{ε,κ} a2 holds, with κ
+// given by classOf (which must classify every action). It returns an error
+// when no ε works (the traces are not related at all).
+func MinEps(a1, a2 ta.Trace, classOf Classifier) (simtime.Duration, error) {
+	c1, r1 := group(a1, classOf)
+	c2, r2 := group(a2, classOf)
+	if len(r1) != 0 || len(r2) != 0 {
+		return 0, fmt.Errorf("trace: =_ε requires κ to cover all actions; %d+%d unclassified", len(r1), len(r2))
+	}
+	var eps simtime.Duration
+	err := matchClasses(c1, c2, func(_ string, e1, e2 ta.Event) error {
+		if d := e2.At.Sub(e1.At).Abs(); d > eps {
+			eps = d
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return eps, nil
+}
+
+// EqEps reports whether a1 =_{ε,κ} a2.
+func EqEps(a1, a2 ta.Trace, eps simtime.Duration, classOf Classifier) (bool, error) {
+	need, err := MinEps(a1, a2, classOf)
+	if err != nil {
+		return false, err
+	}
+	return need <= eps, nil
+}
+
+// MinDelta returns the smallest δ for which a1 ≤_{δ,K} a2 holds, with K
+// given by classOf. Unclassified actions must occur at identical times and
+// in identical mutual order; classified actions may only move into the
+// future. It returns an error when no δ works.
+func MinDelta(a1, a2 ta.Trace, classOf Classifier) (simtime.Duration, error) {
+	c1, r1 := group(a1, classOf)
+	c2, r2 := group(a2, classOf)
+	if len(r1) != len(r2) {
+		return 0, fmt.Errorf("trace: %d vs %d unclassified actions", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i].Action.Label() != r2[i].Action.Label() {
+			return 0, fmt.Errorf("trace: unclassified position %d: %s vs %s",
+				i, r1[i].Action.Label(), r2[i].Action.Label())
+		}
+		if r1[i].At != r2[i].At {
+			return 0, fmt.Errorf("trace: unclassified action %s moved %v → %v",
+				r1[i].Action.Label(), r1[i].At, r2[i].At)
+		}
+	}
+	var delta simtime.Duration
+	err := matchClasses(c1, c2, func(_ string, e1, e2 ta.Event) error {
+		d := e2.At.Sub(e1.At)
+		if d < 0 {
+			return fmt.Errorf("trace: action %s moved %v into the past", e1.Action.Label(), -d)
+		}
+		if d > delta {
+			delta = d
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return delta, nil
+}
+
+// LeDelta reports whether a1 ≤_{δ,K} a2.
+func LeDelta(a1, a2 ta.Trace, delta simtime.Duration, classOf Classifier) (bool, error) {
+	need, err := MinDelta(a1, a2, classOf)
+	if err != nil {
+		return false, err
+	}
+	return need <= delta, nil
+}
+
+// SortByTime returns the trace stably reordered into non-decreasing time
+// order: the γ_α construction of Definition 4.2 (after the caller has
+// substituted clock times for real times in the events).
+func SortByTime(tr ta.Trace) ta.Trace {
+	out := make(ta.Trace, len(tr))
+	copy(out, tr)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}

@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+func ev(name string, node int, kind ta.Kind, at simtime.Time) ta.Event {
+	return ta.Event{Action: ta.Action{Name: name, Node: ta.NodeID(node), Peer: ta.NoNode, Kind: kind}, At: at}
+}
+
+func TestMinEpsIdentical(t *testing.T) {
+	a := ta.Trace{ev("A", 0, ta.KindInput, 10), ev("B", 1, ta.KindOutput, 20)}
+	eps, err := MinEps(a, a, ByNode)
+	if err != nil || eps != 0 {
+		t.Errorf("eps=%v err=%v", eps, err)
+	}
+}
+
+func TestMinEpsShifted(t *testing.T) {
+	a := ta.Trace{ev("A", 0, ta.KindInput, 10), ev("B", 1, ta.KindOutput, 20)}
+	b := ta.Trace{ev("A", 0, ta.KindInput, 13), ev("B", 1, ta.KindOutput, 15)}
+	eps, err := MinEps(a, b, ByNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps != 5 {
+		t.Errorf("eps = %v, want 5", eps)
+	}
+	if ok, _ := EqEps(a, b, 5, ByNode); !ok {
+		t.Error("EqEps(5) = false")
+	}
+	if ok, _ := EqEps(a, b, 4, ByNode); ok {
+		t.Error("EqEps(4) = true")
+	}
+}
+
+func TestEqEpsAllowsCrossNodeReorder(t *testing.T) {
+	// Actions at different nodes may swap order under =_ε (only per-class
+	// order is preserved).
+	a := ta.Trace{ev("A", 0, ta.KindInput, 10), ev("B", 1, ta.KindOutput, 11)}
+	b := ta.Trace{ev("B", 1, ta.KindOutput, 9), ev("A", 0, ta.KindInput, 12)}
+	eps, err := MinEps(a, b, ByNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps != 2 {
+		t.Errorf("eps = %v, want 2", eps)
+	}
+}
+
+func TestEqEpsRejectsSameNodeReorder(t *testing.T) {
+	a := ta.Trace{ev("A", 0, ta.KindInput, 10), ev("B", 0, ta.KindOutput, 11)}
+	b := ta.Trace{ev("B", 0, ta.KindOutput, 10), ev("A", 0, ta.KindInput, 11)}
+	if _, err := MinEps(a, b, ByNode); err == nil {
+		t.Error("same-node reorder accepted")
+	}
+}
+
+func TestEqEpsRejectsLabelMismatch(t *testing.T) {
+	a := ta.Trace{ev("A", 0, ta.KindInput, 10)}
+	b := ta.Trace{ev("C", 0, ta.KindInput, 10)}
+	if _, err := MinEps(a, b, ByNode); err == nil {
+		t.Error("label mismatch accepted")
+	}
+	c := ta.Trace{ev("A", 0, ta.KindInput, 10), ev("A", 0, ta.KindInput, 20)}
+	if _, err := MinEps(a, c, ByNode); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestMinDelta(t *testing.T) {
+	a := ta.Trace{
+		ev("READ", 0, ta.KindInput, 10),
+		ev("RETURN", 0, ta.KindOutput, 20),
+	}
+	b := ta.Trace{
+		ev("READ", 0, ta.KindInput, 10),
+		ev("RETURN", 0, ta.KindOutput, 27),
+	}
+	d, err := MinDelta(a, b, OutputsByNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 7 {
+		t.Errorf("delta = %v, want 7", d)
+	}
+	if ok, _ := LeDelta(a, b, 7, OutputsByNode); !ok {
+		t.Error("LeDelta(7) = false")
+	}
+	if ok, _ := LeDelta(a, b, 6, OutputsByNode); ok {
+		t.Error("LeDelta(6) = true")
+	}
+}
+
+func TestMinDeltaRejectsInputMove(t *testing.T) {
+	a := ta.Trace{ev("READ", 0, ta.KindInput, 10)}
+	b := ta.Trace{ev("READ", 0, ta.KindInput, 11)}
+	if _, err := MinDelta(a, b, OutputsByNode); err == nil {
+		t.Error("moved input accepted")
+	}
+}
+
+func TestMinDeltaRejectsPastShift(t *testing.T) {
+	a := ta.Trace{ev("RETURN", 0, ta.KindOutput, 20)}
+	b := ta.Trace{ev("RETURN", 0, ta.KindOutput, 15)}
+	if _, err := MinDelta(a, b, OutputsByNode); err == nil {
+		t.Error("past shift accepted")
+	}
+}
+
+func TestMinDeltaZeroForIdentical(t *testing.T) {
+	a := ta.Trace{
+		ev("READ", 0, ta.KindInput, 10),
+		ev("RETURN", 0, ta.KindOutput, 20),
+		ev("ACK", 1, ta.KindOutput, 30),
+	}
+	d, err := MinDelta(a, a, OutputsByNode)
+	if err != nil || d != 0 {
+		t.Errorf("delta=%v err=%v", d, err)
+	}
+}
+
+func TestSortByTime(t *testing.T) {
+	a := ta.Trace{
+		ev("C", 0, ta.KindInput, 30),
+		ev("A", 1, ta.KindInput, 10),
+		ev("B", 2, ta.KindInput, 10),
+	}
+	s := SortByTime(a)
+	got := strings.Join(s.Labels(), ",")
+	if got != "A@n1,B@n2,C@n0" {
+		t.Errorf("sorted = %s", got)
+	}
+	// Stability: A before B (same time, original order).
+	if s[0].Action.Name != "A" || s[1].Action.Name != "B" {
+		t.Error("stable order violated")
+	}
+	// Input unchanged.
+	if a[0].Action.Name != "C" {
+		t.Error("input mutated")
+	}
+}
+
+func TestClassifiers(t *testing.T) {
+	in := ta.Action{Name: "READ", Node: 2, Kind: ta.KindInput}
+	out := ta.Action{Name: "RETURN", Node: 2, Kind: ta.KindOutput}
+	if cl, ok := ByNode(in); !ok || cl != "n2" {
+		t.Errorf("ByNode = %v %v", cl, ok)
+	}
+	if _, ok := OutputsByNode(in); ok {
+		t.Error("input classified as output")
+	}
+	if cl, ok := OutputsByNode(out); !ok || cl != "n2" {
+		t.Errorf("OutputsByNode = %v %v", cl, ok)
+	}
+}
+
+// Property: shifting every event by a bounded per-event amount keeps
+// MinEps within the bound (per-node order preserved by construction:
+// events at one node keep their relative order when shifts are equal per
+// node).
+func TestMinEpsProperty(t *testing.T) {
+	f := func(shifts [4]int8) bool {
+		base := ta.Trace{
+			ev("A", 0, ta.KindInput, 100),
+			ev("B", 1, ta.KindOutput, 200),
+			ev("C", 2, ta.KindInput, 300),
+			ev("D", 3, ta.KindOutput, 400),
+		}
+		shifted := make(ta.Trace, len(base))
+		var want simtime.Duration
+		for i, e := range base {
+			d := simtime.Duration(shifts[i])
+			e.At = e.At.Add(d)
+			shifted[i] = e
+			if d.Abs() > want {
+				want = d.Abs()
+			}
+		}
+		got, err := MinEps(base, shifted, ByNode)
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

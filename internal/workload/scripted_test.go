@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"testing"
+
+	"psclock/internal/register"
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+func TestMakeScript(t *testing.T) {
+	s := MakeScript(5, simtime.Time(ms), 10*ms, 0.5, 3)
+	if len(s) != 5 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for i, op := range s {
+		want := simtime.Time(ms).Add(simtime.Duration(i) * 10 * ms)
+		if op.At != want {
+			t.Errorf("op %d at %v, want %v", i, op.At, want)
+		}
+	}
+	// Deterministic.
+	s2 := MakeScript(5, simtime.Time(ms), 10*ms, 0.5, 3)
+	for i := range s {
+		if s[i] != s2[i] {
+			t.Fatal("script not deterministic")
+		}
+	}
+	// Ratio extremes.
+	for _, op := range MakeScript(10, 0, ms, 0, 1) {
+		if op.Write {
+			t.Fatal("write with ratio 0")
+		}
+	}
+	for _, op := range MakeScript(10, 0, ms, 1, 1) {
+		if !op.Write {
+			t.Fatal("read with ratio 1")
+		}
+	}
+}
+
+func TestScriptedClientEndToEnd(t *testing.T) {
+	net := buildNet(9)
+	scripts := make([][]ScriptOp, 3)
+	for i := range scripts {
+		// Spacing far above worst-case latency (≈3ms).
+		scripts[i] = MakeScript(4, simtime.Time(i)*simtime.Time(ms), 20*ms, 0.5, int64(i)+1)
+	}
+	clients := AttachScripted(net, scripts)
+	if _, err := net.Sys.RunQuiet(simtime.Time(simtime.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range clients {
+		if c.Err != nil {
+			t.Fatal(c.Err)
+		}
+		if c.Done != 4 {
+			t.Errorf("%s done = %d", c.Name(), c.Done)
+		}
+	}
+	ops, err := register.History(net.Sys.Trace().Visible())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 12 {
+		t.Errorf("ops = %d", len(ops))
+	}
+	// Fixed schedule: invocations at exactly the scripted times.
+	invs := map[ta.NodeID][]simtime.Time{}
+	for _, o := range ops {
+		invs[o.Node] = append(invs[o.Node], o.Inv)
+	}
+	for i, script := range scripts {
+		for j, op := range script {
+			if invs[ta.NodeID(i)][j] != op.At {
+				t.Errorf("node %d op %d at %v, want %v", i, j, invs[ta.NodeID(i)][j], op.At)
+			}
+		}
+	}
+}
+
+func TestScriptedClientTooTightSpacing(t *testing.T) {
+	net := buildNet(10)
+	// 10µs spacing is far below the ~3ms operation latency: the client
+	// must record the violation rather than break alternation.
+	scripts := [][]ScriptOp{
+		MakeScript(3, 0, 10*us, 1, 1),
+		nil, nil,
+	}
+	clients := AttachScripted(net, scripts)
+	if _, err := net.Sys.RunQuiet(simtime.Time(simtime.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if clients[0].Err == nil {
+		t.Fatal("tight spacing not reported")
+	}
+	// The history remains alternation-clean.
+	if _, err := register.History(net.Sys.Trace().Visible()); err != nil {
+		t.Fatalf("alternation broken: %v", err)
+	}
+}
+
+func TestScriptedClientIgnoresForeign(t *testing.T) {
+	c := NewScripted(0, MakeScript(1, 0, ms, 0, 1))
+	c.Init()
+	if out := c.Deliver(0, ta.Action{Name: register.ActReturn, Node: 1, Kind: ta.KindOutput}); out != nil {
+		t.Error("foreign response handled")
+	}
+	if _, ok := c.Due(0); !ok {
+		t.Error("no due for scheduled op")
+	}
+	if out := c.Fire(0); len(out) != 1 {
+		t.Errorf("fire = %v", out)
+	}
+	if _, ok := c.Due(0); ok {
+		t.Error("due after script exhausted")
+	}
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"testing"
+
+	"psclock/internal/core"
+	"psclock/internal/linearize"
+	"psclock/internal/register"
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+const (
+	ms = simtime.Millisecond
+	us = simtime.Microsecond
+)
+
+func buildNet(seed int64) *core.Net {
+	bounds := simtime.NewInterval(1*ms, 3*ms)
+	p := register.Params{C: 200 * us, Delta: 10 * us, D2: bounds.Hi, Epsilon: 0}
+	return core.BuildTimed(core.Config{N: 3, Bounds: bounds, Seed: seed},
+		register.Factory(register.NewL, p))
+}
+
+func TestClientsCompleteAllOps(t *testing.T) {
+	net := buildNet(1)
+	clients := Attach(net, Config{
+		Ops:        20,
+		Think:      simtime.NewInterval(100*us, ms),
+		WriteRatio: 0.5,
+		Seed:       9,
+		Stagger:    200 * us,
+	})
+	if len(clients) != 3 {
+		t.Fatalf("clients = %d", len(clients))
+	}
+	quiet, err := net.Sys.RunQuiet(simtime.Time(10 * simtime.Second))
+	if err != nil || !quiet {
+		t.Fatalf("quiet=%v err=%v", quiet, err)
+	}
+	for _, c := range clients {
+		if c.Done != 20 {
+			t.Errorf("%s done=%d", c.Name(), c.Done)
+		}
+	}
+	ops, err := register.History(net.Sys.Trace().Visible())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 60 {
+		t.Errorf("history ops = %d, want 60", len(ops))
+	}
+	for _, o := range ops {
+		if o.Pending() {
+			t.Errorf("pending op %v after quiescence", o)
+		}
+	}
+}
+
+func TestClientAlternation(t *testing.T) {
+	// The closed loop must never have two outstanding ops at a node: the
+	// History extractor would reject that.
+	net := buildNet(2)
+	Attach(net, Config{Ops: 30, Think: simtime.NewInterval(0, 0), WriteRatio: 0.3, Seed: 4})
+	if _, err := net.Sys.RunQuiet(simtime.Time(10 * simtime.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := register.History(net.Sys.Trace().Visible()); err != nil {
+		t.Fatalf("alternation violated: %v", err)
+	}
+}
+
+func TestUniqueWrittenValues(t *testing.T) {
+	net := buildNet(3)
+	Attach(net, Config{Ops: 25, Think: simtime.NewInterval(0, 500*us), WriteRatio: 1.0, Seed: 5})
+	if _, err := net.Sys.RunQuiet(simtime.Time(10 * simtime.Second)); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := register.History(net.Sys.Trace().Visible())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, o := range ops {
+		if o.Kind != linearize.Write {
+			continue
+		}
+		if seen[o.Value] {
+			t.Fatalf("value %s written twice", o.Value)
+		}
+		seen[o.Value] = true
+	}
+	if len(seen) != 75 {
+		t.Errorf("distinct written values = %d, want 75", len(seen))
+	}
+}
+
+func TestWriteRatioExtremes(t *testing.T) {
+	for _, ratio := range []float64{0, 1} {
+		net := buildNet(4)
+		Attach(net, Config{Ops: 10, Think: simtime.NewInterval(0, 100*us), WriteRatio: ratio, Seed: 6})
+		if _, err := net.Sys.RunQuiet(simtime.Time(10 * simtime.Second)); err != nil {
+			t.Fatal(err)
+		}
+		ops, err := register.History(net.Sys.Trace().Visible())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range ops {
+			if ratio == 0 && o.Kind == linearize.Write {
+				t.Fatal("write with ratio 0")
+			}
+			if ratio == 1 && o.Kind == linearize.Read {
+				t.Fatal("read with ratio 1")
+			}
+		}
+	}
+}
+
+func TestClientDeterminism(t *testing.T) {
+	run := func() int {
+		net := buildNet(7)
+		Attach(net, Config{Ops: 15, Think: simtime.NewInterval(0, ms), WriteRatio: 0.5, Seed: 11})
+		if _, err := net.Sys.RunQuiet(simtime.Time(10 * simtime.Second)); err != nil {
+			t.Fatal(err)
+		}
+		return len(net.Sys.Trace())
+	}
+	if run() != run() {
+		t.Error("client schedule not deterministic")
+	}
+}
+
+func TestClientIgnoresForeignResponses(t *testing.T) {
+	c := NewClient(0, Config{Ops: 1, Think: simtime.NewInterval(0, 0), Seed: 1})
+	c.Init()
+	if out := c.Deliver(0, ta.Action{Name: register.ActReturn, Node: 1, Kind: ta.KindOutput}); out != nil {
+		t.Error("foreign response handled")
+	}
+	if c.Done != 0 {
+		t.Error("foreign response counted")
+	}
+	// Unsolicited response at own node while not waiting: ignored.
+	c.Deliver(0, ta.Action{Name: register.ActAck, Node: 0, Kind: ta.KindOutput})
+	if c.Done != 0 {
+		t.Error("unsolicited response counted")
+	}
+}
+
+func TestClientStagger(t *testing.T) {
+	c := NewClient(3, Config{Ops: 1, Stagger: 2 * ms, Think: simtime.NewInterval(0, 0), Seed: 1})
+	c.Init()
+	due, ok := c.Due(0)
+	if !ok || due != simtime.Time(6*ms) {
+		t.Errorf("due = %v %v, want 6ms", due, ok)
+	}
+	// Fire before due is a no-op.
+	if out := c.Fire(0); out != nil {
+		t.Error("fired early")
+	}
+	out := c.Fire(due)
+	if len(out) != 1 || out[0].Kind != ta.KindInput {
+		t.Fatalf("out = %v", out)
+	}
+	// No more ops.
+	if _, ok := c.Due(due); ok {
+		t.Error("due while waiting")
+	}
+}

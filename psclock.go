@@ -1,0 +1,407 @@
+// Package psclock is a reproduction of "Designing Algorithms for
+// Distributed Systems with Partially Synchronized Clocks" (Chaudhuri,
+// Gawlick, Lynch; PODC 1993) as an executable Go library.
+//
+// The paper's pipeline, operational here end to end:
+//
+//  1. Write a distributed algorithm once against perfect real time — the
+//     timed-automaton programming model of §3 (the Algorithm interface).
+//  2. Run it unchanged in a system whose nodes only have ε-accurate
+//     clocks (BuildClocked): the §4 transformation C(A,ε) plus the send
+//     and receive buffers of Figure 2. Theorem 4.7: every property P the
+//     algorithm had still holds up to an ε perturbation of action times
+//     (P_ε), on links widened from [d1,d2] to [max(d1−2ε,0), d2+2ε].
+//  3. Run it in a system that additionally has finite step time ℓ and a
+//     clock visible only through discrete TICKs (BuildMMT): the §5
+//     transformation M(A^c,ε,ℓ). Theorems 5.1/5.2: outputs shift at most
+//     kℓ+2ε+3ℓ into the future.
+//
+// The paper's application (§6) is included: the linearizable read-write
+// register algorithms L and S, the ε-superlinearizability strengthening
+// that makes plain linearizability survive the clock model (Theorem 6.5),
+// and a reconstruction of the Mavronicolas [10] baseline they beat. A
+// complete linearizability checker, adversarial clock/delay/step models,
+// trace-relation deciders (=_{ε,κ}, ≤_{δ,K}), workload generators, and the
+// experiment harness regenerating every quantitative claim round out the
+// library.
+//
+// This package is a facade re-exporting the library's public surface; the
+// implementation lives in the internal packages (internal/core is the
+// paper's contribution; the rest are its substrates).
+package psclock
+
+import (
+	"psclock/internal/channel"
+	"psclock/internal/clock"
+	"psclock/internal/core"
+	"psclock/internal/detector"
+	"psclock/internal/exec"
+	"psclock/internal/linearize"
+	"psclock/internal/object"
+	"psclock/internal/register"
+	"psclock/internal/simtime"
+	"psclock/internal/spec"
+	"psclock/internal/stats"
+	"psclock/internal/ta"
+	"psclock/internal/trace"
+	"psclock/internal/workload"
+)
+
+// Simulated time.
+type (
+	// Time is an instant of simulated time (nanoseconds from the start).
+	Time = simtime.Time
+	// Duration is a span of simulated time.
+	Duration = simtime.Duration
+	// Interval is a closed duration range, e.g. link delay bounds [d1,d2].
+	Interval = simtime.Interval
+)
+
+// Re-exported duration units and sentinels.
+const (
+	Nanosecond  = simtime.Nanosecond
+	Microsecond = simtime.Microsecond
+	Millisecond = simtime.Millisecond
+	Second      = simtime.Second
+	Never       = simtime.Never
+)
+
+// NewInterval returns the closed interval [lo, hi].
+func NewInterval(lo, hi Duration) Interval { return simtime.NewInterval(lo, hi) }
+
+// ParseDuration parses "3us", "1.5ms", "2s".
+func ParseDuration(s string) (Duration, error) { return simtime.ParseDuration(s) }
+
+// Automaton vocabulary.
+type (
+	// NodeID identifies a node of the distributed system.
+	NodeID = ta.NodeID
+	// Action is one labeled transition of the composed system.
+	Action = ta.Action
+	// Event is an action-time pair of a recorded trace.
+	Event = ta.Event
+	// Trace is a timed sequence of events.
+	Trace = ta.Trace
+	// Automaton is an executable timed automaton component.
+	Automaton = ta.Automaton
+	// System is the discrete-event executor composing automata.
+	System = exec.System
+)
+
+// Algorithms and system models (the paper's contribution).
+type (
+	// Algorithm is a distributed algorithm written against perfect time
+	// (the §3 programming model).
+	Algorithm = core.Algorithm
+	// Context is the runtime an Algorithm callback sees.
+	Context = core.Context
+	// AlgorithmFactory builds each node's algorithm instance.
+	AlgorithmFactory = core.AlgorithmFactory
+	// SystemConfig describes the distributed system to build.
+	SystemConfig = core.Config
+	// Net is a built system with handles to its components.
+	Net = core.Net
+	// ClockStamp pairs an action with its real and clock times (γ'_α).
+	ClockStamp = core.ClockStamp
+	// EmittedStamp records an MMT node's output emission.
+	EmittedStamp = core.EmittedStamp
+	// StepPolicy resolves MMT step-time nondeterminism.
+	StepPolicy = core.StepPolicy
+)
+
+// BuildTimed assembles D_T: the timed-automaton model system (§3.3).
+func BuildTimed(cfg SystemConfig, f AlgorithmFactory) *Net { return core.BuildTimed(cfg, f) }
+
+// BuildClocked assembles D_C: the clock model system (§4.1), applying the
+// paper's first transformation to every node.
+func BuildClocked(cfg SystemConfig, f AlgorithmFactory) *Net { return core.BuildClocked(cfg, f) }
+
+// BuildMMT assembles D_M: the MMT model system (§5.2), applying both
+// transformations.
+func BuildMMT(cfg SystemConfig, f AlgorithmFactory) *Net { return core.BuildMMT(cfg, f) }
+
+// MMT step policies.
+var (
+	// LazySteps always waits the full ℓ (the worst-case adversary).
+	LazySteps = core.LazySteps
+	// EagerSteps steps at ℓ/8.
+	EagerSteps = core.EagerSteps
+	// UniformSteps picks gaps uniformly in (0, ℓ].
+	UniformSteps = core.UniformSteps
+)
+
+// Clocks satisfying the C_ε predicate.
+type (
+	// ClockModel is one node's clock: monotone, |clock−now| ≤ ε.
+	ClockModel = clock.Model
+	// ClockFactory builds one clock per node.
+	ClockFactory = clock.Factory
+)
+
+// Clock model constructors.
+var (
+	// PerfectClock is clock = now.
+	PerfectClock = clock.Perfect
+	// DriftClock is a seeded random walk within the ±ε band.
+	DriftClock = clock.Drift
+	// SawtoothClock oscillates adversarially across the band.
+	SawtoothClock = clock.Sawtooth
+	// ResyncClock models an NTP-style drift-and-resync discipline.
+	ResyncClock = clock.Resync
+	// FastClock pins clock ≈ now+ε; SlowClock pins clock ≈ now−ε.
+	FastClock = clock.Fast
+	// SlowClock pins clock ≈ now−ε.
+	SlowClock = clock.Slow
+	// PerfectClocks gives every node a perfect clock.
+	PerfectClocks = clock.PerfectFactory
+	// DriftClocks gives node i a drifting clock seeded seed+i.
+	DriftClocks = clock.DriftFactory
+	// SpreadClocks pins even nodes fast and odd nodes slow (max skew).
+	SpreadClocks = clock.SpreadFactory
+	// SawtoothClocks gives every node a phase-shifted sawtooth clock.
+	SawtoothClocks = clock.SawtoothFactory
+	// CheckClock verifies the clock axioms on a sampled horizon.
+	CheckClock = clock.Check
+)
+
+// Message delay policies.
+type DelayPolicy = channel.DelayPolicy
+
+// Delay policy constructors.
+var (
+	// MinDelay always delivers at d1; MaxDelay at d2.
+	MinDelay = channel.MinDelay
+	// MaxDelay always delivers at d2.
+	MaxDelay = channel.MaxDelay
+	// UniformDelay picks uniformly within [d1, d2].
+	UniformDelay = channel.UniformDelay
+	// SpreadDelay alternates d1/d2 to maximize reordering.
+	SpreadDelay = channel.SpreadDelay
+	// BimodalDelay picks d1 with probability p, d2 otherwise.
+	BimodalDelay = channel.BimodalDelay
+)
+
+// The register application (§6).
+type (
+	// RegisterParams are the constants of algorithms L and S.
+	RegisterParams = register.Params
+	// RegisterValue is a written value (unique per execution).
+	RegisterValue = register.Value
+	// RegisterLS is the shared implementation of algorithms L and S.
+	RegisterLS = register.LS
+	// Baseline is the reconstruction of the [10] clock-model algorithm.
+	Baseline = register.Baseline
+)
+
+// Register constructors and helpers.
+var (
+	// NewRegisterL returns algorithm L (Lemma 6.1).
+	NewRegisterL = register.NewL
+	// NewRegisterS returns algorithm S (Lemma 6.2 / Theorem 6.5).
+	NewRegisterS = register.NewS
+	// RegisterFactory adapts L/S constructors to an AlgorithmFactory.
+	RegisterFactory = register.Factory
+	// NewBaseline returns the [10] baseline reconstruction.
+	NewBaseline = register.NewBaseline
+	// BaselineFactory adapts it to an AlgorithmFactory.
+	BaselineFactory = register.BaselineFactory
+	// RegisterHistory extracts the operation history from a trace.
+	RegisterHistory = register.History
+	// RegisterLatencies splits completed-operation latencies by kind.
+	RegisterLatencies = register.Latencies
+	// InitialValue is v_0.
+	InitialValue = register.Initial
+)
+
+// Linearizability checking.
+type (
+	// Op is one register operation of a history.
+	Op = linearize.Op
+	// CheckOptions tunes the placement constraints.
+	CheckOptions = linearize.Options
+	// CheckResult reports a check's outcome.
+	CheckResult = linearize.Result
+)
+
+// Operation kinds.
+const (
+	Read  = linearize.Read
+	Write = linearize.Write
+)
+
+// Checkers.
+var (
+	// CheckLinearizable decides plain linearizability (problem P, §6.1).
+	CheckLinearizable = linearize.CheckLinearizable
+	// CheckSuperLinearizable decides ε-superlinearizability (problem Q, §6.2).
+	CheckSuperLinearizable = linearize.CheckSuperLinearizable
+	// CheckLinearizableEps decides P_ε membership (Definition 2.11).
+	CheckLinearizableEps = linearize.CheckEps
+	// CheckHistory is the fully general entry point.
+	CheckHistory = linearize.Check
+	// CheckSequentiallyConsistent decides the weaker Attiya-Welch
+	// condition (no real-time constraint; see experiment E14).
+	CheckSequentiallyConsistent = linearize.CheckSequentiallyConsistent
+	// Shrink reduces a violating history to a minimal counterexample.
+	Shrink = linearize.Shrink
+	// ShrinkObject is Shrink for generic object histories.
+	ShrinkObject = linearize.ShrinkObject
+)
+
+// Trace relations (§2.3).
+var (
+	// MinEps returns the least ε with a1 =_{ε,κ} a2 (Definition 2.8).
+	MinEps = trace.MinEps
+	// EqEps decides a1 =_{ε,κ} a2.
+	EqEps = trace.EqEps
+	// MinDelta returns the least δ with a1 ≤_{δ,K} a2 (Definition 2.9).
+	MinDelta = trace.MinDelta
+	// LeDelta decides a1 ≤_{δ,K} a2.
+	LeDelta = trace.LeDelta
+	// ByNode is the per-node class partition κ.
+	ByNode = trace.ByNode
+	// OutputsByNode is the per-node output partition K.
+	OutputsByNode = trace.OutputsByNode
+)
+
+// Generalized shared-memory objects (§6's closing remark).
+type (
+	// ObjectSpec is a sequential object specification (canonical string
+	// states), driving both the replicas and the generic checker.
+	ObjectSpec = object.Spec
+	// ObjectAlg is the generalized algorithm S/L for one node.
+	ObjectAlg = object.Alg
+	// ObjectOp is one operation of a generic object history.
+	ObjectOp = linearize.GOp
+	// ObjectModel is the checker-side sequential specification.
+	ObjectModel = linearize.Model
+	// ObjectClientConfig describes an object client population.
+	ObjectClientConfig = object.ClientConfig
+	// Counter, GSet, MaxRegister, RegisterSpec are ready-made specs.
+	Counter = object.Counter
+	// GSet is a grow-only set spec.
+	GSet = object.GSet
+	// MaxRegister keeps the maximum of raised values.
+	MaxRegister = object.MaxRegister
+	// RegisterSpec is the paper's own register as an ObjectSpec.
+	RegisterSpec = object.Register
+	// KVStore is a keyed map of registers (a configuration store).
+	KVStore = object.KVStore
+)
+
+// Object constructors and helpers.
+var (
+	// NewObjectS returns the generalized algorithm S for a spec.
+	NewObjectS = object.NewS
+	// NewObjectL returns the generalized algorithm L (timed model only).
+	NewObjectL = object.NewL
+	// ObjectFactory adapts an object constructor to an AlgorithmFactory.
+	ObjectFactory = object.Factory
+	// ObjectHistory extracts a generic history from a trace.
+	ObjectHistory = object.History
+	// AttachObjectClients adds one object client per node.
+	AttachObjectClients = object.Attach
+	// CheckObject decides linearizability against a sequential spec.
+	CheckObject = linearize.CheckObject
+	// CounterOps, GSetOps, MaxOps, RegisterOps generate workloads.
+	CounterOps = object.CounterOps
+	// GSetOps generates grow-set workloads.
+	GSetOps = object.GSetOps
+	// MaxOps generates max-register workloads.
+	MaxOps = object.MaxOps
+	// RegisterOps generates unique-write register workloads.
+	RegisterOps = object.RegisterOps
+	// KVOps generates configuration-store workloads.
+	KVOps = object.KVOps
+)
+
+// Failure detection (the §1 motivation; see experiment E15).
+type (
+	// DetectorParams configures the heartbeat failure detector.
+	DetectorParams = detector.Params
+	// Detector is the heartbeat failure detector algorithm.
+	Detector = detector.Detector
+	// Suspicion is one SUSPECT event extracted from a trace.
+	Suspicion = detector.Suspicion
+)
+
+// Detector constructors and helpers.
+var (
+	// NewDetector returns a heartbeat failure detector.
+	NewDetector = detector.New
+	// DetectorFactory adapts it to an AlgorithmFactory.
+	DetectorFactory = detector.Factory
+	// SafeTimeoutTA is the tight timed-model timeout π+(d2−d1).
+	SafeTimeoutTA = detector.SafeTimeoutTA
+	// SafeTimeoutClock adds the clock model's 4ε margin.
+	SafeTimeoutClock = detector.SafeTimeoutClock
+	// Suspicions extracts SUSPECT events from a trace.
+	Suspicions = detector.Suspicions
+)
+
+// Failure adversaries (§7.3 explored; see experiment E12).
+var (
+	// WithCrash wraps an automaton to crash-stop at a given time.
+	WithCrash = core.WithCrash
+	// CrashNode installs a crash-stop wrapper on a node of a built Net.
+	CrashNode = core.CrashNode
+)
+
+// Problems (Definitions 2.10–2.12) and the conformance harness.
+type (
+	// Problem decides membership of a visible trace in tseq(P), with the
+	// P_ε relaxation built in.
+	Problem = spec.Problem
+	// Adversary is one resolution of the models' nondeterminism.
+	Adversary = spec.Adversary
+	// Verdict is the outcome of one adversary's conformance check.
+	Verdict = spec.Verdict
+	// LinearizableProblem is the register problem P of §6.1.
+	LinearizableProblem = spec.Linearizable
+	// SuperLinearizableProblem is the problem Q of §6.2.
+	SuperLinearizableProblem = spec.SuperLinearizable
+	// ObjectLinearizableProblem checks against a sequential object spec.
+	ObjectLinearizableProblem = spec.ObjectLinearizable
+	// MutualExclusionProblem is the resource problem of the TDMA example.
+	MutualExclusionProblem = spec.MutualExclusion
+	// ResponsiveProblem is a real-time latency specification (see E16).
+	ResponsiveProblem = spec.Responsive
+)
+
+// Conformance harness helpers.
+var (
+	// StandardAdversaries is the boundary-case ensemble the experiments use.
+	StandardAdversaries = spec.StandardAdversaries
+	// Solves checks a system family against a problem over an ensemble.
+	Solves = spec.Solves
+	// SolvesEps checks against the relaxed problem P_ε (Theorem 4.7).
+	SolvesEps = spec.SolvesEps
+	// AllOK summarizes a verdict list.
+	AllOK = spec.AllOK
+)
+
+// Workloads and reporting.
+type (
+	// WorkloadConfig describes a closed-loop client population.
+	WorkloadConfig = workload.Config
+	// Client is a closed-loop client automaton.
+	Client = workload.Client
+	// ScriptOp is one pre-scheduled open-loop operation.
+	ScriptOp = workload.ScriptOp
+	// Summary holds sample statistics of durations.
+	Summary = stats.Summary
+)
+
+// Workload and stats helpers.
+var (
+	// AttachClients adds one closed-loop client per node.
+	AttachClients = workload.Attach
+	// MakeScript generates a fixed open-loop schedule.
+	MakeScript = workload.MakeScript
+	// AttachScripted adds one scripted client per node.
+	AttachScripted = workload.AttachScripted
+	// Summarize computes duration statistics.
+	Summarize = stats.Summarize
+	// Timeline renders a per-node ASCII lane chart of a trace.
+	Timeline = stats.Timeline
+)

@@ -1,0 +1,137 @@
+package psclock_test
+
+import (
+	"testing"
+
+	"psclock"
+)
+
+// TestFacadeEndToEnd exercises the public API the way the README's
+// quickstart does: build D_C, run a workload, check linearizability.
+func TestFacadeEndToEnd(t *testing.T) {
+	const (
+		ms = psclock.Millisecond
+		us = psclock.Microsecond
+	)
+	eps := 400 * us
+	bounds := psclock.NewInterval(1*ms, 3*ms)
+	p := psclock.RegisterParams{C: 500 * us, Delta: 10 * us, D2: bounds.Hi + 2*eps, Epsilon: eps}
+	net := psclock.BuildClocked(psclock.SystemConfig{
+		N:      3,
+		Bounds: bounds,
+		Seed:   5,
+		Clocks: psclock.SpreadClocks(eps),
+	}, psclock.RegisterFactory(psclock.NewRegisterS, p))
+	clients := psclock.AttachClients(net, psclock.WorkloadConfig{
+		Ops:        15,
+		Think:      psclock.NewInterval(0, 2*ms),
+		WriteRatio: 0.5,
+		Seed:       2,
+	})
+	if _, err := net.Sys.RunQuiet(psclock.Time(10 * psclock.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range clients {
+		if c.Done != 15 {
+			t.Fatalf("%s: %d/15", c.Name(), c.Done)
+		}
+	}
+	ops, err := psclock.RegisterHistory(net.Sys.Trace().Visible())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := psclock.CheckLinearizable(ops, psclock.InitialValue.String()); !r.OK {
+		t.Fatalf("not linearizable: %s", r.Reason)
+	}
+	reads, writes := psclock.RegisterLatencies(ops)
+	if len(reads)+len(writes) != 45 {
+		t.Errorf("latencies %d+%d != 45", len(reads), len(writes))
+	}
+	if s := psclock.Summarize(reads); s.N != len(reads) {
+		t.Error("Summarize miscounted")
+	}
+}
+
+// TestFacadeClockModels sanity-checks the re-exported clock constructors
+// against the clock axioms.
+func TestFacadeClockModels(t *testing.T) {
+	eps := 200 * psclock.Microsecond
+	horizon := psclock.Time(20 * psclock.Millisecond)
+	for _, m := range []psclock.ClockModel{
+		psclock.PerfectClock(),
+		psclock.DriftClock(eps, 3),
+		psclock.SawtoothClock(eps, 4*psclock.Millisecond),
+		psclock.FastClock(eps),
+		psclock.SlowClock(eps),
+	} {
+		if err := psclock.CheckClock(m, horizon, 97*psclock.Microsecond); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestFacadeTraceRelations exercises the re-exported §2.3 deciders.
+func TestFacadeTraceRelations(t *testing.T) {
+	a := psclock.Trace{
+		{Action: psclock.Action{Name: "X", Node: 0, Peer: -1, Kind: 2}, At: 10},
+	}
+	b := psclock.Trace{
+		{Action: psclock.Action{Name: "X", Node: 0, Peer: -1, Kind: 2}, At: 14},
+	}
+	eps, err := psclock.MinEps(a, b, psclock.ByNode)
+	if err != nil || eps != 4 {
+		t.Errorf("MinEps = %v, %v", eps, err)
+	}
+	d, err := psclock.MinDelta(a, b, psclock.OutputsByNode)
+	if err != nil || d != 4 {
+		t.Errorf("MinDelta = %v, %v", d, err)
+	}
+}
+
+// TestFacadeDetectorAndSC exercises the failure-detector and
+// sequential-consistency exports.
+func TestFacadeDetectorAndSC(t *testing.T) {
+	bounds := psclock.NewInterval(500*psclock.Microsecond, 1500*psclock.Microsecond)
+	eps := 500 * psclock.Microsecond
+	p := psclock.DetectorParams{
+		Period:     5 * psclock.Millisecond,
+		Timeout:    psclock.SafeTimeoutClock(5*psclock.Millisecond, bounds, eps),
+		Heartbeats: 10,
+	}
+	net := psclock.BuildClocked(psclock.SystemConfig{
+		N: 3, Bounds: bounds, Seed: 2, Clocks: psclock.DriftClocks(eps, 3),
+	}, psclock.DetectorFactory(p))
+	if err := net.Sys.Run(psclock.Time(80 * psclock.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	lastBeat := psclock.Time(psclock.Duration(p.Heartbeats) * p.Period)
+	for _, s := range psclock.Suspicions(net.Sys.Trace()) {
+		if s.At.Before(lastBeat) {
+			t.Fatalf("false suspicion: %+v", s)
+		}
+	}
+
+	ops := []psclock.Op{
+		{Node: 0, Kind: psclock.Write, Value: "a", Inv: 0, Res: 10},
+		{Node: 1, Kind: psclock.Read, Value: "v0", Inv: 20, Res: 30},
+	}
+	if psclock.CheckLinearizable(ops, "v0").OK {
+		t.Fatal("stale read linearizable")
+	}
+	if !psclock.CheckSequentiallyConsistent(ops, "v0").OK {
+		t.Fatal("stale read not SC")
+	}
+	if small := psclock.Shrink(ops, psclock.CheckOptions{Initial: "v0"}); len(small) != 2 {
+		t.Errorf("shrunk to %d", len(small))
+	}
+}
+
+// TestFacadeSolvesHarness exercises the conformance harness exports.
+func TestFacadeSolvesHarness(t *testing.T) {
+	advs := psclock.StandardAdversaries(200*psclock.Microsecond, 1)[:2]
+	verdicts := psclock.Solves(psclock.LinearizableProblem{}, advs,
+		func(psclock.Adversary) (psclock.Trace, error) { return nil, nil })
+	if ok, _ := psclock.AllOK(verdicts); !ok {
+		t.Fatal("empty traces should pass vacuously")
+	}
+}
