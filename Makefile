@@ -1,0 +1,35 @@
+# Build/verify entry points. Tier-1 is the gate every change must keep
+# green; tier-2 adds vet and the race detector (the parallel experiment
+# harness makes -race meaningful); bench regenerates BENCH_results.json.
+
+GO ?= go
+
+.PHONY: all build test tier1 tier2 bench microbench json
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+tier1: build test
+
+tier2:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Regenerate BENCH_results.json: per-experiment wall time, pass/fail, and
+# E10's executor ops/sec and events/sec metrics.
+json:
+	$(GO) run ./cmd/pscbench -json
+
+# Experiment-level benchmarks (E1–E16 plus substrate micro-benchmarks).
+bench:
+	$(GO) test -run XXX -bench . -benchtime=1x .
+
+# Scheduler/dispatch micro-benchmarks: indexed fast path vs the linear
+# differential oracle.
+microbench:
+	$(GO) test -run XXX -bench 'BenchmarkSchedulerStep|BenchmarkDispatchRouting' ./internal/exec/

@@ -1,7 +1,12 @@
-// Benchmarks regenerating every experiment table/figure (E1–E12, one bench
+// Benchmarks regenerating every experiment table/figure (E1–E16, one bench
 // per table or figure series; see DESIGN.md §4 and EXPERIMENTS.md), plus
 // micro-benchmarks of the substrates. Each experiment bench prints its
 // table once and fails if any of the paper's claims did not hold.
+//
+// The experiment benches run on the parallel harness by default: each
+// experiment fans its seeded rows over a worker pool of width GOMAXPROCS
+// (experiments.SetParallelism adjusts it), so the reported wall times are
+// the same ones `pscbench -json` records in BENCH_results.json.
 package psclock_test
 
 import (

@@ -3,22 +3,51 @@
 //
 // Usage:
 //
-//	pscbench            # run all experiments
-//	pscbench -list      # list experiments
-//	pscbench -run E3,E4 # run a subset
+//	pscbench             # run all experiments
+//	pscbench -list       # list experiments
+//	pscbench -run E3,E4  # run a subset
+//	pscbench -parallel 4 # cap the row-level worker pool at 4
+//	pscbench -json       # also write BENCH_results.json
+//
+// Experiments run one after another; parallelism lives inside each
+// experiment, which fans its seeded rows over a bounded worker pool
+// (default width GOMAXPROCS, capped with -parallel). Keeping the
+// experiments themselves sequential leaves E10's wall-clock throughput
+// figures uncontended.
 //
 // The exit status is nonzero if any experiment's assertions fail.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
-	"sync"
+	"time"
 
 	"psclock/internal/experiments"
 )
+
+// benchFile is what -json writes.
+const benchFile = "BENCH_results.json"
+
+// jsonResult is one experiment's machine-readable outcome.
+type jsonResult struct {
+	ID       string             `json:"id"`
+	Title    string             `json:"title"`
+	Pass     bool               `json:"pass"`
+	WallMS   float64            `json:"wall_ms"`
+	Failures []string           `json:"failures,omitempty"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+// jsonReport is the top-level shape of BENCH_results.json.
+type jsonReport struct {
+	Parallelism int          `json:"parallelism"`
+	TotalWallMS float64      `json:"total_wall_ms"`
+	Experiments []jsonResult `json:"experiments"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -28,7 +57,8 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("pscbench", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list experiments and exit")
 	only := fs.String("run", "", "comma-separated experiment IDs (default: all)")
-	parallel := fs.Bool("parallel", false, "run experiments concurrently (output printed in order; E10's wall-clock figures will reflect contention)")
+	parallel := fs.Int("parallel", 0, "row-level worker pool width per experiment (<1: GOMAXPROCS)")
+	emitJSON := fs.Bool("json", false, "write per-experiment wall time, metrics, and pass/fail to "+benchFile)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -39,6 +69,9 @@ func run(args []string) int {
 		}
 		return 0
 	}
+
+	prev := experiments.SetParallelism(*parallel)
+	defer experiments.SetParallelism(prev)
 
 	var selected []experiments.Experiment
 	if *only == "" {
@@ -55,33 +88,42 @@ func run(args []string) int {
 		}
 	}
 
-	results := make([]experiments.Result, len(selected))
-	if *parallel {
-		var wg sync.WaitGroup
-		for i, e := range selected {
-			wg.Add(1)
-			go func(i int, e experiments.Experiment) {
-				defer wg.Done()
-				results[i] = e.Run()
-			}(i, e)
-		}
-		wg.Wait()
-	} else {
-		for i, e := range selected {
-			results[i] = e.Run()
-			fmt.Println(results[i])
-		}
-	}
+	report := jsonReport{Parallelism: experiments.Parallelism()}
+	start := time.Now()
 	failed := 0
-	for i, r := range results {
-		if *parallel {
-			fmt.Println(r)
-		}
-		_ = i
+	for _, e := range selected {
+		t0 := time.Now()
+		r := e.Run()
+		wall := time.Since(t0)
+		fmt.Println(r)
 		if !r.Pass() {
 			failed++
 		}
+		report.Experiments = append(report.Experiments, jsonResult{
+			ID:       r.ID,
+			Title:    r.Title,
+			Pass:     r.Pass(),
+			WallMS:   float64(wall.Microseconds()) / 1000,
+			Failures: r.Failures,
+			Metrics:  r.Metrics,
+		})
 	}
+	report.TotalWallMS = float64(time.Since(start).Microseconds()) / 1000
+
+	if *emitJSON {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pscbench: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(benchFile, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pscbench: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "pscbench: wrote %s (%d experiments, %.0f ms total)\n",
+			benchFile, len(report.Experiments), report.TotalWallMS)
+	}
+
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "pscbench: %d experiment(s) failed\n", failed)
 		return 1

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
 
 func TestList(t *testing.T) {
 	if code := run([]string{"-list"}); code != 0 {
@@ -33,7 +37,39 @@ func TestParallelSubset(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs experiments")
 	}
-	if code := run([]string{"-parallel", "-run", "E1,E2"}); code != 0 {
+	if code := run([]string{"-parallel=2", "-run", "E1,E2"}); code != 0 {
 		t.Errorf("code = %d", code)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments")
+	}
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+	if code := run([]string{"-json", "-run", "E1"}); code != 0 {
+		t.Fatalf("code = %d", code)
+	}
+	buf, err := os.ReadFile(benchFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "E1" || !rep.Experiments[0].Pass {
+		t.Errorf("unexpected report: %+v", rep)
+	}
+	if rep.Experiments[0].WallMS <= 0 || rep.TotalWallMS <= 0 {
+		t.Errorf("missing wall times: %+v", rep)
 	}
 }

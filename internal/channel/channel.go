@@ -143,6 +143,10 @@ type Edge struct {
 
 	// Delivered counts messages handed to the receiver, for reports.
 	Delivered int
+
+	// out is the reusable Fire buffer; the executor copies returned slices
+	// before the next call into this edge (see the ta.Automaton contract).
+	out []ta.Action
 }
 
 var _ ta.Automaton = (*Edge)(nil)
@@ -222,7 +226,7 @@ func (e *Edge) Due(simtime.Time) (simtime.Time, bool) {
 
 // Fire implements ta.Automaton: deliver every message whose time has come.
 func (e *Edge) Fire(now simtime.Time) []ta.Action {
-	var out []ta.Action
+	out := e.out[:0]
 	for len(e.pending) > 0 && !e.pending[0].deliverAt.After(now) {
 		m := heap.Pop(&e.pending).(pendingMsg)
 		e.Delivered++
@@ -234,6 +238,7 @@ func (e *Edge) Fire(now simtime.Time) []ta.Action {
 			Payload: m.payload,
 		})
 	}
+	e.out = out
 	return out
 }
 

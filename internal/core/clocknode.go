@@ -37,6 +37,7 @@ type ClockNode struct {
 	clk   clock.Model
 
 	stamps []ClockStamp
+	out    []ta.Action // reusable return buffer
 
 	// RecordStamps controls γ'_α collection (on by default; disable for
 	// long throughput runs).
@@ -97,13 +98,14 @@ func (cn *ClockNode) emit(now simtime.Time, ss []stamped) []ta.Action {
 	if len(ss) == 0 {
 		return nil
 	}
-	out := make([]ta.Action, len(ss))
-	for i, s := range ss {
-		out[i] = s.act
+	out := cn.out[:0]
+	for _, s := range ss {
+		out = append(out, s.act)
 		if cn.RecordStamps {
 			cn.stamps = append(cn.stamps, ClockStamp{Action: s.act, Real: now, Clock: s.at})
 		}
 	}
+	cn.out = out
 	return out
 }
 

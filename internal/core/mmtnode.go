@@ -90,6 +90,7 @@ type MMTNode struct {
 	nextStep simtime.Time
 
 	stamps []EmittedStamp
+	out    []ta.Action // reusable return buffer
 	// RecordStamps controls emission recording (on by default).
 	RecordStamps bool
 	// MaxPending tracks the high-water mark of the pending queue; the
@@ -147,7 +148,7 @@ func (mn *MMTNode) Matches(a ta.Action) bool {
 // step; the composite's hidden interface actions (SENDMSG, RECVMSG) are
 // internal to the simulation and surface immediately for observability.
 func (mn *MMTNode) pend(now simtime.Time, ss []stamped) []ta.Action {
-	var out []ta.Action
+	out := mn.out[:0]
 	for _, s := range ss {
 		switch s.act.Name {
 		case ta.NameSendMsg, ta.NameRecvMsg:
@@ -162,6 +163,7 @@ func (mn *MMTNode) pend(now simtime.Time, ss []stamped) []ta.Action {
 			}
 		}
 	}
+	mn.out = out
 	return out
 }
 
@@ -242,6 +244,7 @@ func (mn *MMTNode) Fire(now simtime.Time) []ta.Action {
 			})
 		}
 		out = append(out, head.act)
+		mn.out = out
 	}
 	return out
 }
@@ -256,6 +259,7 @@ type TickSource struct {
 	clk    clock.Model
 	period simtime.Duration
 	next   simtime.Time
+	buf    [1]ta.Action // reusable return buffer
 }
 
 var _ ta.Automaton = (*TickSource)(nil)
@@ -280,7 +284,8 @@ func (ts *TickSource) Name() string { return ts.name }
 // its clock starts at 0.
 func (ts *TickSource) Init() []ta.Action {
 	ts.next = simtime.Zero.Add(ts.period)
-	return []ta.Action{ts.tick(0)}
+	ts.buf[0] = ts.tick(0)
+	return ts.buf[:]
 }
 
 // Deliver implements ta.Automaton (no inputs).
@@ -295,7 +300,8 @@ func (ts *TickSource) Fire(now simtime.Time) []ta.Action {
 		return nil
 	}
 	ts.next = now.Add(ts.period)
-	return []ta.Action{ts.tick(now)}
+	ts.buf[0] = ts.tick(now)
+	return ts.buf[:]
 }
 
 func (ts *TickSource) tick(now simtime.Time) ta.Action {

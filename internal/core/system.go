@@ -114,7 +114,7 @@ func (net *Net) Invoke(node ta.NodeID, name string, payload any) {
 // actions it emits are routed to the node.
 func (net *Net) AddClient(c ta.Automaton, node ta.NodeID) {
 	net.Sys.Add(c)
-	net.Sys.Connect(ResponsesAt(node), c)
+	net.Sys.ConnectHeader(ResponsesAt(node), c)
 }
 
 // ResponsesAt matches environment responses (visible non-message outputs)
@@ -156,7 +156,7 @@ func BuildTimed(cfg Config, f AlgorithmFactory) *Net {
 			node.RestrictNeighbors(cfg.neighborsOf(i))
 		}
 		s.Add(node)
-		s.Connect(node.Matches, node)
+		s.ConnectHeader(node.Matches, node)
 		net.Timed = append(net.Timed, node)
 	}
 	for i := 0; i < cfg.N; i++ {
@@ -167,7 +167,7 @@ func BuildTimed(cfg Config, f AlgorithmFactory) *Net {
 			e := channel.New(ta.NodeID(i), ta.NodeID(j), cfg.Bounds, cfg.NewDelay(), edgeSeed(cfg.Seed, i, j, cfg.N))
 			e.FIFO = cfg.FIFO
 			s.Add(e)
-			s.Connect(e.Matches, e)
+			s.ConnectHeader(e.Matches, e)
 			net.Edges = append(net.Edges, e)
 		}
 	}
@@ -191,7 +191,7 @@ func BuildClocked(cfg Config, f AlgorithmFactory) *Net {
 			node.DisableBuffering()
 		}
 		s.Add(node)
-		s.Connect(node.Matches, node)
+		s.ConnectHeader(node.Matches, node)
 		net.Clocked = append(net.Clocked, node)
 	}
 	for i := 0; i < cfg.N; i++ {
@@ -202,7 +202,7 @@ func BuildClocked(cfg Config, f AlgorithmFactory) *Net {
 			e := channel.NewClock(ta.NodeID(i), ta.NodeID(j), cfg.Bounds, cfg.NewDelay(), edgeSeed(cfg.Seed, i, j, cfg.N))
 			e.FIFO = cfg.FIFO
 			s.Add(e)
-			s.Connect(e.Matches, e)
+			s.ConnectHeader(e.Matches, e)
 			net.Edges = append(net.Edges, e)
 		}
 	}
@@ -229,7 +229,7 @@ func BuildMMT(cfg Config, f AlgorithmFactory) *Net {
 			node.RestrictNeighbors(cfg.neighborsOf(i))
 		}
 		s.Add(node)
-		s.Connect(node.Matches, node)
+		s.ConnectHeader(node.Matches, node)
 		net.MMT = append(net.MMT, node)
 
 		// The tick source's TICK(c) outputs reach the node through the
@@ -246,7 +246,7 @@ func BuildMMT(cfg Config, f AlgorithmFactory) *Net {
 			e := channel.NewClock(ta.NodeID(i), ta.NodeID(j), cfg.Bounds, cfg.NewDelay(), edgeSeed(cfg.Seed, i, j, cfg.N))
 			e.FIFO = cfg.FIFO
 			s.Add(e)
-			s.Connect(e.Matches, e)
+			s.ConnectHeader(e.Matches, e)
 			net.Edges = append(net.Edges, e)
 		}
 	}

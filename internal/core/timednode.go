@@ -16,15 +16,14 @@ type stamped struct {
 	at  simtime.Time
 }
 
-func acts(ss []stamped) []ta.Action {
-	if len(ss) == 0 {
-		return nil
+// appendActs strips the stamps from ss onto buf. Nodes keep one action
+// buffer and refill it per call; the executor copies returned slices before
+// re-entering the component (see the ta.Automaton contract).
+func appendActs(buf []ta.Action, ss []stamped) []ta.Action {
+	for _, s := range ss {
+		buf = append(buf, s.act)
 	}
-	out := make([]ta.Action, len(ss))
-	for i, s := range ss {
-		out[i] = s.act
-	}
-	return out
+	return buf
 }
 
 // TimedNode runs an Algorithm in the timed-automaton programming model of
@@ -35,6 +34,7 @@ type TimedNode struct {
 	name string
 	id   ta.NodeID
 	eng  *engine
+	out  []ta.Action // reusable return buffer
 }
 
 var _ ta.Automaton = (*TimedNode)(nil)
@@ -71,7 +71,8 @@ func (tn *TimedNode) Matches(a ta.Action) bool {
 
 // Init implements ta.Automaton.
 func (tn *TimedNode) Init() []ta.Action {
-	return acts(tn.eng.start(0))
+	tn.out = appendActs(tn.out[:0], tn.eng.start(0))
+	return tn.out
 }
 
 // Deliver implements ta.Automaton.
@@ -91,7 +92,8 @@ func (tn *TimedNode) Deliver(now simtime.Time, a ta.Action) []ta.Action {
 	} else {
 		out = append(out, tn.eng.input(now, a.Name, a.Payload)...)
 	}
-	return acts(out)
+	tn.out = appendActs(tn.out[:0], out)
+	return tn.out
 }
 
 // Due implements ta.Automaton: the earliest pending timer.
@@ -101,5 +103,6 @@ func (tn *TimedNode) Due(simtime.Time) (simtime.Time, bool) {
 
 // Fire implements ta.Automaton.
 func (tn *TimedNode) Fire(now simtime.Time) []ta.Action {
-	return acts(tn.eng.advance(now))
+	tn.out = appendActs(tn.out[:0], tn.eng.advance(now))
+	return tn.out
 }

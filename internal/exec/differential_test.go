@@ -1,0 +1,230 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+// relay re-emits every delivered action under a new name at the same
+// instant, exercising same-instant dispatch chains.
+type relay struct {
+	name string
+	out  string
+	got  int
+}
+
+func (r *relay) Name() string      { return r.name }
+func (r *relay) Init() []ta.Action { return nil }
+func (r *relay) Deliver(_ simtime.Time, a ta.Action) []ta.Action {
+	r.got++
+	return []ta.Action{{Name: r.out, Node: a.Node, Peer: ta.NoNode, Kind: ta.KindOutput, Payload: a.Payload}}
+}
+func (r *relay) Due(simtime.Time) (simtime.Time, bool) { return 0, false }
+func (r *relay) Fire(simtime.Time) []ta.Action         { return nil }
+
+// backoff schedules a timer a growing distance after each delivery; its
+// deadline therefore changes under the scheduler's feet on every Deliver,
+// exercising entry invalidation and re-push.
+type backoff struct {
+	name string
+	next simtime.Time
+	gap  simtime.Duration
+	n    int
+}
+
+func (b *backoff) Name() string      { return b.name }
+func (b *backoff) Init() []ta.Action { return nil }
+func (b *backoff) Deliver(now simtime.Time, a ta.Action) []ta.Action {
+	b.gap += 37 * simtime.Microsecond
+	b.next = now.Add(b.gap)
+	return nil
+}
+func (b *backoff) Due(simtime.Time) (simtime.Time, bool) {
+	if b.next == simtime.Zero {
+		return 0, false
+	}
+	return b.next, true
+}
+func (b *backoff) Fire(now simtime.Time) []ta.Action {
+	if now.Before(b.next) {
+		return nil
+	}
+	b.next = simtime.Zero
+	b.n++
+	return []ta.Action{{Name: "TOCK", Node: ta.NoNode, Peer: ta.NoNode, Kind: ta.KindOutput, Payload: b.n}}
+}
+
+// sink counts deliveries and emits nothing.
+type sink struct {
+	name string
+	got  int
+}
+
+func (k *sink) Name() string                                { return k.name }
+func (k *sink) Init() []ta.Action                           { return nil }
+func (k *sink) Deliver(simtime.Time, ta.Action) []ta.Action { k.got++; return nil }
+func (k *sink) Due(simtime.Time) (simtime.Time, bool)       { return 0, false }
+func (k *sink) Fire(simtime.Time) []ta.Action               { return nil }
+
+// buildDiff assembles a system with coinciding deadlines, same-instant
+// chains, deadline churn, and both routing paths (header subscriptions and
+// a predicate that inspects the payload, which stays on the slow path).
+func buildDiff(linear bool) (*System, *sink) {
+	s := New()
+	s.linear = linear
+	for i := 0; i < 8; i++ {
+		p := &pinger{
+			name:   fmt.Sprintf("p%d", i),
+			period: simtime.Duration(100+25*(i%4)) * simtime.Microsecond,
+			left:   40 + 3*i,
+		}
+		s.Add(p)
+	}
+	for i := 0; i < 8; i++ {
+		r := &relay{name: fmt.Sprintf("r%d", i), out: "HOP"}
+		s.Add(r)
+		node := ta.NodeID(i % 4)
+		s.ConnectHeader(func(a ta.Action) bool { return a.Name == "PING" && a.Node == node }, r)
+	}
+	b := &backoff{name: "backoff"}
+	s.Add(b)
+	s.ConnectName("HOP", b)
+	all := &sink{name: "all"}
+	s.Add(all)
+	// Payload predicate: not a pure header match, must take the slow path.
+	s.Connect(func(a ta.Action) bool {
+		n, ok := a.Payload.(int)
+		return ok && n%2 == 0
+	}, all)
+	s.Hide(named("HOP"))
+	return s, all
+}
+
+// render flattens a trace into one comparable string.
+func render(tr ta.Trace) string {
+	var sb strings.Builder
+	for _, e := range tr {
+		fmt.Fprintf(&sb, "%s|%d|%d|%s\n", e.Action.Label(), e.At, e.Seq, e.Src)
+	}
+	return sb.String()
+}
+
+// TestIndexedMatchesLinear runs the identical system through the indexed
+// scheduler/routing fast path and through the original linear sweep (kept
+// as a differential oracle behind the linear flag) and requires
+// byte-identical traces, including mid-run Replace and late Add.
+func TestIndexedMatchesLinear(t *testing.T) {
+	mid := simtime.Time(3 * simtime.Millisecond)
+	end := simtime.Time(40 * simtime.Millisecond)
+	runOne := func(linear bool) (string, int) {
+		s, all := buildDiff(linear)
+		if err := s.Run(mid); err != nil {
+			t.Fatalf("linear=%v: %v", linear, err)
+		}
+		// Mid-run structural churn: swap a relay and add a late pinger;
+		// both must land in the scheduler/routing index identically.
+		s.Replace("r3", &relay{name: "r3", out: "HOP"})
+		s.Add(&pinger{name: "late", period: 150 * simtime.Microsecond, left: 30})
+		if err := s.Run(end); err != nil {
+			t.Fatalf("linear=%v: %v", linear, err)
+		}
+		return render(s.Trace()), all.got
+	}
+	fastTr, fastGot := runOne(false)
+	slowTr, slowGot := runOne(true)
+	if fastGot == 0 {
+		t.Fatal("slow-path sink never fired; predicate routing untested")
+	}
+	if fastGot != slowGot {
+		t.Fatalf("sink deliveries differ: indexed %d, linear %d", fastGot, slowGot)
+	}
+	if fastTr != slowTr {
+		t.Fatalf("traces differ:\nindexed:\n%s\nlinear:\n%s", head(fastTr), head(slowTr))
+	}
+}
+
+// head trims a rendered trace for failure output.
+func head(s string) string {
+	lines := strings.SplitN(s, "\n", 41)
+	if len(lines) > 40 {
+		return strings.Join(lines[:40], "\n") + "\n..."
+	}
+	return s
+}
+
+// BenchmarkSchedulerStep measures the deadline scan: many components, few
+// due at any instant — the regime where the linear NextDue sweep is
+// quadratic in aggregate and the heap is logarithmic.
+func BenchmarkSchedulerStep(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		linear bool
+	}{{"indexed", false}, {"linear", true}} {
+		for _, n := range []int{16, 128, 1024} {
+			b.Run(fmt.Sprintf("%s/n=%d", mode.name, n), func(b *testing.B) {
+				b.ReportAllocs()
+				steps := 0
+				for i := 0; i < b.N; i++ {
+					s := New()
+					s.linear = mode.linear
+					s.KeepTrace = false
+					for j := 0; j < n; j++ {
+						s.Add(&pinger{
+							name:   fmt.Sprintf("p%d", j),
+							period: simtime.Duration(1000+j) * simtime.Microsecond,
+							left:   8,
+						})
+					}
+					for s.Step() {
+						steps++
+					}
+					if err := s.Err(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+			})
+		}
+	}
+}
+
+// BenchmarkDispatchRouting measures action fan-out: one producer, many
+// subscribers of which few match — the regime where evaluating every
+// predicate per action loses to the memoized header index.
+func BenchmarkDispatchRouting(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		linear bool
+	}{{"indexed", false}, {"linear", true}} {
+		for _, n := range []int{16, 128, 1024} {
+			b.Run(fmt.Sprintf("%s/n=%d", mode.name, n), func(b *testing.B) {
+				s := New()
+				s.linear = mode.linear
+				s.KeepTrace = false
+				sinks := make([]*sink, n)
+				for j := 0; j < n; j++ {
+					sinks[j] = &sink{name: fmt.Sprintf("s%d", j)}
+					s.Add(sinks[j])
+					node := ta.NodeID(j)
+					s.ConnectHeader(func(a ta.Action) bool { return a.Name == "MSG" && a.Node == node }, sinks[j])
+				}
+				s.Inject(ta.Action{Name: "MSG", Node: 0, Peer: ta.NoNode, Kind: ta.KindInput})
+				if err := s.Err(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.Inject(ta.Action{Name: "MSG", Node: ta.NodeID(i % n), Peer: ta.NoNode, Kind: ta.KindInput})
+				}
+				if err := s.Err(); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}

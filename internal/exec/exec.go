@@ -9,6 +9,18 @@
 // the enabled locally controlled actions, routing each output action to the
 // components that have it as an input (composition communicates on shared
 // actions, §2.1).
+//
+// Two index structures keep the hot path sub-linear in system size:
+//
+//   - a deadline heap (sched.go) replaces the per-step linear scan over
+//     every component's Due with a lazily invalidated binary min-heap, and
+//   - a routing table memoizes, per action header (Name, Node, Peer,
+//     Kind), which subscriptions match, so dispatch stops re-evaluating
+//     every predicate for every action.
+//
+// Both preserve the exact dispatch order of the original linear executor
+// (kept in linear.go as a differential reference): deterministic seeds
+// produce byte-identical traces on either path.
 package exec
 
 import (
@@ -32,6 +44,23 @@ var ErrChain = errors.New("exec: same-instant dispatch chain exceeded limit")
 type subscription struct {
 	match func(ta.Action) bool
 	dst   ta.Automaton
+	// dstIdx is dst's component index, or -1 when dst was never Added (a
+	// pure observer outside the composition, which the executor never
+	// schedules — matching the linear executor, which only ever polled
+	// registered components).
+	dstIdx int32
+	// header marks match as depending only on the action's Name, Node,
+	// Peer, and Kind, making the subscription eligible for the memoized
+	// routing table.
+	header bool
+}
+
+// routeKey is the header of an action: every field a header subscription
+// may inspect. Actions sharing a key route identically.
+type routeKey struct {
+	name       string
+	node, peer ta.NodeID
+	kind       ta.Kind
 }
 
 // System is a composition of automata under execution. The zero value is
@@ -40,6 +69,8 @@ type System struct {
 	comps   []ta.Automaton
 	index   map[string]int
 	subs    []subscription
+	slow    []int32 // indices of predicate-only (non-header) subscriptions
+	routes  map[routeKey][]int32
 	hidden  func(ta.Action) bool
 	watches []func(ta.Event)
 
@@ -48,12 +79,21 @@ type System struct {
 	inited bool
 	err    error
 
+	sched sched
+
+	// linear, when set before the system first runs, restores the original
+	// O(components) scan scheduler and O(subscriptions) dispatch. It exists
+	// as a differential oracle for tests and benchmarks: both paths must
+	// produce byte-identical traces.
+	linear bool
+
 	// KeepTrace controls whether events are recorded. Disable for
 	// throughput benchmarks; watchers still run.
 	KeepTrace bool
 	trace     ta.Trace
 
 	chainDepth int
+	scratch    [][]ta.Action
 }
 
 // New returns an empty system at time zero.
@@ -68,15 +108,24 @@ func (s *System) Add(a ta.Automaton) ta.Automaton {
 		s.fail(fmt.Errorf("exec: duplicate component name %q", a.Name()))
 		return a
 	}
-	s.index[a.Name()] = len(s.comps)
+	idx := len(s.comps)
+	s.index[a.Name()] = idx
 	s.comps = append(s.comps, a)
+	if s.inited && !s.linear {
+		// Late registration: size the scheduler and pick up the newcomer's
+		// deadline immediately.
+		s.sched.grow(len(s.comps))
+		s.poll(idx)
+	}
 	return a
 }
 
 // Replace swaps the component registered under name (which the
 // replacement must keep) with a, redirecting any subscriptions that
-// targeted the old component. It is intended for installing fault wrappers
-// before a system runs.
+// targeted the old component and refreshing the scheduler's deadline entry
+// for the slot (the old component's entry is invalidated; the
+// replacement's Due is polled fresh). It is intended for installing fault
+// wrappers before a system runs.
 func (s *System) Replace(name string, a ta.Automaton) {
 	idx, ok := s.index[name]
 	if !ok {
@@ -94,14 +143,51 @@ func (s *System) Replace(name string, a ta.Automaton) {
 			s.subs[i].dst = a
 		}
 	}
+	if s.inited && !s.linear {
+		s.poll(idx)
+	}
 }
 
 // Connect routes every dispatched action matching match to dst as an input.
 // A single action may have several subscribers (broadcast actions), matching
 // the composition rule that an output is an input of every automaton whose
 // signature contains it.
+//
+// Connect is the slow path: match may inspect the payload, so it is
+// re-evaluated for every dispatched action. Wiring whose predicate only
+// looks at the action header should use ConnectHeader (or ConnectName),
+// which dispatch resolves through a memoized routing table.
 func (s *System) Connect(match func(ta.Action) bool, dst ta.Automaton) {
-	s.subs = append(s.subs, subscription{match: match, dst: dst})
+	s.addSub(match, dst, false)
+}
+
+// ConnectHeader is Connect for predicates that depend only on the action's
+// Name, Node, Peer, and Kind — never its Payload. Such subscriptions are
+// routed through a table keyed on those four fields, built lazily and
+// memoized, so the predicate runs once per distinct action header rather
+// than once per dispatched action. The contract is the caller's to keep: a
+// payload-inspecting predicate registered here will be consulted with an
+// arbitrary representative payload and its verdict reused.
+func (s *System) ConnectHeader(match func(ta.Action) bool, dst ta.Automaton) {
+	s.addSub(match, dst, true)
+}
+
+// ConnectName routes every action with exactly the given name to dst,
+// via the routing table.
+func (s *System) ConnectName(name string, dst ta.Automaton) {
+	s.ConnectHeader(func(a ta.Action) bool { return a.Name == name }, dst)
+}
+
+func (s *System) addSub(match func(ta.Action) bool, dst ta.Automaton, header bool) {
+	idx := int32(-1)
+	if i, ok := s.index[dst.Name()]; ok && s.comps[i] == dst {
+		idx = int32(i)
+	}
+	s.subs = append(s.subs, subscription{match: match, dst: dst, dstIdx: idx, header: header})
+	if !header {
+		s.slow = append(s.slow, int32(len(s.subs)-1))
+	}
+	s.routes = nil // memoized routes are stale once the wiring changes
 }
 
 // Hide reclassifies matching actions as internal in the recorded trace,
@@ -140,12 +226,24 @@ func (s *System) fail(err error) {
 
 // record logs the event and notifies watchers.
 func (s *System) record(a ta.Action, src string) {
+	if !s.KeepTrace && len(s.watches) == 0 {
+		// Nobody is looking: skip hidden-classification and event
+		// construction entirely. Seq still advances so that toggling
+		// KeepTrace mid-run yields consistent numbering.
+		s.seq++
+		return
+	}
 	if s.hidden != nil && a.Kind != ta.KindInternal && s.hidden(a) {
 		a.Kind = ta.KindInternal
 	}
 	e := ta.Event{Action: a, At: s.now, Src: src, Seq: s.seq}
 	s.seq++
 	if s.KeepTrace {
+		if s.trace == nil {
+			// Traced runs record thousands of events; start with a block
+			// big enough to skip the early growth doublings.
+			s.trace = make(ta.Trace, 0, 4096)
+		}
 		s.trace = append(s.trace, e)
 	}
 	for _, w := range s.watches {
@@ -153,8 +251,54 @@ func (s *System) record(a ta.Action, src string) {
 	}
 }
 
+// borrow copies acts into a pooled scratch buffer. The executor iterates
+// action slices while dispatching recursively, and a nested Deliver or
+// Fire may re-enter the component that produced them; copying up front is
+// what lets components reuse their returned slices across calls (see the
+// ta.Automaton contract).
+func (s *System) borrow(acts []ta.Action) []ta.Action {
+	var buf []ta.Action
+	if n := len(s.scratch); n > 0 {
+		buf = s.scratch[n-1][:0]
+		s.scratch = s.scratch[:n-1]
+	}
+	return append(buf, acts...)
+}
+
+// release clears and returns a borrowed buffer to the pool. Clearing drops
+// payload references so the pool never pins message bodies.
+func (s *System) release(buf []ta.Action) {
+	clear(buf)
+	s.scratch = append(s.scratch, buf[:0])
+}
+
+// routeFor returns the header-subscription hit list for a's routing key,
+// computing and memoizing it on first sight. Header predicates depend only
+// on the key fields, so one representative action decides the route for
+// every action sharing its key.
+func (s *System) routeFor(a ta.Action) []int32 {
+	key := routeKey{name: a.Name, node: a.Node, peer: a.Peer, kind: a.Kind}
+	if hits, ok := s.routes[key]; ok {
+		return hits
+	}
+	var hits []int32
+	for i := range s.subs {
+		if s.subs[i].header && s.subs[i].match(a) {
+			hits = append(hits, int32(i))
+		}
+	}
+	if s.routes == nil {
+		s.routes = make(map[routeKey][]int32)
+	}
+	s.routes[key] = hits
+	return hits
+}
+
 // dispatch records the action and delivers it to all subscribers,
-// recursively dispatching any same-instant reactions.
+// recursively dispatching any same-instant reactions. Subscribers are
+// visited in registration order on both the indexed and linear paths:
+// the routing table yields header-subscription indices sorted by
+// registration, merged with the predicate-only subscriptions.
 func (s *System) dispatch(a ta.Action, src string) {
 	if s.err != nil {
 		return
@@ -165,13 +309,51 @@ func (s *System) dispatch(a ta.Action, src string) {
 		return
 	}
 	s.record(a, src)
-	for _, sub := range s.subs {
-		if !sub.match(a) {
+	if s.linear {
+		for i := range s.subs {
+			if !s.subs[i].match(a) {
+				continue
+			}
+			s.deliverTo(&s.subs[i], a)
+		}
+		return
+	}
+	fast := s.routeFor(a)
+	if len(s.slow) == 0 {
+		for _, i := range fast {
+			s.deliverTo(&s.subs[i], a)
+		}
+		return
+	}
+	fi, si := 0, 0
+	for fi < len(fast) || si < len(s.slow) {
+		if si >= len(s.slow) || (fi < len(fast) && fast[fi] < s.slow[si]) {
+			s.deliverTo(&s.subs[fast[fi]], a)
+			fi++
 			continue
 		}
-		for _, out := range sub.dst.Deliver(s.now, a) {
+		i := s.slow[si]
+		si++
+		if s.subs[i].match(a) {
+			s.deliverTo(&s.subs[i], a)
+		}
+	}
+}
+
+// deliverTo hands a to one subscriber, dispatches its same-instant
+// reactions, and refreshes the subscriber's deadline entry (its Due may
+// have changed with its state).
+func (s *System) deliverTo(sub *subscription, a ta.Action) {
+	outs := sub.dst.Deliver(s.now, a)
+	if len(outs) > 0 {
+		buf := s.borrow(outs)
+		for _, out := range buf {
 			s.dispatch(out, sub.dst.Name())
 		}
+		s.release(buf)
+	}
+	if !s.linear && sub.dstIdx >= 0 {
+		s.poll(int(sub.dstIdx))
 	}
 }
 
@@ -189,10 +371,29 @@ func (s *System) init() {
 		return
 	}
 	s.inited = true
+	s.sched.grow(len(s.comps))
+	// Late-resolved destinations: a Connect issued before its target's Add
+	// gets its component index here, before any dispatch needs it.
+	for i := range s.subs {
+		if s.subs[i].dstIdx < 0 {
+			if j, ok := s.index[s.subs[i].dst.Name()]; ok && s.comps[j] == s.subs[i].dst {
+				s.subs[i].dstIdx = int32(j)
+			}
+		}
+	}
 	for _, c := range s.comps {
-		for _, a := range c.Init() {
-			s.chainDepth = 0
-			s.dispatch(a, c.Name())
+		if acts := c.Init(); len(acts) > 0 {
+			buf := s.borrow(acts)
+			for _, a := range buf {
+				s.chainDepth = 0
+				s.dispatch(a, c.Name())
+			}
+			s.release(buf)
+		}
+	}
+	if !s.linear {
+		for i := range s.comps {
+			s.poll(i)
 		}
 	}
 	s.fireDue()
@@ -201,44 +402,27 @@ func (s *System) init() {
 // fireDue fires every component whose deadline has been reached, repeating
 // until the instant is quiescent.
 func (s *System) fireDue() {
-	for s.err == nil {
-		progressed := false
-		for _, c := range s.comps {
-			due, ok := c.Due(s.now)
-			if !ok || due.After(s.now) {
-				continue
-			}
-			acts := c.Fire(s.now)
-			if len(acts) == 0 {
-				// The component claimed a reached deadline but performed
-				// nothing: its Due must move forward or the system is stuck.
-				if due2, ok2 := c.Due(s.now); ok2 && !due2.After(s.now) {
-					s.fail(fmt.Errorf("%w: %s at %v", ErrStuck, c.Name(), s.now))
-					return
-				}
-				continue
-			}
-			progressed = true
-			for _, a := range acts {
-				s.chainDepth = 0
-				s.dispatch(a, c.Name())
-			}
-		}
-		if !progressed {
-			return
-		}
+	if s.linear {
+		s.fireDueLinear()
+		return
 	}
+	s.fireDueIndexed()
 }
 
 // NextDue returns the earliest pending deadline strictly after now, or
 // ok=false when no component has one.
 func (s *System) NextDue() (simtime.Time, bool) {
-	next := simtime.Never
-	found := false
-	for _, c := range s.comps {
-		if due, ok := c.Due(s.now); ok && due.Before(next) {
-			next = due
-			found = true
+	if s.linear {
+		return s.nextDueLinear()
+	}
+	next, found := s.sched.peek()
+	// Rare: a late Add or Replace can park an already-due component in the
+	// dueNow heap outside a fireDue sweep; the next sweep fires it, but
+	// NextDue must still report it so Run/Step know there is work at or
+	// before now. Empty in steady state, so this loop normally costs nothing.
+	for _, idx := range s.sched.dueNow {
+		if due, ok := s.comps[idx].Due(s.now); ok && (!found || due.Before(next)) {
+			next, found = due, true
 		}
 	}
 	return next, found

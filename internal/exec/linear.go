@@ -1,0 +1,61 @@
+package exec
+
+import (
+	"fmt"
+
+	"psclock/internal/simtime"
+)
+
+// This file preserves the original O(components)-per-step scheduler,
+// verbatim, as a differential oracle. Setting System.linear before the
+// first run routes NextDue/fireDue through these implementations and
+// dispatch through the full-scan path; seeded executions must produce
+// byte-identical traces on either path (see the differential test and the
+// golden-trace test in internal/experiments).
+
+// fireDueLinear fires every component whose deadline has been reached,
+// repeating full index-ordered sweeps until the instant is quiescent.
+func (s *System) fireDueLinear() {
+	for s.err == nil {
+		progressed := false
+		for _, c := range s.comps {
+			due, ok := c.Due(s.now)
+			if !ok || due.After(s.now) {
+				continue
+			}
+			acts := c.Fire(s.now)
+			if len(acts) == 0 {
+				// The component claimed a reached deadline but performed
+				// nothing: its Due must move forward or the system is stuck.
+				if due2, ok2 := c.Due(s.now); ok2 && !due2.After(s.now) {
+					s.fail(fmt.Errorf("%w: %s at %v", ErrStuck, c.Name(), s.now))
+					return
+				}
+				continue
+			}
+			progressed = true
+			buf := s.borrow(acts)
+			for _, a := range buf {
+				s.chainDepth = 0
+				s.dispatch(a, c.Name())
+			}
+			s.release(buf)
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// nextDueLinear scans every component for the earliest pending deadline.
+func (s *System) nextDueLinear() (simtime.Time, bool) {
+	next := simtime.Never
+	found := false
+	for _, c := range s.comps {
+		if due, ok := c.Due(s.now); ok && due.Before(next) {
+			next = due
+			found = true
+		}
+	}
+	return next, found
+}

@@ -88,7 +88,7 @@ func runObjectSpec(model string, spec object.Spec, gen object.OpGen, eps simtime
 // models: linearizable everywhere, with the register's cost formulas.
 func E11Objects() Result {
 	eps := 400 * us
-	specs := []struct {
+	objs := []struct {
 		spec object.Spec
 		gen  object.OpGen
 	}{
@@ -97,46 +97,58 @@ func E11Objects() Result {
 		{object.MaxRegister{}, object.MaxOps(0.5)},
 		{object.Register{}, object.RegisterOps(0.4)},
 	}
-	tb := stats.NewTable("object", "model", "query max", "query bound", "update max", "update bound", "linearizable")
-	var fails []string
-	for _, s := range specs {
+	// Flatten the object × model grid into one row-spec list: every cell is
+	// an independent seeded system. OpGens are stateless (the client's own
+	// rand is passed in per call), so rows may share them.
+	type e11Spec struct {
+		spec  object.Spec
+		gen   object.OpGen
+		model string
+	}
+	var specs []e11Spec
+	for _, o := range objs {
 		for _, model := range []string{"timed", "clock", "mmt"} {
-			ops, qMax, uMax, err := runObjectSpec(model, s.spec, s.gen, eps, 1200)
-			if err != nil {
-				fails = append(fails, err.Error())
-				continue
-			}
-			// Bounds: query 2ε+δ+c, update d'2−c, in clock time; allow the
-			// ±2ε real-time envelope plus MMT's emission budget.
-			slop := simtime.Duration(0)
-			if model != "timed" {
-				slop = 2 * eps
-			}
-			if model == "mmt" {
-				slop += 24*50*us + 5*50*us
-			}
-			d2p := 3*ms + 2*eps
-			if model == "timed" {
-				d2p = 3 * ms
-			}
-			if model == "mmt" {
-				d2p += 24 * 50 * us
-			}
-			qBound := 2*eps + 10*us + 500*us + slop
-			uBound := d2p - 500*us + slop
-			r := linearize.CheckObject(ops, s.spec, linearize.Options{Initial: s.spec.Init()})
-			tb.AddRow(s.spec.Name(), model, fmtD(qMax), fmtD(qBound), fmtD(uMax), fmtD(uBound), checkMark(r.OK))
-			if !r.OK {
-				fails = append(fails, fmt.Sprintf("%s/%s: not linearizable: %s", s.spec.Name(), model, r.Reason))
-			}
-			if qMax > qBound {
-				fails = append(fails, fmt.Sprintf("%s/%s: query %v > bound %v", s.spec.Name(), model, qMax, qBound))
-			}
-			if uMax > uBound {
-				fails = append(fails, fmt.Sprintf("%s/%s: update %v > bound %v", s.spec.Name(), model, uMax, uBound))
-			}
+			specs = append(specs, e11Spec{o.spec, o.gen, model})
 		}
 	}
+	rows := parmapSlice(specs, func(s e11Spec) rowOut {
+		ops, qMax, uMax, err := runObjectSpec(s.model, s.spec, s.gen, eps, 1200)
+		if err != nil {
+			return rowOut{fails: []string{err.Error()}}
+		}
+		// Bounds: query 2ε+δ+c, update d'2−c, in clock time; allow the
+		// ±2ε real-time envelope plus MMT's emission budget.
+		slop := simtime.Duration(0)
+		if s.model != "timed" {
+			slop = 2 * eps
+		}
+		if s.model == "mmt" {
+			slop += 24*50*us + 5*50*us
+		}
+		d2p := 3*ms + 2*eps
+		if s.model == "timed" {
+			d2p = 3 * ms
+		}
+		if s.model == "mmt" {
+			d2p += 24 * 50 * us
+		}
+		qBound := 2*eps + 10*us + 500*us + slop
+		uBound := d2p - 500*us + slop
+		r := linearize.CheckObject(ops, s.spec, linearize.Options{Initial: s.spec.Init()})
+		out := rowOut{cells: []string{s.spec.Name(), s.model, fmtD(qMax), fmtD(qBound), fmtD(uMax), fmtD(uBound), checkMark(r.OK)}}
+		if !r.OK {
+			out.fails = append(out.fails, fmt.Sprintf("%s/%s: not linearizable: %s", s.spec.Name(), s.model, r.Reason))
+		}
+		if qMax > qBound {
+			out.fails = append(out.fails, fmt.Sprintf("%s/%s: query %v > bound %v", s.spec.Name(), s.model, qMax, qBound))
+		}
+		if uMax > uBound {
+			out.fails = append(out.fails, fmt.Sprintf("%s/%s: update %v > bound %v", s.spec.Name(), s.model, uMax, uBound))
+		}
+		return out
+	})
+	tb := stats.NewTable("object", "model", "query max", "query bound", "update max", "update bound", "linearizable")
+	fails := collectRows(tb, rows)
 	return Result{ID: "E11", Title: "§6 generalized: blind-update/query objects across all models (ε=400µs)", Output: tb.String(), Failures: fails}
 }
 
@@ -151,29 +163,14 @@ func E12Failures() Result {
 	bounds := simtime.NewInterval(1*ms, 3*ms)
 	eps := 500 * us
 	p := register.Params{C: 500 * us, Delta: 10 * us, D2: bounds.Hi + 2*eps, Epsilon: eps}
-	tb := stats.NewTable("row", "fault", "expected", "observed", "ok")
-	var fails []string
 
-	addRow := func(row, fault string, expectHold, observedHold bool) {
-		exp, obs := "linearizable", "linearizable"
-		if !expectHold {
-			exp = "violated"
-		}
-		if !observedHold {
-			obs = "violated"
-		}
-		ok := expectHold == observedHold
-		tb.AddRow(row, fault, exp, obs, checkMark(ok))
-		if !ok {
-			fails = append(fails, fmt.Sprintf("row %s (%s): expected %s, observed %s", row, fault, exp, obs))
-		}
-	}
-
-	build := func(seed int64, mutate func(*core.Net)) (bool, error) {
+	build := func(seed int64, mutate func(*core.Net) error) (bool, error) {
 		cfg := core.Config{N: 3, Bounds: bounds, Seed: seed, Clocks: clock.SpreadFactory(eps)}
 		net := core.BuildClocked(cfg, register.Factory(register.NewS, p))
 		if mutate != nil {
-			mutate(net)
+			if err := mutate(net); err != nil {
+				return false, err
+			}
 		}
 		// Clients only at nodes 0 and 1; node 2 is a pure replica.
 		var clients []*workload.Client
@@ -196,57 +193,99 @@ func E12Failures() Result {
 		}
 		return linearize.CheckLinearizable(ops, register.Initial.String()).OK, nil
 	}
-
-	// Row 1: no fault (control).
-	if ok, err := build(1, nil); err != nil {
-		fails = append(fails, err.Error())
-	} else {
-		addRow("1", "none (control)", true, ok)
-	}
-
-	// Row 2: crash the pure replica (node 2) mid-run.
-	if ok, err := build(2, func(net *core.Net) {
-		if _, err := core.CrashNode(net, 2, simtime.Time(40*ms)); err != nil {
-			fails = append(fails, err.Error())
+	crashAt := func(node ta.NodeID) func(*core.Net) error {
+		return func(net *core.Net) error {
+			_, err := core.CrashNode(net, node, simtime.Time(40*ms))
+			return err
 		}
-	}); err != nil {
-		fails = append(fails, err.Error())
-	} else {
-		addRow("2", "crash-stop of non-invoking replica at 40ms", true, ok)
 	}
 
-	// Row 3: crash an invoking node mid-run; its last op stays pending.
-	if ok, err := build(3, func(net *core.Net) {
-		if _, err := core.CrashNode(net, 1, simtime.Time(40*ms)); err != nil {
-			fails = append(fails, err.Error())
+	// Rows fan out over the worker pool; each owns its own seeded system.
+	type e12Row struct {
+		row, fault       string
+		expect, observed bool
+		errs             []string
+		skip             bool
+	}
+	mk := func(row, fault string, expect bool, fn func() (bool, error)) func() e12Row {
+		return func() e12Row {
+			observed, err := fn()
+			r := e12Row{row: row, fault: fault, expect: expect, observed: observed}
+			if err != nil {
+				r.errs = append(r.errs, err.Error())
+				r.skip = true
+			}
+			return r
 		}
-	}); err != nil {
-		fails = append(fails, err.Error())
-	} else {
-		addRow("3", "crash-stop of invoking node at 40ms", true, ok)
 	}
-
-	// Row 4: lossy link 0→1 dropping every 3rd message: dropped UPDATEs
-	// leave node 1 permanently divergent. A violation must be observed on
-	// some seed.
-	violated := false
-	for seed := int64(10); seed < 18 && !violated; seed++ {
-		ok, err := build(seed, func(net *core.Net) {
-			for _, e := range net.Edges {
-				if e.Name() == "cedge(n0->n1)" {
-					e.Drop = func(seq int, _ *rand.Rand) bool { return seq%3 == 2 }
+	tasks := []func() e12Row{
+		mk("1", "none (control)", true, func() (bool, error) {
+			return build(1, nil)
+		}),
+		mk("2", "crash-stop of non-invoking replica at 40ms", true, func() (bool, error) {
+			return build(2, crashAt(2))
+		}),
+		mk("3", "crash-stop of invoking node at 40ms", true, func() (bool, error) {
+			return build(3, crashAt(1))
+		}),
+		// Row 4: lossy link 0→1 dropping every 3rd message: dropped UPDATEs
+		// leave node 1 permanently divergent. A violation must be observed on
+		// some seed. The seed sweep fans out fully and reduces to
+		// "any violated" (the sequential version stopped at the first hit;
+		// the verdict is identical).
+		func() e12Row {
+			r := e12Row{row: "4", fault: "lossy link n0→n1 (every 3rd message dropped)", expect: false}
+			type verdict struct {
+				violated bool
+				err      string
+			}
+			verdicts := parmap(8, func(i int) verdict {
+				ok, err := build(10+int64(i), func(net *core.Net) error {
+					for _, e := range net.Edges {
+						if e.Name() == "cedge(n0->n1)" {
+							e.Drop = func(seq int, _ *rand.Rand) bool { return seq%3 == 2 }
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					return verdict{err: err.Error()}
+				}
+				return verdict{violated: !ok}
+			})
+			violated := false
+			for _, v := range verdicts {
+				if v.err != "" {
+					r.errs = append(r.errs, v.err)
+				} else if v.violated {
+					violated = true
 				}
 			}
-		})
-		if err != nil {
-			fails = append(fails, err.Error())
-			break
+			r.observed = !violated
+			return r
+		},
+	}
+	rows := parmapSlice(tasks, func(fn func() e12Row) e12Row { return fn() })
+
+	tb := stats.NewTable("row", "fault", "expected", "observed", "ok")
+	var fails []string
+	for _, r := range rows {
+		fails = append(fails, r.errs...)
+		if r.skip {
+			continue
 		}
+		exp, obs := "linearizable", "linearizable"
+		if !r.expect {
+			exp = "violated"
+		}
+		if !r.observed {
+			obs = "violated"
+		}
+		ok := r.expect == r.observed
+		tb.AddRow(r.row, r.fault, exp, obs, checkMark(ok))
 		if !ok {
-			violated = true
+			fails = append(fails, fmt.Sprintf("row %s (%s): expected %s, observed %s", r.row, r.fault, exp, obs))
 		}
 	}
-	addRow("4", "lossy link n0→n1 (every 3rd message dropped)", false, !violated)
-
 	return Result{ID: "E12", Title: "§7.3 failures explored: crash-stop tolerated, lossy links not", Output: tb.String(), Failures: fails}
 }

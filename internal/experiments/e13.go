@@ -31,23 +31,33 @@ func E13Granularity() Result {
 	var fails []string
 	var figP50, figMax []stats.Point
 
-	// Clock-model reference (continuous clock knowledge).
-	refOut, err := run(runSpec{
-		model:   "clock",
-		factory: register.Factory(register.NewS, p),
-		n:       3, bounds: bounds, seed: 1300,
-		clocks: clock.DriftFactory(eps, 13),
-		ops:    25, think: simtime.NewInterval(0, 2*ms), writeRatio: 0.3,
-	})
-	if err != nil {
-		return Result{ID: "E13", Title: "tick granularity", Failures: []string{err.Error()}}
+	// The clock-model reference and every tick row fan out together; the
+	// bounds checks that compare rows (excess over the reference, the
+	// cross-row monotonicity check) live in the sequential reduce below.
+	ticks := []simtime.Duration{25 * us, 50 * us, 100 * us, 200 * us}
+	type e13Row struct {
+		sum  stats.Summary
+		lin  bool
+		errs []string
+		skip bool
 	}
-	refReads, _ := register.Latencies(refOut.ops)
-	refMax := stats.MaxDuration(refReads)
-	tb.AddRow("(continuous)", fmtD(stats.Summarize(refReads).P50), fmtD(refMax), "0s", checkMark(linCheck(refOut, 0)))
-
-	prevMax := simtime.Duration(0)
-	for _, tick := range []simtime.Duration{25 * us, 50 * us, 100 * us, 200 * us} {
+	rows := parmap(1+len(ticks), func(i int) e13Row {
+		if i == 0 {
+			// Clock-model reference (continuous clock knowledge).
+			refOut, err := run(runSpec{
+				model:   "clock",
+				factory: register.Factory(register.NewS, p),
+				n:       3, bounds: bounds, seed: 1300,
+				clocks: clock.DriftFactory(eps, 13),
+				ops:    25, think: simtime.NewInterval(0, 2*ms), writeRatio: 0.3,
+			})
+			if err != nil {
+				return e13Row{errs: []string{err.Error()}, skip: true}
+			}
+			refReads, _ := register.Latencies(refOut.ops)
+			return e13Row{sum: stats.Summarize(refReads), lin: linCheck(refOut, 0)}
+		}
+		tick := ticks[i-1]
 		cfg := core.Config{
 			N: 3, Bounds: bounds, Seed: 1300,
 			Clocks: clock.DriftFactory(eps, 13),
@@ -67,27 +77,39 @@ func E13Granularity() Result {
 		}
 		for net.Sys.Now() < simtime.Time(30*simtime.Second) && !done() {
 			if err := net.Sys.Run(net.Sys.Now().Add(20 * ms)); err != nil {
-				fails = append(fails, err.Error())
-				break
+				return e13Row{errs: []string{err.Error()}, skip: true}
 			}
 		}
 		if !done() {
-			fails = append(fails, fmt.Sprintf("tick=%v: clients did not finish", tick))
-			continue
+			return e13Row{errs: []string{fmt.Sprintf("tick=%v: clients did not finish", tick)}, skip: true}
 		}
 		ops, err := register.History(net.Sys.Trace().Visible())
 		if err != nil {
-			fails = append(fails, err.Error())
-			continue
+			return e13Row{errs: []string{err.Error()}, skip: true}
 		}
 		reads, _ := register.Latencies(ops)
-		sum := stats.Summarize(reads)
+		return e13Row{sum: stats.Summarize(reads), lin: linCheck(runOut{net: net, ops: ops}, 0)}
+	})
+
+	if rows[0].skip {
+		return Result{ID: "E13", Title: "tick granularity", Failures: rows[0].errs}
+	}
+	refMax := rows[0].sum.Max
+	tb.AddRow("(continuous)", fmtD(rows[0].sum.P50), fmtD(refMax), "0s", checkMark(rows[0].lin))
+
+	prevMax := simtime.Duration(0)
+	for i, tick := range ticks {
+		r := rows[1+i]
+		fails = append(fails, r.errs...)
+		if r.skip {
+			continue
+		}
+		sum := r.sum
 		excess := sum.Max - refMax
-		lin := linCheck(runOut{net: net, ops: ops}, 0)
-		tb.AddRow(fmtD(tick), fmtD(sum.P50), fmtD(sum.Max), fmtD(excess), checkMark(lin))
+		tb.AddRow(fmtD(tick), fmtD(sum.P50), fmtD(sum.Max), fmtD(excess), checkMark(r.lin))
 		figP50 = append(figP50, stats.Point{X: tick.Millis(), Y: sum.P50.Millis()})
 		figMax = append(figMax, stats.Point{X: tick.Millis(), Y: sum.Max.Millis()})
-		if !lin {
+		if !r.lin {
 			fails = append(fails, fmt.Sprintf("tick=%v: not linearizable", tick))
 		}
 		// Granularity cost bound: tick staleness ≤ tick period, plus step

@@ -46,25 +46,49 @@ func E15Detector() Result {
 		return n, nil
 	}
 
-	sawMisfire := false
-	for _, margin := range []simtime.Duration{0, eps, 2 * eps, 3 * eps, 4 * eps} {
-		for cname, cf := range map[string]clock.Factory{
-			"spread":   clock.SpreadFactory(eps),
-			"sawtooth": clock.SawtoothFactory(eps, 8*ms),
-		} {
-			n, err := countFalse(margin, cf)
-			if err != nil {
-				fails = append(fails, err.Error())
-				continue
-			}
-			tb.AddRow(fmtD(margin), fmtD(base+margin), cname, fmt.Sprint(n), checkMark(n == 0))
-			if margin < 4*eps && n > 0 {
-				sawMisfire = true
-			}
-			if margin >= 4*eps && n > 0 {
-				fails = append(fails, fmt.Sprintf("margin %v (≥4ε): %d false suspicions under %s clocks", margin, n, cname))
-			}
+	// The margin × clock grid fans out with a canonical clock order (a map
+	// iteration here would make the row order nondeterministic). Factories
+	// may be stateful, so each row constructs its own.
+	clockNames := []string{"spread", "sawtooth"}
+	cfFor := func(name string) clock.Factory {
+		if name == "spread" {
+			return clock.SpreadFactory(eps)
 		}
+		return clock.SawtoothFactory(eps, 8*ms)
+	}
+	type e15Spec struct {
+		margin simtime.Duration
+		cname  string
+	}
+	var specs []e15Spec
+	for _, margin := range []simtime.Duration{0, eps, 2 * eps, 3 * eps, 4 * eps} {
+		for _, cname := range clockNames {
+			specs = append(specs, e15Spec{margin, cname})
+		}
+	}
+	type e15Row struct {
+		rowOut
+		misfire bool
+	}
+	rows := parmapSlice(specs, func(s e15Spec) e15Row {
+		n, err := countFalse(s.margin, cfFor(s.cname))
+		if err != nil {
+			return e15Row{rowOut: rowOut{fails: []string{err.Error()}}}
+		}
+		r := e15Row{misfire: s.margin < 4*eps && n > 0}
+		r.cells = []string{fmtD(s.margin), fmtD(base + s.margin), s.cname, fmt.Sprint(n), checkMark(n == 0)}
+		if s.margin >= 4*eps && n > 0 {
+			r.fails = append(r.fails, fmt.Sprintf("margin %v (≥4ε): %d false suspicions under %s clocks", s.margin, n, s.cname))
+		}
+		return r
+	})
+	sawMisfire := false
+	for _, r := range rows {
+		fails = append(fails, r.fails...)
+		if r.cells != nil {
+			tb.AddRow(r.cells...)
+		}
+		sawMisfire = sawMisfire || r.misfire
 	}
 	if !sawMisfire {
 		fails = append(fails, "no adversary ever caused a false suspicion below the 4ε margin; the margin appears unnecessary")

@@ -16,9 +16,9 @@ import (
 func E1AlgorithmL() Result {
 	bounds := simtime.NewInterval(1*ms, 3*ms)
 	delta := 10 * us
-	tb := stats.NewTable("c", "read want", "read meas", "write want", "write meas", "linearizable")
-	var fails []string
-	for _, c := range []simtime.Duration{0, 500 * us, 1 * ms, 2 * ms, 3 * ms} {
+	cs := []simtime.Duration{0, 500 * us, 1 * ms, 2 * ms, 3 * ms}
+	rows := parmapSlice(cs, func(c simtime.Duration) rowOut {
+		var r rowOut
 		p := register.Params{C: c, Delta: delta, D2: bounds.Hi, Epsilon: 0}
 		out, err := run(runSpec{
 			model:   "timed",
@@ -27,24 +27,27 @@ func E1AlgorithmL() Result {
 			ops: 40, think: simtime.NewInterval(0, 2*ms), writeRatio: 0.4,
 		})
 		if err != nil {
-			fails = append(fails, err.Error())
-			continue
+			r.fails = append(r.fails, err.Error())
+			return r
 		}
 		reads, writes := register.Latencies(out.ops)
 		rs, ws := stats.Summarize(reads), stats.Summarize(writes)
 		lin := linCheck(out, 0)
 		wantR, wantW := c+delta, bounds.Hi-c
-		tb.AddRow(fmtD(c), fmtD(wantR), fmtD(rs.Max), fmtD(wantW), fmtD(ws.Max), checkMark(lin))
+		r.cells = []string{fmtD(c), fmtD(wantR), fmtD(rs.Max), fmtD(wantW), fmtD(ws.Max), checkMark(lin)}
 		if rs.Min != wantR || rs.Max != wantR {
-			fails = append(fails, fmt.Sprintf("c=%v: read latency [%v, %v] != %v", c, rs.Min, rs.Max, wantR))
+			r.fails = append(r.fails, fmt.Sprintf("c=%v: read latency [%v, %v] != %v", c, rs.Min, rs.Max, wantR))
 		}
 		if ws.Min != wantW || ws.Max != wantW {
-			fails = append(fails, fmt.Sprintf("c=%v: write latency [%v, %v] != %v", c, ws.Min, ws.Max, wantW))
+			r.fails = append(r.fails, fmt.Sprintf("c=%v: write latency [%v, %v] != %v", c, ws.Min, ws.Max, wantW))
 		}
 		if !lin {
-			fails = append(fails, fmt.Sprintf("c=%v: not linearizable", c))
+			r.fails = append(r.fails, fmt.Sprintf("c=%v: not linearizable", c))
 		}
-	}
+		return r
+	})
+	tb := stats.NewTable("c", "read want", "read meas", "write want", "write meas", "linearizable")
+	fails := collectRows(tb, rows)
 	return Result{ID: "E1", Title: "Lemma 6.1: algorithm L in D_T (d'2=3ms, δ=10µs)", Output: tb.String(), Failures: fails}
 }
 
@@ -54,9 +57,9 @@ func E2AlgorithmS() Result {
 	bounds := simtime.NewInterval(1*ms, 3*ms)
 	delta := 10 * us
 	c := 600 * us
-	tb := stats.NewTable("ε", "read want", "read meas", "write want", "write meas", "superlin.", "lin.")
-	var fails []string
-	for _, eps := range []simtime.Duration{0, 100 * us, 300 * us, 500 * us, 1 * ms} {
+	epss := []simtime.Duration{0, 100 * us, 300 * us, 500 * us, 1 * ms}
+	rows := parmapSlice(epss, func(eps simtime.Duration) rowOut {
+		var r rowOut
 		d2p := bounds.Hi + 2*eps
 		p := register.Params{C: c, Delta: delta, D2: d2p, Epsilon: eps}
 		out, err := run(runSpec{
@@ -66,26 +69,29 @@ func E2AlgorithmS() Result {
 			ops: 30, think: simtime.NewInterval(0, 2*ms), writeRatio: 0.4,
 		})
 		if err != nil {
-			fails = append(fails, err.Error())
-			continue
+			r.fails = append(r.fails, err.Error())
+			return r
 		}
 		reads, writes := register.Latencies(out.ops)
 		rs, ws := stats.Summarize(reads), stats.Summarize(writes)
 		super := superCheck(out, eps)
 		lin := linCheck(out, 0)
 		wantR, wantW := 2*eps+c+delta, d2p-c
-		tb.AddRow(fmtD(eps), fmtD(wantR), fmtD(rs.Max), fmtD(wantW), fmtD(ws.Max),
-			checkMark(super), checkMark(lin))
+		r.cells = []string{fmtD(eps), fmtD(wantR), fmtD(rs.Max), fmtD(wantW), fmtD(ws.Max),
+			checkMark(super), checkMark(lin)}
 		if rs.Min != wantR || rs.Max != wantR {
-			fails = append(fails, fmt.Sprintf("ε=%v: read latency [%v, %v] != %v", eps, rs.Min, rs.Max, wantR))
+			r.fails = append(r.fails, fmt.Sprintf("ε=%v: read latency [%v, %v] != %v", eps, rs.Min, rs.Max, wantR))
 		}
 		if ws.Min != wantW || ws.Max != wantW {
-			fails = append(fails, fmt.Sprintf("ε=%v: write latency [%v, %v] != %v", eps, ws.Min, ws.Max, wantW))
+			r.fails = append(r.fails, fmt.Sprintf("ε=%v: write latency [%v, %v] != %v", eps, ws.Min, ws.Max, wantW))
 		}
 		if !super || !lin {
-			fails = append(fails, fmt.Sprintf("ε=%v: superlin=%v lin=%v", eps, super, lin))
+			r.fails = append(r.fails, fmt.Sprintf("ε=%v: superlin=%v lin=%v", eps, super, lin))
 		}
-	}
+		return r
+	})
+	tb := stats.NewTable("ε", "read want", "read meas", "write want", "write meas", "superlin.", "lin.")
+	fails := collectRows(tb, rows)
 	return Result{ID: "E2", Title: "Lemma 6.2: algorithm S in D_T (c=600µs, δ=10µs)", Output: tb.String(), Failures: fails}
 }
 
@@ -96,43 +102,66 @@ func E3ClockModel() Result {
 	bounds := simtime.NewInterval(1*ms, 3*ms)
 	delta := 10 * us
 	c := 700 * us
-	tb := stats.NewTable("ε", "clocks", "read want", "read meas (max)", "write want", "write meas (max)", "linearizable")
-	var fails []string
-	for _, eps := range []simtime.Duration{100 * us, 500 * us, 1 * ms} {
-		for cname, cf := range map[string]clock.Factory{
-			"perfect":  clock.PerfectFactory(),
-			"spread":   clock.SpreadFactory(eps),
-			"drift":    clock.DriftFactory(eps, 31),
-			"sawtooth": clock.SawtoothFactory(eps, 8*ms),
-		} {
-			p := register.Params{C: c, Delta: delta, D2: bounds.Hi + 2*eps, Epsilon: eps}
-			out, err := run(runSpec{
-				model:   "clock",
-				factory: register.Factory(register.NewS, p),
-				n:       3, bounds: bounds, seed: 303 + int64(eps),
-				clocks: cf, delays: channel.UniformDelay,
-				ops: 30, think: simtime.NewInterval(0, 2*ms), writeRatio: 0.4,
-			})
-			if err != nil {
-				fails = append(fails, err.Error())
-				continue
-			}
-			reads, writes := register.Latencies(out.ops)
-			rs, ws := stats.Summarize(reads), stats.Summarize(writes)
-			lin := linCheck(out, 0)
-			wantR, wantW := 2*eps+delta+c, bounds.Hi+2*eps-c
-			tb.AddRow(fmtD(eps), cname, fmtD(wantR), fmtD(rs.Max), fmtD(wantW), fmtD(ws.Max), checkMark(lin))
-			if (rs.Max-wantR).Abs() > 2*eps || (rs.Min-wantR).Abs() > 2*eps {
-				fails = append(fails, fmt.Sprintf("ε=%v/%s: read [%v, %v] vs %v ± 2ε", eps, cname, rs.Min, rs.Max, wantR))
-			}
-			if (ws.Max-wantW).Abs() > 2*eps || (ws.Min-wantW).Abs() > 2*eps {
-				fails = append(fails, fmt.Sprintf("ε=%v/%s: write [%v, %v] vs %v ± 2ε", eps, cname, ws.Min, ws.Max, wantW))
-			}
-			if !lin {
-				fails = append(fails, fmt.Sprintf("ε=%v/%s: not linearizable", eps, cname))
-			}
+	// Clock families in a fixed order (the seed's map iteration shuffled
+	// rows run to run; deterministic output is a requirement now that rows
+	// fan out in parallel). Factories may be stateful, so each row builds
+	// its own inside the worker.
+	clockNames := []string{"perfect", "spread", "drift", "sawtooth"}
+	factoryFor := func(name string, eps simtime.Duration) clock.Factory {
+		switch name {
+		case "perfect":
+			return clock.PerfectFactory()
+		case "spread":
+			return clock.SpreadFactory(eps)
+		case "drift":
+			return clock.DriftFactory(eps, 31)
+		default:
+			return clock.SawtoothFactory(eps, 8*ms)
 		}
 	}
+	type e3Spec struct {
+		eps   simtime.Duration
+		cname string
+	}
+	var specs []e3Spec
+	for _, eps := range []simtime.Duration{100 * us, 500 * us, 1 * ms} {
+		for _, cname := range clockNames {
+			specs = append(specs, e3Spec{eps, cname})
+		}
+	}
+	rows := parmapSlice(specs, func(sp e3Spec) rowOut {
+		var r rowOut
+		eps, cname := sp.eps, sp.cname
+		p := register.Params{C: c, Delta: delta, D2: bounds.Hi + 2*eps, Epsilon: eps}
+		out, err := run(runSpec{
+			model:   "clock",
+			factory: register.Factory(register.NewS, p),
+			n:       3, bounds: bounds, seed: 303 + int64(eps),
+			clocks: factoryFor(cname, eps), delays: channel.UniformDelay,
+			ops: 30, think: simtime.NewInterval(0, 2*ms), writeRatio: 0.4,
+		})
+		if err != nil {
+			r.fails = append(r.fails, err.Error())
+			return r
+		}
+		reads, writes := register.Latencies(out.ops)
+		rs, ws := stats.Summarize(reads), stats.Summarize(writes)
+		lin := linCheck(out, 0)
+		wantR, wantW := 2*eps+delta+c, bounds.Hi+2*eps-c
+		r.cells = []string{fmtD(eps), cname, fmtD(wantR), fmtD(rs.Max), fmtD(wantW), fmtD(ws.Max), checkMark(lin)}
+		if (rs.Max-wantR).Abs() > 2*eps || (rs.Min-wantR).Abs() > 2*eps {
+			r.fails = append(r.fails, fmt.Sprintf("ε=%v/%s: read [%v, %v] vs %v ± 2ε", eps, cname, rs.Min, rs.Max, wantR))
+		}
+		if (ws.Max-wantW).Abs() > 2*eps || (ws.Min-wantW).Abs() > 2*eps {
+			r.fails = append(r.fails, fmt.Sprintf("ε=%v/%s: write [%v, %v] vs %v ± 2ε", eps, cname, ws.Min, ws.Max, wantW))
+		}
+		if !lin {
+			r.fails = append(r.fails, fmt.Sprintf("ε=%v/%s: not linearizable", eps, cname))
+		}
+		return r
+	})
+	tb := stats.NewTable("ε", "clocks", "read want", "read meas (max)", "write want", "write meas (max)", "linearizable")
+	fails := collectRows(tb, rows)
 	return Result{ID: "E3", Title: "Theorem 6.5: S^c in D_C (d2=3ms, c=700µs)", Output: tb.String(), Failures: fails}
 }
 
@@ -144,71 +173,99 @@ func E4Comparison() Result {
 	bounds := simtime.NewInterval(1*ms, 3*ms)
 	d2 := bounds.Hi
 	delta := 10 * us
-	tb := stats.NewTable("u", "c", "S read", "base read", "S write", "base write", "S combined", "base combined", "S lin.", "base lin.")
-	var fails []string
-	crossNote := ""
-	var figOurs, figBase []stats.Point
+	type e4Spec struct {
+		u, cKnob simtime.Duration
+	}
+	var specs []e4Spec
 	for _, u := range []simtime.Duration{200 * us, 400 * us, 800 * us} {
-		eps := u / 2
 		for _, cKnob := range []simtime.Duration{0, u, 2 * u, 3 * u, 4 * u} {
 			if cKnob > d2 {
 				continue
 			}
-			p := register.Params{C: cKnob, Delta: delta, D2: d2 + 2*eps, Epsilon: eps}
-			oursOut, err := run(runSpec{
-				model:   "clock",
-				factory: register.Factory(register.NewS, p),
-				n:       3, bounds: bounds, seed: 404 + int64(u+cKnob),
-				clocks: clock.SpreadFactory(eps), delays: channel.UniformDelay,
-				ops: 25, think: simtime.NewInterval(0, 2*ms), writeRatio: 0.4,
-			})
-			if err != nil {
-				fails = append(fails, err.Error())
-				continue
-			}
-			baseOut, err := run(runSpec{
-				model:   "clock",
-				factory: register.BaselineFactory(u, d2),
-				n:       3, bounds: bounds, seed: 404 + int64(u+cKnob),
-				clocks: clock.SpreadFactory(eps), delays: channel.UniformDelay,
-				ops: 25, think: simtime.NewInterval(0, 2*ms), writeRatio: 0.4,
-			})
-			if err != nil {
-				fails = append(fails, err.Error())
-				continue
-			}
-			oR, oW := maxLat(oursOut)
-			bR, bW := maxLat(baseOut)
-			oLin, bLin := linCheck(oursOut, 0), linCheck(baseOut, 0)
-			tb.AddRow(fmtD(u), fmtD(cKnob), fmtD(oR), fmtD(bR), fmtD(oW), fmtD(bW),
-				fmtD(oR+oW), fmtD(bR+bW), checkMark(oLin), checkMark(bLin))
-			if u == 800*us {
-				figOurs = append(figOurs, stats.Point{X: cKnob.Millis(), Y: oR.Millis()})
-				figBase = append(figBase, stats.Point{X: cKnob.Millis(), Y: bR.Millis()})
-			}
-			if !oLin {
-				fails = append(fails, fmt.Sprintf("u=%v c=%v: ours not linearizable", u, cKnob))
-			}
-			if !bLin {
-				fails = append(fails, fmt.Sprintf("u=%v c=%v: baseline not linearizable", u, cKnob))
-			}
-			// The paper's headline: ours wins on combined cost (d2+2u vs
-			// d2+7u) whenever u > 0 — allow 2ε of real-time measurement slop
-			// on each of the four latencies.
-			if u > 0 && oR+oW >= bR+bW+8*eps {
-				fails = append(fails, fmt.Sprintf("u=%v c=%v: combined %v not better than baseline %v", u, cKnob, oR+oW, bR+bW))
-			}
-			// Crossover: for c < 3u ours reads faster; for c > 3u baseline
-			// reads faster (±2ε slop each side).
-			if cKnob < 3*u-2*eps-delta && oR >= bR+4*eps {
-				fails = append(fails, fmt.Sprintf("u=%v c=%v: expected ours to read faster (%v vs %v)", u, cKnob, oR, bR))
-			}
-			if cKnob > 3*u+2*eps && bR >= oR+4*eps {
-				fails = append(fails, fmt.Sprintf("u=%v c=%v: expected baseline to read faster (%v vs %v)", u, cKnob, bR, oR))
-			}
-			if cKnob == 3*u {
-				crossNote = fmt.Sprintf("read-cost crossover at c = 3u−δ (paper: ours c+u vs baseline 4u); at u=%v both read ≈ %v\n", u, bR)
-			}
+			specs = append(specs, e4Spec{u, cKnob})
+		}
+	}
+	type e4Row struct {
+		rowOut
+		figOurs, figBase *stats.Point
+		crossNote        string
+	}
+	rows := parmapSlice(specs, func(sp e4Spec) e4Row {
+		var r e4Row
+		u, cKnob := sp.u, sp.cKnob
+		eps := u / 2
+		p := register.Params{C: cKnob, Delta: delta, D2: d2 + 2*eps, Epsilon: eps}
+		oursOut, err := run(runSpec{
+			model:   "clock",
+			factory: register.Factory(register.NewS, p),
+			n:       3, bounds: bounds, seed: 404 + int64(u+cKnob),
+			clocks: clock.SpreadFactory(eps), delays: channel.UniformDelay,
+			ops: 25, think: simtime.NewInterval(0, 2*ms), writeRatio: 0.4,
+		})
+		if err != nil {
+			r.fails = append(r.fails, err.Error())
+			return r
+		}
+		baseOut, err := run(runSpec{
+			model:   "clock",
+			factory: register.BaselineFactory(u, d2),
+			n:       3, bounds: bounds, seed: 404 + int64(u+cKnob),
+			clocks: clock.SpreadFactory(eps), delays: channel.UniformDelay,
+			ops: 25, think: simtime.NewInterval(0, 2*ms), writeRatio: 0.4,
+		})
+		if err != nil {
+			r.fails = append(r.fails, err.Error())
+			return r
+		}
+		oR, oW := maxLat(oursOut)
+		bR, bW := maxLat(baseOut)
+		oLin, bLin := linCheck(oursOut, 0), linCheck(baseOut, 0)
+		r.cells = []string{fmtD(u), fmtD(cKnob), fmtD(oR), fmtD(bR), fmtD(oW), fmtD(bW),
+			fmtD(oR + oW), fmtD(bR + bW), checkMark(oLin), checkMark(bLin)}
+		if u == 800*us {
+			r.figOurs = &stats.Point{X: cKnob.Millis(), Y: oR.Millis()}
+			r.figBase = &stats.Point{X: cKnob.Millis(), Y: bR.Millis()}
+		}
+		if !oLin {
+			r.fails = append(r.fails, fmt.Sprintf("u=%v c=%v: ours not linearizable", u, cKnob))
+		}
+		if !bLin {
+			r.fails = append(r.fails, fmt.Sprintf("u=%v c=%v: baseline not linearizable", u, cKnob))
+		}
+		// The paper's headline: ours wins on combined cost (d2+2u vs
+		// d2+7u) whenever u > 0 — allow 2ε of real-time measurement slop
+		// on each of the four latencies.
+		if u > 0 && oR+oW >= bR+bW+8*eps {
+			r.fails = append(r.fails, fmt.Sprintf("u=%v c=%v: combined %v not better than baseline %v", u, cKnob, oR+oW, bR+bW))
+		}
+		// Crossover: for c < 3u ours reads faster; for c > 3u baseline
+		// reads faster (±2ε slop each side).
+		if cKnob < 3*u-2*eps-delta && oR >= bR+4*eps {
+			r.fails = append(r.fails, fmt.Sprintf("u=%v c=%v: expected ours to read faster (%v vs %v)", u, cKnob, oR, bR))
+		}
+		if cKnob > 3*u+2*eps && bR >= oR+4*eps {
+			r.fails = append(r.fails, fmt.Sprintf("u=%v c=%v: expected baseline to read faster (%v vs %v)", u, cKnob, bR, oR))
+		}
+		if cKnob == 3*u {
+			r.crossNote = fmt.Sprintf("read-cost crossover at c = 3u−δ (paper: ours c+u vs baseline 4u); at u=%v both read ≈ %v\n", u, bR)
+		}
+		return r
+	})
+	tb := stats.NewTable("u", "c", "S read", "base read", "S write", "base write", "S combined", "base combined", "S lin.", "base lin.")
+	var fails []string
+	crossNote := ""
+	var figOurs, figBase []stats.Point
+	for _, r := range rows {
+		if r.cells != nil {
+			tb.AddRow(r.cells...)
+		}
+		fails = append(fails, r.fails...)
+		if r.figOurs != nil {
+			figOurs = append(figOurs, *r.figOurs)
+			figBase = append(figBase, *r.figBase)
+		}
+		if r.crossNote != "" {
+			crossNote = r.crossNote
 		}
 	}
 	return Result{

@@ -69,54 +69,74 @@ func E5Sim1Shift() Result {
 	bounds := simtime.NewInterval(1*ms, 3*ms)
 	delta := 10 * us
 	c := 500 * us
-	tb := stats.NewTable("ε", "clocks", "max |clock−real|", "=_ε holds", "γ_α superlin.", "real trace lin.")
-	var fails []string
-	for _, eps := range []simtime.Duration{100 * us, 500 * us, 1 * ms} {
-		for cname, cf := range map[string]clock.Factory{
-			"spread":   clock.SpreadFactory(eps),
-			"drift":    clock.DriftFactory(eps, 47),
-			"sawtooth": clock.SawtoothFactory(eps, 8*ms),
-		} {
-			p := register.Params{C: c, Delta: delta, D2: bounds.Hi + 2*eps, Epsilon: eps}
-			out, err := run(runSpec{
-				model:   "clock",
-				factory: register.Factory(register.NewS, p),
-				n:       3, bounds: bounds, seed: 505 + int64(eps),
-				clocks: cf, delays: channel.SpreadDelay,
-				ops: 25, think: simtime.NewInterval(0, 2*ms), writeRatio: 0.4,
-			})
-			if err != nil {
-				fails = append(fails, err.Error())
-				continue
-			}
-			gamma := gammaTrace(out.net)
-			real := realTrace(out.net)
-			shift, err := trace.MinEps(real, gamma, trace.ByNode)
-			if err != nil {
-				fails = append(fails, fmt.Sprintf("ε=%v/%s: traces unrelated: %v", eps, cname, err))
-				continue
-			}
-			eqOK := shift <= eps
-			gops, herr := register.History(gamma)
-			gSuper := false
-			if herr == nil {
-				gSuper = linearize.CheckSuperLinearizable(gops, register.Initial.String(), eps).OK
-			}
-			realLin := linCheck(out, 0)
-			tb.AddRow(fmtD(eps), cname, fmtD(shift), checkMark(eqOK), checkMark(gSuper), checkMark(realLin))
-			if !eqOK {
-				fails = append(fails, fmt.Sprintf("ε=%v/%s: trace shift %v > ε", eps, cname, shift))
-			}
-			if herr != nil {
-				fails = append(fails, fmt.Sprintf("ε=%v/%s: γ_α history: %v", eps, cname, herr))
-			} else if !gSuper {
-				fails = append(fails, fmt.Sprintf("ε=%v/%s: γ_α not ε-superlinearizable", eps, cname))
-			}
-			if !realLin {
-				fails = append(fails, fmt.Sprintf("ε=%v/%s: real trace not linearizable", eps, cname))
-			}
+	// Fixed clock-family order (was map iteration, which shuffled rows);
+	// factories are built per row since they may carry state.
+	clockNames := []string{"spread", "drift", "sawtooth"}
+	factoryFor := func(name string, eps simtime.Duration) clock.Factory {
+		switch name {
+		case "spread":
+			return clock.SpreadFactory(eps)
+		case "drift":
+			return clock.DriftFactory(eps, 47)
+		default:
+			return clock.SawtoothFactory(eps, 8*ms)
 		}
 	}
+	type e5Spec struct {
+		eps   simtime.Duration
+		cname string
+	}
+	var specs []e5Spec
+	for _, eps := range []simtime.Duration{100 * us, 500 * us, 1 * ms} {
+		for _, cname := range clockNames {
+			specs = append(specs, e5Spec{eps, cname})
+		}
+	}
+	rows := parmapSlice(specs, func(sp e5Spec) rowOut {
+		var r rowOut
+		eps, cname := sp.eps, sp.cname
+		p := register.Params{C: c, Delta: delta, D2: bounds.Hi + 2*eps, Epsilon: eps}
+		out, err := run(runSpec{
+			model:   "clock",
+			factory: register.Factory(register.NewS, p),
+			n:       3, bounds: bounds, seed: 505 + int64(eps),
+			clocks: factoryFor(cname, eps), delays: channel.SpreadDelay,
+			ops: 25, think: simtime.NewInterval(0, 2*ms), writeRatio: 0.4,
+		})
+		if err != nil {
+			r.fails = append(r.fails, err.Error())
+			return r
+		}
+		gamma := gammaTrace(out.net)
+		real := realTrace(out.net)
+		shift, err := trace.MinEps(real, gamma, trace.ByNode)
+		if err != nil {
+			r.fails = append(r.fails, fmt.Sprintf("ε=%v/%s: traces unrelated: %v", eps, cname, err))
+			return r
+		}
+		eqOK := shift <= eps
+		gops, herr := register.History(gamma)
+		gSuper := false
+		if herr == nil {
+			gSuper = linearize.CheckSuperLinearizable(gops, register.Initial.String(), eps).OK
+		}
+		realLin := linCheck(out, 0)
+		r.cells = []string{fmtD(eps), cname, fmtD(shift), checkMark(eqOK), checkMark(gSuper), checkMark(realLin)}
+		if !eqOK {
+			r.fails = append(r.fails, fmt.Sprintf("ε=%v/%s: trace shift %v > ε", eps, cname, shift))
+		}
+		if herr != nil {
+			r.fails = append(r.fails, fmt.Sprintf("ε=%v/%s: γ_α history: %v", eps, cname, herr))
+		} else if !gSuper {
+			r.fails = append(r.fails, fmt.Sprintf("ε=%v/%s: γ_α not ε-superlinearizable", eps, cname))
+		}
+		if !realLin {
+			r.fails = append(r.fails, fmt.Sprintf("ε=%v/%s: real trace not linearizable", eps, cname))
+		}
+		return r
+	})
+	tb := stats.NewTable("ε", "clocks", "max |clock−real|", "=_ε holds", "γ_α superlin.", "real trace lin.")
+	fails := collectRows(tb, rows)
 	return Result{ID: "E5", Title: "Theorem 4.7: simulation-1 real-time preservation", Output: tb.String(), Failures: fails}
 }
 
@@ -151,42 +171,60 @@ func clockDelays(net *core.Net) []simtime.Duration {
 // clock time used by a message lies in [max(0, d1−2ε), d2+2ε].
 func E6ClockDelay() Result {
 	bounds := simtime.NewInterval(1*ms, 3*ms)
-	tb := stats.NewTable("ε", "delays", "messages", "min clk-delay", "max clk-delay", "lower bound", "upper bound", "within")
-	var fails []string
-	for _, eps := range []simtime.Duration{100 * us, 500 * us, 1 * ms} {
-		for dname, df := range map[string]func() channel.DelayPolicy{
-			"min":    channel.MinDelay,
-			"max":    channel.MaxDelay,
-			"spread": channel.SpreadDelay,
-		} {
-			p := register.Params{C: 500 * us, Delta: 10 * us, D2: bounds.Hi + 2*eps, Epsilon: eps}
-			out, err := run(runSpec{
-				model:   "clock",
-				factory: register.Factory(register.NewS, p),
-				n:       3, bounds: bounds, seed: 606 + int64(eps),
-				clocks: clock.SpreadFactory(eps), delays: df,
-				ops: 20, think: simtime.NewInterval(0, 2*ms), writeRatio: 0.5,
-			})
-			if err != nil {
-				fails = append(fails, err.Error())
-				continue
-			}
-			ds := clockDelays(out.net)
-			if len(ds) == 0 {
-				fails = append(fails, fmt.Sprintf("ε=%v/%s: no messages measured", eps, dname))
-				continue
-			}
-			sum := stats.Summarize(ds)
-			lo := (bounds.Lo - 2*eps).Max(0)
-			hi := bounds.Hi + 2*eps
-			within := sum.Min >= lo && sum.Max <= hi
-			tb.AddRow(fmtD(eps), dname, fmt.Sprint(sum.N), fmtD(sum.Min), fmtD(sum.Max), fmtD(lo), fmtD(hi), checkMark(within))
-			if !within {
-				fails = append(fails, fmt.Sprintf("ε=%v/%s: clock delays [%v, %v] outside [%v, %v]",
-					eps, dname, sum.Min, sum.Max, lo, hi))
-			}
+	delayNames := []string{"min", "max", "spread"}
+	delayFor := func(name string) func() channel.DelayPolicy {
+		switch name {
+		case "min":
+			return channel.MinDelay
+		case "max":
+			return channel.MaxDelay
+		default:
+			return channel.SpreadDelay
 		}
 	}
+	type e6Spec struct {
+		eps   simtime.Duration
+		dname string
+	}
+	var specs []e6Spec
+	for _, eps := range []simtime.Duration{100 * us, 500 * us, 1 * ms} {
+		for _, dname := range delayNames {
+			specs = append(specs, e6Spec{eps, dname})
+		}
+	}
+	rows := parmapSlice(specs, func(sp e6Spec) rowOut {
+		var r rowOut
+		eps, dname := sp.eps, sp.dname
+		p := register.Params{C: 500 * us, Delta: 10 * us, D2: bounds.Hi + 2*eps, Epsilon: eps}
+		out, err := run(runSpec{
+			model:   "clock",
+			factory: register.Factory(register.NewS, p),
+			n:       3, bounds: bounds, seed: 606 + int64(eps),
+			clocks: clock.SpreadFactory(eps), delays: delayFor(dname),
+			ops: 20, think: simtime.NewInterval(0, 2*ms), writeRatio: 0.5,
+		})
+		if err != nil {
+			r.fails = append(r.fails, err.Error())
+			return r
+		}
+		ds := clockDelays(out.net)
+		if len(ds) == 0 {
+			r.fails = append(r.fails, fmt.Sprintf("ε=%v/%s: no messages measured", eps, dname))
+			return r
+		}
+		sum := stats.Summarize(ds)
+		lo := (bounds.Lo - 2*eps).Max(0)
+		hi := bounds.Hi + 2*eps
+		within := sum.Min >= lo && sum.Max <= hi
+		r.cells = []string{fmtD(eps), dname, fmt.Sprint(sum.N), fmtD(sum.Min), fmtD(sum.Max), fmtD(lo), fmtD(hi), checkMark(within)}
+		if !within {
+			r.fails = append(r.fails, fmt.Sprintf("ε=%v/%s: clock delays [%v, %v] outside [%v, %v]",
+				eps, dname, sum.Min, sum.Max, lo, hi))
+		}
+		return r
+	})
+	tb := stats.NewTable("ε", "delays", "messages", "min clk-delay", "max clk-delay", "lower bound", "upper bound", "within")
+	fails := collectRows(tb, rows)
 	return Result{ID: "E6", Title: "Lemma 4.5: message clock-time delays (d=[1ms,3ms])", Output: tb.String(), Failures: fails}
 }
 
@@ -196,10 +234,13 @@ func E6ClockDelay() Result {
 func E7Buffering() Result {
 	eps := 500 * us
 	d2gap := 2 * ms
-	tb := stats.NewTable("d1", "d1/2ε", "received", "buffered", "fraction", "max hold (clk)", "bound 2ε−d1")
-	var fails []string
-	var figFrac, figHold []stats.Point
-	for _, d1 := range []simtime.Duration{0, 250 * us, 500 * us, 750 * us, 1 * ms, 1500 * us, 2 * ms} {
+	type e7Row struct {
+		rowOut
+		frac, hold *stats.Point
+	}
+	d1s := []simtime.Duration{0, 250 * us, 500 * us, 750 * us, 1 * ms, 1500 * us, 2 * ms}
+	rows := parmapSlice(d1s, func(d1 simtime.Duration) e7Row {
+		var r e7Row
 		bounds := simtime.NewInterval(d1, d1+d2gap)
 		p := register.Params{C: 500 * us, Delta: 10 * us, D2: bounds.Hi + 2*eps, Epsilon: eps}
 		out, err := run(runSpec{
@@ -210,8 +251,8 @@ func E7Buffering() Result {
 			ops: 25, think: simtime.NewInterval(0, 2*ms), writeRatio: 0.5,
 		})
 		if err != nil {
-			fails = append(fails, err.Error())
-			continue
+			r.fails = append(r.fails, err.Error())
+			return r
 		}
 		var buffered, received int
 		var heldMax simtime.Duration
@@ -228,20 +269,34 @@ func E7Buffering() Result {
 			frac = float64(buffered) / float64(received)
 		}
 		bound := (2*eps - d1).Max(0)
-		tb.AddRow(fmtD(d1), fmt.Sprintf("%.2f", float64(d1)/float64(2*eps)),
+		r.cells = []string{fmtD(d1), fmt.Sprintf("%.2f", float64(d1)/float64(2*eps)),
 			fmt.Sprint(received), fmt.Sprint(buffered), fmt.Sprintf("%.2f", frac),
-			fmtD(heldMax), fmtD(bound))
+			fmtD(heldMax), fmtD(bound)}
 		ratio := float64(d1) / float64(2*eps)
-		figFrac = append(figFrac, stats.Point{X: ratio, Y: frac})
-		figHold = append(figHold, stats.Point{X: ratio, Y: heldMax.Millis()})
+		r.frac = &stats.Point{X: ratio, Y: frac}
+		r.hold = &stats.Point{X: ratio, Y: heldMax.Millis()}
 		if d1 >= 2*eps && buffered != 0 {
-			fails = append(fails, fmt.Sprintf("d1=%v ≥ 2ε: %d messages buffered (§7.2 says none)", d1, buffered))
+			r.fails = append(r.fails, fmt.Sprintf("d1=%v ≥ 2ε: %d messages buffered (§7.2 says none)", d1, buffered))
 		}
 		if heldMax > bound {
-			fails = append(fails, fmt.Sprintf("d1=%v: hold %v > bound %v", d1, heldMax, bound))
+			r.fails = append(r.fails, fmt.Sprintf("d1=%v: hold %v > bound %v", d1, heldMax, bound))
 		}
 		if !linCheck(out, 0) {
-			fails = append(fails, fmt.Sprintf("d1=%v: not linearizable", d1))
+			r.fails = append(r.fails, fmt.Sprintf("d1=%v: not linearizable", d1))
+		}
+		return r
+	})
+	tb := stats.NewTable("d1", "d1/2ε", "received", "buffered", "fraction", "max hold (clk)", "bound 2ε−d1")
+	var fails []string
+	var figFrac, figHold []stats.Point
+	for _, r := range rows {
+		if r.cells != nil {
+			tb.AddRow(r.cells...)
+		}
+		fails = append(fails, r.fails...)
+		if r.frac != nil {
+			figFrac = append(figFrac, *r.frac)
+			figHold = append(figHold, *r.hold)
 		}
 	}
 	fig := stats.Chart("Figure 3: receive-buffer work vs d1/2ε", "d1/2ε", "fraction buffered (f), max hold ms (h)",
@@ -299,9 +354,9 @@ func measuredK(net *core.Net, ell simtime.Duration) int {
 func E8MMTShift() Result {
 	bounds := simtime.NewInterval(1*ms, 3*ms)
 	eps := 200 * us
-	tb := stats.NewTable("ℓ", "k (measured)", "bound kℓ+2ε+3ℓ", "measured shift δ", "within", "max queued")
-	var fails []string
-	for _, ell := range []simtime.Duration{25 * us, 50 * us, 100 * us, 200 * us} {
+	ells := []simtime.Duration{25 * us, 50 * us, 100 * us, 200 * us}
+	rows := parmapSlice(ells, func(ell simtime.Duration) rowOut {
+		var r rowOut
 		kHeadroom := 24 * ell // generous d'2 headroom; validated against measured k below
 		p := register.Params{C: 500 * us, Delta: 10 * us, D2: bounds.Hi + 2*eps + kHeadroom, Epsilon: eps}
 		spacing := 40 * ms // far above worst-case latency: keeps both runs aligned
@@ -339,24 +394,24 @@ func E8MMTShift() Result {
 		}
 		cNet, cTrace, err := runModel("clock")
 		if err != nil {
-			fails = append(fails, fmt.Sprintf("ℓ=%v clock run: %v", ell, err))
-			continue
+			r.fails = append(r.fails, fmt.Sprintf("ℓ=%v clock run: %v", ell, err))
+			return r
 		}
 		mNet, mTrace, err := runModel("mmt")
 		if err != nil {
-			fails = append(fails, fmt.Sprintf("ℓ=%v mmt run: %v", ell, err))
-			continue
+			r.fails = append(r.fails, fmt.Sprintf("ℓ=%v mmt run: %v", ell, err))
+			return r
 		}
 		k := measuredK(cNet, ell)
 		bound := simtime.Duration(k)*ell + 2*eps + 3*ell
 		shift, err := trace.MinDelta(cTrace, mTrace, trace.OutputsByNode)
 		if err != nil {
-			fails = append(fails, fmt.Sprintf("ℓ=%v: traces not ≤_δ related: %v", ell, err))
-			tb.AddRow(fmtD(ell), fmt.Sprint(k), fmtD(bound), "unrelated", "NO", "-")
-			continue
+			r.fails = append(r.fails, fmt.Sprintf("ℓ=%v: traces not ≤_δ related: %v", ell, err))
+			r.cells = []string{fmtD(ell), fmt.Sprint(k), fmtD(bound), "unrelated", "NO", "-"}
+			return r
 		}
 		if simtime.Duration(k)*ell > kHeadroom {
-			fails = append(fails, fmt.Sprintf("ℓ=%v: measured kℓ=%v exceeds the d'2 headroom %v", ell, simtime.Duration(k)*ell, kHeadroom))
+			r.fails = append(r.fails, fmt.Sprintf("ℓ=%v: measured kℓ=%v exceeds the d'2 headroom %v", ell, simtime.Duration(k)*ell, kHeadroom))
 		}
 		within := shift <= bound
 		var queuedMax simtime.Duration
@@ -367,10 +422,13 @@ func E8MMTShift() Result {
 				}
 			}
 		}
-		tb.AddRow(fmtD(ell), fmt.Sprint(k), fmtD(bound), fmtD(shift), checkMark(within), fmtD(queuedMax))
+		r.cells = []string{fmtD(ell), fmt.Sprint(k), fmtD(bound), fmtD(shift), checkMark(within), fmtD(queuedMax)}
 		if !within {
-			fails = append(fails, fmt.Sprintf("ℓ=%v: shift %v > bound %v", ell, shift, bound))
+			r.fails = append(r.fails, fmt.Sprintf("ℓ=%v: shift %v > bound %v", ell, shift, bound))
 		}
-	}
+		return r
+	})
+	tb := stats.NewTable("ℓ", "k (measured)", "bound kℓ+2ε+3ℓ", "measured shift δ", "within", "max queued")
+	fails := collectRows(tb, rows)
 	return Result{ID: "E8", Title: "Theorems 5.1/5.2: output shift of D_M vs D_C (ε=200µs, lazy steps)", Output: tb.String(), Failures: fails}
 }

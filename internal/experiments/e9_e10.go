@@ -84,24 +84,6 @@ func E9Matrix() Result {
 	bounds := simtime.NewInterval(1*ms, 3*ms)
 	eps := 800 * us
 	delta := 10 * us
-	tb := stats.NewTable("row", "system", "property", "expected", "observed", "ok")
-	var fails []string
-
-	addRow := func(row, system, property string, expectHold, observedHold bool) {
-		exp, obs := "holds", "holds"
-		if !expectHold {
-			exp = "violated"
-		}
-		if !observedHold {
-			obs = "violated"
-		}
-		ok := expectHold == observedHold
-		tb.AddRow(row, system, property, exp, obs, checkMark(ok))
-		if !ok {
-			fails = append(fails, fmt.Sprintf("%s (%s): expected %s, observed %s", row, system, exp, obs))
-		}
-	}
-
 	regRun := func(model string, factory core.AlgorithmFactory, cf clock.Factory, noBuffer bool, ell simtime.Duration) (runOut, error) {
 		return run(runSpec{
 			model: model, factory: factory,
@@ -115,81 +97,142 @@ func E9Matrix() Result {
 	pL := register.Params{C: 200 * us, Delta: delta, D2: bounds.Hi, Epsilon: 0}
 	pS := register.Params{C: 200 * us, Delta: delta, D2: bounds.Hi + 2*eps, Epsilon: eps}
 
-	if out, err := regRun("timed", register.Factory(register.NewL, pL), nil, false, 0); err != nil {
-		fails = append(fails, err.Error())
-	} else {
-		addRow("1", "L in D_T", "linearizable", true, linCheck(out, 0))
+	// Each matrix row is an independent seeded system; verdicts fan out
+	// over the worker pool and the table is assembled in row order.
+	type e9Row struct {
+		row, system, property string
+		expect, observed      bool
+		errs                  []string
+		skip                  bool // run failed before a verdict was reached
 	}
-	if out, err := regRun("timed", register.Factory(register.NewS, pS), nil, false, 0); err != nil {
-		fails = append(fails, err.Error())
-	} else {
-		addRow("2", "S in D_T", "ε-superlinearizable", true, superCheck(out, eps))
-	}
-	if out, err := regRun("clock", register.Factory(register.NewS, pS), clock.SpreadFactory(eps), false, 0); err != nil {
-		fails = append(fails, err.Error())
-	} else {
-		addRow("3", "S^c in D_C (max-skew clocks)", "linearizable", true, linCheck(out, 0))
-	}
-	if out, err := regRun("clock", register.BaselineFactory(2*eps, bounds.Hi), clock.SpreadFactory(eps), false, 0); err != nil {
-		fails = append(fails, err.Error())
-	} else {
-		addRow("4", "baseline [10] in D_C", "linearizable", true, linCheck(out, 0))
-	}
-	if out, err := regRun("mmt", register.Factory(register.NewS, register.Params{
-		C: 200 * us, Delta: delta, D2: bounds.Hi + 2*eps + 24*50*us, Epsilon: eps,
-	}), clock.DriftFactory(eps, 3), false, 50*us); err != nil {
-		fails = append(fails, err.Error())
-	} else {
-		addRow("5", "S through both simulations in D_M", "linearizable", true, linCheck(out, 0))
-	}
-
-	// Mutation: L (no 2ε wait) in the clock model must violate
-	// linearizability under adversarial clocks for some seed.
-	violated := false
-	for seed := int64(0); seed < 8 && !violated; seed++ {
-		out, err := run(runSpec{
-			model:   "clock",
-			factory: register.Factory(register.NewL, register.Params{C: 0, Delta: 5 * us, D2: 400*us + 2*ms, Epsilon: 0}),
-			n:       3, bounds: simtime.NewInterval(200*us, 400*us), seed: seed,
-			clocks: clock.SpreadFactory(1 * ms), delays: channel.UniformDelay,
-			ops: 60, think: simtime.NewInterval(0, 700*us), writeRatio: 0.3,
-		})
-		if err != nil {
-			fails = append(fails, err.Error())
-			break
-		}
-		if !linCheck(out, 0) {
-			violated = true
+	mk := func(row, system, property string, expect bool, fn func() (bool, error)) func() e9Row {
+		return func() e9Row {
+			observed, err := fn()
+			r := e9Row{row: row, system: system, property: property, expect: expect, observed: observed}
+			if err != nil {
+				r.errs = append(r.errs, err.Error())
+				r.skip = true
+			}
+			return r
 		}
 	}
-	addRow("6", "mutation: L (no 2ε wait) in D_C", "linearizable", false, !violated)
+	tasks := []func() e9Row{
+		mk("1", "L in D_T", "linearizable", true, func() (bool, error) {
+			out, err := regRun("timed", register.Factory(register.NewL, pL), nil, false, 0)
+			if err != nil {
+				return false, err
+			}
+			return linCheck(out, 0), nil
+		}),
+		mk("2", "S in D_T", "ε-superlinearizable", true, func() (bool, error) {
+			out, err := regRun("timed", register.Factory(register.NewS, pS), nil, false, 0)
+			if err != nil {
+				return false, err
+			}
+			return superCheck(out, eps), nil
+		}),
+		mk("3", "S^c in D_C (max-skew clocks)", "linearizable", true, func() (bool, error) {
+			out, err := regRun("clock", register.Factory(register.NewS, pS), clock.SpreadFactory(eps), false, 0)
+			if err != nil {
+				return false, err
+			}
+			return linCheck(out, 0), nil
+		}),
+		mk("4", "baseline [10] in D_C", "linearizable", true, func() (bool, error) {
+			out, err := regRun("clock", register.BaselineFactory(2*eps, bounds.Hi), clock.SpreadFactory(eps), false, 0)
+			if err != nil {
+				return false, err
+			}
+			return linCheck(out, 0), nil
+		}),
+		mk("5", "S through both simulations in D_M", "linearizable", true, func() (bool, error) {
+			out, err := regRun("mmt", register.Factory(register.NewS, register.Params{
+				C: 200 * us, Delta: delta, D2: bounds.Hi + 2*eps + 24*50*us, Epsilon: eps,
+			}), clock.DriftFactory(eps, 3), false, 50*us)
+			if err != nil {
+				return false, err
+			}
+			return linCheck(out, 0), nil
+		}),
+		// Mutation: L (no 2ε wait) in the clock model must violate
+		// linearizability under adversarial clocks for some seed. The seed
+		// sweep fans out fully and the verdicts reduce to "any violated".
+		func() e9Row {
+			r := e9Row{row: "6", system: "mutation: L (no 2ε wait) in D_C", property: "linearizable", expect: false}
+			type verdict struct {
+				violated bool
+				err      string
+			}
+			verdicts := parmap(8, func(i int) verdict {
+				out, err := run(runSpec{
+					model:   "clock",
+					factory: register.Factory(register.NewL, register.Params{C: 0, Delta: 5 * us, D2: 400*us + 2*ms, Epsilon: 0}),
+					n:       3, bounds: simtime.NewInterval(200*us, 400*us), seed: int64(i),
+					clocks: clock.SpreadFactory(1 * ms), delays: channel.UniformDelay,
+					ops: 60, think: simtime.NewInterval(0, 700*us), writeRatio: 0.3,
+				})
+				if err != nil {
+					return verdict{err: err.Error()}
+				}
+				return verdict{violated: !linCheck(out, 0)}
+			})
+			violated := false
+			for _, v := range verdicts {
+				if v.err != "" {
+					r.errs = append(r.errs, v.err)
+				} else if v.violated {
+					violated = true
+				}
+			}
+			r.observed = !violated
+			return r
+		},
+		// S without the receive buffer stays linearizable: its updates fire
+		// at absolute clock times, so early delivery is harmless — the
+		// buffer matters for algorithms sensitive to receive-time order.
+		mk("7", "S^c in D_C without R buffer", "linearizable", true, func() (bool, error) {
+			out, err := regRun("clock", register.Factory(register.NewS, pS), clock.SpreadFactory(eps), true, 0)
+			if err != nil {
+				return false, err
+			}
+			return linCheck(out, 0), nil
+		}),
+		// Lamport's condition probe: buffering restores it when d1 < 2ε.
+		mk("8", "probe in D_C, d1<2ε, buffered", "recv clock ≥ send clock", true, func() (bool, error) {
+			v, err := runCausal(100*us, eps, false)
+			return v == 0, err
+		}),
+		mk("9", "mutation: probe, d1<2ε, no buffer", "recv clock ≥ send clock", false, func() (bool, error) {
+			v, err := runCausal(100*us, eps, true)
+			return v == 0, err
+		}),
+		mk("10", "probe, d1 = 2ε, no buffer (§7.2)", "recv clock ≥ send clock", true, func() (bool, error) {
+			v, err := runCausal(2*eps, eps, true)
+			return v == 0, err
+		}),
+	}
+	rows := parmapSlice(tasks, func(fn func() e9Row) e9Row { return fn() })
 
-	// S without the receive buffer stays linearizable: its updates fire at
-	// absolute clock times, so early delivery is harmless — the buffer
-	// matters for algorithms sensitive to receive-time order.
-	if out, err := regRun("clock", register.Factory(register.NewS, pS), clock.SpreadFactory(eps), true, 0); err != nil {
-		fails = append(fails, err.Error())
-	} else {
-		addRow("7", "S^c in D_C without R buffer", "linearizable", true, linCheck(out, 0))
+	tb := stats.NewTable("row", "system", "property", "expected", "observed", "ok")
+	var fails []string
+	for _, r := range rows {
+		fails = append(fails, r.errs...)
+		if r.skip {
+			continue
+		}
+		exp, obs := "holds", "holds"
+		if !r.expect {
+			exp = "violated"
+		}
+		if !r.observed {
+			obs = "violated"
+		}
+		ok := r.expect == r.observed
+		tb.AddRow(r.row, r.system, r.property, exp, obs, checkMark(ok))
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s (%s): expected %s, observed %s", r.row, r.system, exp, obs))
+		}
 	}
-
-	// Lamport's condition probe: buffering restores it when d1 < 2ε.
-	if v, err := runCausal(100*us, eps, false); err != nil {
-		fails = append(fails, err.Error())
-	} else {
-		addRow("8", "probe in D_C, d1<2ε, buffered", "recv clock ≥ send clock", true, v == 0)
-	}
-	if v, err := runCausal(100*us, eps, true); err != nil {
-		fails = append(fails, err.Error())
-	} else {
-		addRow("9", "mutation: probe, d1<2ε, no buffer", "recv clock ≥ send clock", false, v == 0)
-	}
-	if v, err := runCausal(2*eps, eps, true); err != nil {
-		fails = append(fails, err.Error())
-	} else {
-		addRow("10", "probe, d1 = 2ε, no buffer (§7.2)", "recv clock ≥ send clock", true, v == 0)
-	}
-
 	return Result{ID: "E9", Title: "verification matrix with mutations", Output: tb.String(), Failures: fails}
 }
 
@@ -202,6 +245,9 @@ func E10Throughput() Result {
 	delta := 10 * us
 	tb := stats.NewTable("model", "n", "ops", "events", "wall ms", "ops/s", "events/s")
 	var fails []string
+	metrics := make(map[string]float64)
+	// Rows stay sequential on purpose: each times its own wall clock, and
+	// concurrent rows would steal cycles from each other's measurement.
 	for _, n := range []int{2, 4, 8} {
 		for _, model := range []string{"timed", "clock", "mmt"} {
 			p := register.Params{C: 200 * us, Delta: delta, D2: bounds.Hi + 2*eps + 24*100*us, Epsilon: eps}
@@ -261,7 +307,9 @@ func E10Throughput() Result {
 				fmt.Sprintf("%.1f", float64(wall.Microseconds())/1000),
 				fmt.Sprintf("%.0f", float64(done)/secs),
 				fmt.Sprintf("%.0f", float64(events)/secs))
+			metrics[fmt.Sprintf("ops_per_sec_%s_n%d", model, n)] = float64(done) / secs
+			metrics[fmt.Sprintf("events_per_sec_%s_n%d", model, n)] = float64(events) / secs
 		}
 	}
-	return Result{ID: "E10", Title: "executor throughput by model and size", Output: tb.String(), Failures: fails}
+	return Result{ID: "E10", Title: "executor throughput by model and size", Output: tb.String(), Failures: fails, Metrics: metrics}
 }

@@ -48,6 +48,10 @@ type Result struct {
 	// Failures lists assertion violations; empty means the paper's claim
 	// held on every measured row.
 	Failures []string
+	// Metrics carries machine-readable measurements (e.g. E10's executor
+	// events/sec per configuration) for the bench emitter; nil for
+	// experiments that only assert.
+	Metrics map[string]float64
 }
 
 // Pass reports whether every assertion held.

@@ -32,6 +32,13 @@ type (
 // Implementations must be deterministic given their construction-time seed;
 // all nondeterminism of the paper's models (message delays, clock behavior,
 // step times) is resolved by injected, seeded policies.
+//
+// Slice ownership: the executor copies the slice returned by Init, Deliver,
+// or Fire into its own scratch buffer before dispatching any action from
+// it, so a component may keep one action buffer and return it (truncated
+// and refilled) from every call. Callers other than the executor that
+// retain returned actions past the next call into the same component must
+// copy them.
 type Automaton interface {
 	// Name identifies the component, e.g. "edge(n0->n1)".
 	Name() string

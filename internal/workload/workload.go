@@ -43,6 +43,7 @@ type Client struct {
 	waiting   bool
 	remaining int
 	wseq      int
+	buf       [1]ta.Action // reusable return buffer
 
 	// Done counts completed operations.
 	Done int
@@ -122,7 +123,9 @@ func (c *Client) Fire(now simtime.Time) []ta.Action {
 	if c.rng.Float64() < c.cfg.WriteRatio {
 		v := register.Value{Writer: c.node, Seq: c.wseq}
 		c.wseq++
-		return []ta.Action{{Name: register.ActWrite, Node: c.node, Peer: ta.NoNode, Kind: ta.KindInput, Payload: v}}
+		c.buf[0] = ta.Action{Name: register.ActWrite, Node: c.node, Peer: ta.NoNode, Kind: ta.KindInput, Payload: v}
+	} else {
+		c.buf[0] = ta.Action{Name: register.ActRead, Node: c.node, Peer: ta.NoNode, Kind: ta.KindInput}
 	}
-	return []ta.Action{{Name: register.ActRead, Node: c.node, Peer: ta.NoNode, Kind: ta.KindInput}}
+	return c.buf[:]
 }
