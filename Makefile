@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 tier2 bench microbench json
+.PHONY: all build test tier1 tier2 bench microbench json compare
 
 all: tier1
 
@@ -24,6 +24,11 @@ tier2:
 # E10's executor ops/sec and events/sec metrics.
 json:
 	$(GO) run ./cmd/pscbench -json
+
+# Regression gate: rerun all experiments and diff wall time and ops/sec
+# against the committed BENCH_results.json; exits nonzero past 20% drop.
+compare:
+	$(GO) run ./cmd/pscbench -compare BENCH_results.json
 
 # Experiment-level benchmarks (E1–E16 plus substrate micro-benchmarks).
 bench:

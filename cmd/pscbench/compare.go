@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// minCompareWallMS is the floor below which wall-time deltas are noise:
+// a 3ms experiment doubling to 6ms is scheduler jitter, not a regression.
+// Throughput (ops/s) metrics are rates over a time-boxed measurement and
+// are compared regardless of magnitude.
+const minCompareWallMS = 25.0
+
+// loadReport reads a previous BENCH_results.json.
+func loadReport(path string) (jsonReport, error) {
+	var rep jsonReport
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// compareReports prints per-experiment wall-time and ops/sec deltas of cur
+// against old and returns the regressions: wall time grown by more than
+// tol (on experiments big enough to measure), or any ops/sec metric
+// dropped by more than tol.
+func compareReports(old, cur jsonReport, tol float64) []string {
+	byID := make(map[string]jsonResult, len(old.Experiments))
+	for _, e := range old.Experiments {
+		byID[e.ID] = e
+	}
+	var regressions []string
+	fmt.Printf("%-5s %-28s %10s %10s %8s\n", "exp", "measure", "old", "new", "delta")
+	for _, e := range cur.Experiments {
+		prev, ok := byID[e.ID]
+		if !ok {
+			fmt.Printf("%-5s %-28s %10s %10.1f %8s\n", e.ID, "wall ms", "-", e.WallMS, "new")
+			continue
+		}
+		mark := ""
+		if prev.WallMS >= minCompareWallMS && e.WallMS > prev.WallMS*(1+tol) {
+			mark = "  REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: wall %.1fms -> %.1fms (+%.0f%%, tolerance %.0f%%)",
+					e.ID, prev.WallMS, e.WallMS, pct(prev.WallMS, e.WallMS), tol*100))
+		}
+		fmt.Printf("%-5s %-28s %10.1f %10.1f %+7.0f%%%s\n", e.ID, "wall ms", prev.WallMS, e.WallMS, pct(prev.WallMS, e.WallMS), mark)
+		// Union of old and new ops/sec keys: a tracked throughput metric
+		// disappearing from the report is itself a gate failure, not a
+		// silent pass.
+		keySet := make(map[string]bool, len(e.Metrics)+len(prev.Metrics))
+		for k := range e.Metrics {
+			if strings.HasPrefix(k, "ops_per_sec") {
+				keySet[k] = true
+			}
+		}
+		for k := range prev.Metrics {
+			if strings.HasPrefix(k, "ops_per_sec") {
+				keySet[k] = true
+			}
+		}
+		keys := make([]string, 0, len(keySet))
+		for k := range keySet {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			o, ok := prev.Metrics[k]
+			if !ok || o <= 0 {
+				continue
+			}
+			n, ok := e.Metrics[k]
+			if !ok {
+				regressions = append(regressions, fmt.Sprintf("%s %s: metric missing from new report (was %.0f ops/s)", e.ID, k, o))
+				fmt.Printf("%-5s %-28s %10.0f %10s %8s  REGRESSION\n", e.ID, k, o, "-", "gone")
+				continue
+			}
+			mark := ""
+			if n < o*(1-tol) {
+				mark = "  REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("%s %s: %.0f -> %.0f ops/s (%.0f%%, tolerance %.0f%%)",
+						e.ID, k, o, n, pct(o, n), tol*100))
+			}
+			fmt.Printf("%-5s %-28s %10.0f %10.0f %+7.0f%%%s\n", e.ID, k, o, n, pct(o, n), mark)
+		}
+	}
+	fmt.Printf("total wall: %.0f ms -> %.0f ms (%+.0f%%)\n", old.TotalWallMS, cur.TotalWallMS, pct(old.TotalWallMS, cur.TotalWallMS))
+	return regressions
+}
+
+func pct(old, cur float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (cur - old) / old * 100
+}

@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	pscbench             # run all experiments
-//	pscbench -list       # list experiments
-//	pscbench -run E3,E4  # run a subset
-//	pscbench -parallel 4 # cap the row-level worker pool at 4
-//	pscbench -json       # also write BENCH_results.json
+//	pscbench                    # run all experiments
+//	pscbench -list              # list experiments
+//	pscbench -run E3,E4         # run a subset
+//	pscbench -parallel 4        # cap the row-level worker pool at 4
+//	pscbench -json              # also write BENCH_results.json
+//	pscbench -compare old.json  # diff wall/ops-per-sec vs a previous report
+//	pscbench -dense             # dense differential-oracle executors (no coalescing)
 //
 // Experiments run one after another; parallelism lives inside each
 // experiment, which fans its seeded rows over a bounded worker pool
@@ -15,7 +17,8 @@
 // experiments themselves sequential leaves E10's wall-clock throughput
 // figures uncontended.
 //
-// The exit status is nonzero if any experiment's assertions fail.
+// The exit status is nonzero if any experiment's assertions fail, or if
+// -compare detects a regression beyond its tolerance.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"psclock/internal/core"
 	"psclock/internal/experiments"
 )
 
@@ -59,8 +63,26 @@ func run(args []string) int {
 	only := fs.String("run", "", "comma-separated experiment IDs (default: all)")
 	parallel := fs.Int("parallel", 0, "row-level worker pool width per experiment (<1: GOMAXPROCS)")
 	emitJSON := fs.Bool("json", false, "write per-experiment wall time, metrics, and pass/fail to "+benchFile)
+	comparePath := fs.String("compare", "", "previous BENCH_results.json to diff against; regressions beyond -tolerance exit nonzero")
+	tolerance := fs.Float64("tolerance", 0.20, "relative regression tolerance for -compare (0.20 = 20%)")
+	dense := fs.Bool("dense", false, "run every executor on the dense differential-oracle path (no tick/step coalescing)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *dense {
+		defer core.SetDenseExecutors(core.SetDenseExecutors(true))
+	}
+
+	// Load the baseline up front: -json overwrites BENCH_results.json, and
+	// comparing against one's own freshly written report would always pass.
+	var baseline jsonReport
+	if *comparePath != "" {
+		var err error
+		if baseline, err = loadReport(*comparePath); err != nil {
+			fmt.Fprintf(os.Stderr, "pscbench: -compare: %v\n", err)
+			return 2
+		}
 	}
 
 	if *list {
@@ -122,6 +144,16 @@ func run(args []string) int {
 		}
 		fmt.Fprintf(os.Stderr, "pscbench: wrote %s (%d experiments, %.0f ms total)\n",
 			benchFile, len(report.Experiments), report.TotalWallMS)
+	}
+
+	if *comparePath != "" {
+		regressions := compareReports(baseline, report, *tolerance)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "pscbench: regression: %s\n", r)
+		}
+		if len(regressions) > 0 {
+			return 1
+		}
 	}
 
 	if failed > 0 {

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -39,6 +40,66 @@ func TestParallelSubset(t *testing.T) {
 	}
 	if code := run([]string{"-parallel=2", "-run", "E1,E2"}); code != 0 {
 		t.Errorf("code = %d", code)
+	}
+}
+
+// writeReport marshals a fabricated baseline for -compare tests.
+func writeReport(t *testing.T, path string, rep jsonReport) {
+	t.Helper()
+	buf, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareMissingBaseline(t *testing.T) {
+	if code := run([]string{"-compare", filepath.Join(t.TempDir(), "nope.json"), "-run", "E1"}); code != 2 {
+		t.Errorf("code = %d, want 2", code)
+	}
+}
+
+// TestCompareDetectsRegression runs E1 against a fabricated baseline whose
+// numbers the real run cannot match: a huge E1 ops/sec metric must trip
+// the ops gate, while a tiny sub-threshold wall time must not trip the
+// wall gate (it is below the noise floor).
+func TestCompareDetectsRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments")
+	}
+	base := filepath.Join(t.TempDir(), "old.json")
+	writeReport(t, base, jsonReport{Experiments: []jsonResult{{
+		ID: "E1", WallMS: 0.001,
+		Metrics: map[string]float64{"ops_per_sec_fabricated": 1e15},
+	}}})
+	if code := run([]string{"-compare", base, "-run", "E1"}); code != 1 {
+		t.Errorf("fabricated ops/sec baseline not flagged: code = %d, want 1", code)
+	}
+}
+
+// TestCompareCleanPass compares E1 against a baseline it can only improve
+// on: zero metrics and a generous wall time.
+func TestCompareCleanPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments")
+	}
+	base := filepath.Join(t.TempDir(), "old.json")
+	writeReport(t, base, jsonReport{Experiments: []jsonResult{{ID: "E1", WallMS: 60_000}}})
+	if code := run([]string{"-compare", base, "-run", "E1"}); code != 0 {
+		t.Errorf("code = %d, want 0", code)
+	}
+}
+
+// TestDenseOracleRun smokes the -dense flag: the differential-oracle
+// executors must still pass an experiment end to end.
+func TestDenseOracleRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments")
+	}
+	if code := run([]string{"-dense", "-run", "E2"}); code != 0 {
+		t.Errorf("code = %d, want 0", code)
 	}
 }
 

@@ -11,7 +11,6 @@
 package channel
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -94,23 +93,58 @@ type pendingMsg struct {
 }
 
 // msgHeap orders in-flight messages by delivery time, then arrival order.
+// It is a hand-rolled binary heap rather than container/heap: the standard
+// interface moves every element through `any`, boxing one pendingMsg per
+// Push and per Pop, and the edge's enqueue/dequeue is the per-message hot
+// path of every model.
 type msgHeap []pendingMsg
 
-func (h msgHeap) Len() int { return len(h) }
-func (h msgHeap) Less(i, j int) bool {
-	if h[i].deliverAt != h[j].deliverAt {
-		return h[i].deliverAt < h[j].deliverAt
+func msgLess(a, b pendingMsg) bool {
+	if a.deliverAt != b.deliverAt {
+		return a.deliverAt < b.deliverAt
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h msgHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *msgHeap) Push(x any)   { *h = append(*h, x.(pendingMsg)) }
-func (h *msgHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *msgHeap) push(m pendingMsg) {
+	q := append(*h, m)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !msgLess(q[i], q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	*h = q
+}
+
+func (h *msgHeap) pop() pendingMsg {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = pendingMsg{} // drop the payload reference
+	q = q[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && msgLess(q[r], q[l]) {
+			m = r
+		}
+		if !msgLess(q[m], q[i]) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	*h = q
+	return top
 }
 
 // Edge is the executable E_{ij,[d1,d2]} automaton. Its input is the send
@@ -149,7 +183,7 @@ type Edge struct {
 	out []ta.Action
 }
 
-var _ ta.Automaton = (*Edge)(nil)
+var _ ta.Coalescable = (*Edge)(nil)
 
 // New returns the TA-model edge for link from→to with the given delay
 // bounds, delay policy, and seed.
@@ -209,7 +243,7 @@ func (e *Edge) Deliver(now simtime.Time, a ta.Action) []ta.Action {
 		at = e.lastDue
 	}
 	e.lastDue = at
-	heap.Push(&e.pending, pendingMsg{deliverAt: at, seq: e.seq, payload: a.Payload})
+	e.pending.push(pendingMsg{deliverAt: at, seq: e.seq, payload: a.Payload})
 	e.seq++
 	return nil
 }
@@ -225,10 +259,11 @@ func (e *Edge) Due(simtime.Time) (simtime.Time, bool) {
 }
 
 // Fire implements ta.Automaton: deliver every message whose time has come.
+// Same-instant deliveries drain as one batch into the reused out slice.
 func (e *Edge) Fire(now simtime.Time) []ta.Action {
 	out := e.out[:0]
 	for len(e.pending) > 0 && !e.pending[0].deliverAt.After(now) {
-		m := heap.Pop(&e.pending).(pendingMsg)
+		m := e.pending.pop()
 		e.Delivered++
 		out = append(out, ta.Action{
 			Name:    e.recvName,
@@ -241,6 +276,20 @@ func (e *Edge) Fire(now simtime.Time) []ta.Action {
 	e.out = out
 	return out
 }
+
+// NextInterest implements ta.Coalescable: every delivery is an observable
+// event, so the edge's interest is exactly its Due and the executor never
+// coalesces past a pending message.
+func (e *Edge) NextInterest() simtime.Time {
+	if len(e.pending) == 0 {
+		return simtime.Never
+	}
+	return e.pending[0].deliverAt
+}
+
+// FastForward implements ta.Coalescable as a no-op: the edge declares
+// every deadline observable, so there is never anything to skip.
+func (e *Edge) FastForward(simtime.Time) {}
 
 // InFlight returns the number of undelivered messages.
 func (e *Edge) InFlight() int { return len(e.pending) }

@@ -44,7 +44,7 @@ type ClockNode struct {
 	RecordStamps bool
 }
 
-var _ ta.Automaton = (*ClockNode)(nil)
+var _ ta.Coalescable = (*ClockNode)(nil)
 
 // NewClockNode returns the clock-model node automaton for node id of an
 // n-node system running alg against clk.
@@ -154,3 +154,20 @@ func (cn *ClockNode) Due(simtime.Time) (simtime.Time, bool) {
 func (cn *ClockNode) Fire(now simtime.Time) []ta.Action {
 	return cn.emit(now, cn.inner.advance(cn.clk.At(now)))
 }
+
+// NextInterest implements ta.Coalescable. The clock-model node sees its
+// clock continuously (no TICK discretization), so every deadline is real
+// composite work: its interest is exactly its Due and the executor never
+// coalesces past it. Golden clock-model traces are therefore identical
+// with and without coalescing.
+func (cn *ClockNode) NextInterest() simtime.Time {
+	d, ok := cn.Due(0)
+	if !ok {
+		return simtime.Never
+	}
+	return d
+}
+
+// FastForward implements ta.Coalescable as a no-op: the node declares
+// every deadline observable, so there is never anything to skip.
+func (cn *ClockNode) FastForward(simtime.Time) {}

@@ -412,6 +412,33 @@ func TestStepPolicies(t *testing.T) {
 	}
 }
 
+// TestUniformStepsNonPositiveEll is the regression guard for the rand.Int63n
+// panic: a non-positive ℓ must degenerate to the 1ns minimum gap, not crash.
+func TestUniformStepsNonPositiveEll(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, ell := range []simtime.Duration{0, -1, -100 * us} {
+		if g := UniformSteps().Next(rng, ell); g != 1 {
+			t.Errorf("UniformSteps.Next(ℓ=%v) = %v, want 1ns", ell, g)
+		}
+	}
+}
+
+// TestFixedStepPolicyGaps pins the FixedStepPolicy contract the coalescing
+// fast path relies on: the deterministic policies advertise their constant
+// gap, and the randomized one does not.
+func TestFixedStepPolicyGaps(t *testing.T) {
+	ell := 100 * us
+	if g, ok := LazySteps().(FixedStepPolicy).FixedGap(ell); !ok || g != ell {
+		t.Errorf("lazy FixedGap = (%v, %v), want (ℓ, true)", g, ok)
+	}
+	if g, ok := EagerSteps().(FixedStepPolicy).FixedGap(ell); !ok || g != ell/8 {
+		t.Errorf("eager FixedGap = (%v, %v), want (ℓ/8, true)", g, ok)
+	}
+	if _, ok := UniformSteps().(FixedStepPolicy).FixedGap(ell); ok {
+		t.Error("uniform FixedGap reported a constant gap; it consumes randomness")
+	}
+}
+
 func TestBuildMMTValidation(t *testing.T) {
 	c := cfg2()
 	func() {

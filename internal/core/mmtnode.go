@@ -20,34 +20,68 @@ type StepPolicy interface {
 	Next(r *rand.Rand, ell simtime.Duration) simtime.Duration
 }
 
+// FixedStepPolicy is an optional refinement of StepPolicy for policies
+// whose gap is a deterministic function of ℓ and which never consult the
+// node's random stream. The coalescing fast path (ta.Coalescable) uses it
+// to collapse a run of skipped step opportunities into one arithmetic
+// jump; a policy without it is fast-forwarded by replaying Next draw by
+// draw, which keeps the seeded stream — and therefore every later gap —
+// byte-identical to the dense execution.
+type FixedStepPolicy interface {
+	StepPolicy
+	// FixedGap returns the constant gap for step bound ell and ok=true, or
+	// ok=false when the policy is effectively random for this ell.
+	FixedGap(ell simtime.Duration) (simtime.Duration, bool)
+}
+
 type stepFunc struct {
 	name string
 	fn   func(r *rand.Rand, ell simtime.Duration) simtime.Duration
+	// fixed, when non-nil, marks fn as a deterministic function of ell that
+	// consumes no randomness.
+	fixed func(ell simtime.Duration) simtime.Duration
 }
 
 func (s stepFunc) Name() string { return s.name }
 func (s stepFunc) Next(r *rand.Rand, ell simtime.Duration) simtime.Duration {
 	return s.fn(r, ell)
 }
+func (s stepFunc) FixedGap(ell simtime.Duration) (simtime.Duration, bool) {
+	if s.fixed == nil {
+		return 0, false
+	}
+	return s.fixed(ell), true
+}
 
 // LazySteps always waits the full ℓ: the worst-case adversary against which
 // the kℓ+2ε+3ℓ output-shift bound of Theorem 5.1 is tight.
 func LazySteps() StepPolicy {
-	return stepFunc{name: "lazy", fn: func(_ *rand.Rand, ell simtime.Duration) simtime.Duration {
-		return ell
-	}}
+	full := func(ell simtime.Duration) simtime.Duration { return ell }
+	return stepFunc{
+		name:  "lazy",
+		fn:    func(_ *rand.Rand, ell simtime.Duration) simtime.Duration { return full(ell) },
+		fixed: full,
+	}
 }
 
 // EagerSteps steps at ℓ/8 (at least 1ns): a fast processor.
 func EagerSteps() StepPolicy {
-	return stepFunc{name: "eager", fn: func(_ *rand.Rand, ell simtime.Duration) simtime.Duration {
-		return (ell / 8).Max(1)
-	}}
+	eighth := func(ell simtime.Duration) simtime.Duration { return (ell / 8).Max(1) }
+	return stepFunc{
+		name:  "eager",
+		fn:    func(_ *rand.Rand, ell simtime.Duration) simtime.Duration { return eighth(ell) },
+		fixed: eighth,
+	}
 }
 
-// UniformSteps picks each gap uniformly in (0, ℓ].
+// UniformSteps picks each gap uniformly in (0, ℓ]. A non-positive ℓ (which
+// would make rand.Int63n panic) degenerates to the minimum 1ns gap, the
+// same clamp the node applies to every policy's output.
 func UniformSteps() StepPolicy {
 	return stepFunc{name: "uniform", fn: func(r *rand.Rand, ell simtime.Duration) simtime.Duration {
+		if ell <= 0 {
+			return 1
+		}
 		return simtime.Duration(r.Int63n(int64(ell))) + 1
 	}}
 }
@@ -89,6 +123,12 @@ type MMTNode struct {
 	rng      *rand.Rand
 	nextStep simtime.Time
 
+	// fixedGap caches FixedStepPolicy's constant gap (clamped like gap()),
+	// or 0 when the policy is random; skippedSteps counts step
+	// opportunities elided by FastForward.
+	fixedGap     simtime.Duration
+	skippedSteps int64
+
 	stamps []EmittedStamp
 	out    []ta.Action // reusable return buffer
 	// RecordStamps controls emission recording (on by default).
@@ -98,7 +138,7 @@ type MMTNode struct {
 	MaxPending int
 }
 
-var _ ta.Automaton = (*MMTNode)(nil)
+var _ ta.Coalescable = (*MMTNode)(nil)
 
 // NewMMTNode returns the MMT-model node automaton for node id of an n-node
 // system running alg with step bound ell.
@@ -106,7 +146,7 @@ func NewMMTNode(id ta.NodeID, n int, alg Algorithm, ell simtime.Duration, policy
 	if ell <= 0 {
 		panic(fmt.Sprintf("core: MMT step bound ℓ must be positive, got %v", ell))
 	}
-	return &MMTNode{
+	mn := &MMTNode{
 		name:         fmt.Sprintf("mnode(%v)", id),
 		id:           id,
 		inner:        newClockInner(id, n, alg, false),
@@ -115,6 +155,18 @@ func NewMMTNode(id ta.NodeID, n int, alg Algorithm, ell simtime.Duration, policy
 		rng:          rand.New(rand.NewSource(seed)),
 		RecordStamps: true,
 	}
+	if fp, ok := policy.(FixedStepPolicy); ok {
+		if g, fixed := fp.FixedGap(ell); fixed {
+			if g < 1 {
+				g = 1
+			}
+			if g > ell {
+				g = ell
+			}
+			mn.fixedGap = g
+		}
+	}
+	return mn
 }
 
 // Name implements ta.Automaton.
@@ -249,6 +301,67 @@ func (mn *MMTNode) Fire(now simtime.Time) []ta.Action {
 	return out
 }
 
+// SkippedSteps reports how many step opportunities the coalescing fast
+// path elided as unobservable.
+func (mn *MMTNode) SkippedSteps() int64 { return mn.skippedSteps }
+
+// NextInterest implements ta.Coalescable. A step opportunity is
+// observable exactly when taking it would do more than the internal τ:
+// the pending queue holds an output to emit, or the simulated composite
+// has work at or below mmtclock for the catch-up to perform. Otherwise
+// the step changes nothing any component can see, and — absent inputs,
+// which re-bound the executor's skip horizon on their own — neither will
+// any later step until a TICK raises mmtclock (the tick source declares
+// that crossing via ClockDemand), so no step deadline is of interest.
+func (mn *MMTNode) NextInterest() simtime.Time {
+	if len(mn.pending) > 0 {
+		return mn.nextStep
+	}
+	if c, ok := mn.inner.nextDue(); ok && !c.After(mn.mmtclock) {
+		return mn.nextStep
+	}
+	return simtime.Never
+}
+
+// ClockDemand reports the clock threshold this node is waiting for: the
+// simulated composite's next deadline when it lies above mmtclock, so
+// only a TICK can unblock it. ok=false means no tick payload would change
+// what the node does (it is either already unblocked — its own step
+// deadline is the interest then — or has no composite work at all).
+// The node's tick source uses this to pick the single TICK worth
+// synthesizing.
+func (mn *MMTNode) ClockDemand() (simtime.Time, bool) {
+	if len(mn.pending) > 0 {
+		return 0, false
+	}
+	c, ok := mn.inner.nextDue()
+	if !ok || !c.After(mn.mmtclock) {
+		return 0, false
+	}
+	return c, true
+}
+
+// FastForward implements ta.Coalescable: advance the step schedule past
+// every opportunity strictly before to, exactly as if each idle step had
+// fired. Fixed-gap policies jump arithmetically; random policies replay
+// their draws so the seeded stream stays byte-identical to the dense
+// execution.
+func (mn *MMTNode) FastForward(to simtime.Time) {
+	if !mn.nextStep.Before(to) {
+		return
+	}
+	if mn.fixedGap > 0 {
+		k := (int64(to.Sub(mn.nextStep)) + int64(mn.fixedGap) - 1) / int64(mn.fixedGap)
+		mn.nextStep = mn.nextStep.Add(simtime.Duration(k * int64(mn.fixedGap)))
+		mn.skippedSteps += k
+		return
+	}
+	for mn.nextStep.Before(to) {
+		mn.nextStep = mn.nextStep.Add(mn.gap())
+		mn.skippedSteps++
+	}
+}
+
 // TickSource is the clock subsystem automaton C^m_{i,ε,ℓ} of §5.2: its
 // sole output is TICK(c), where c is always within ε of real time. Ticks
 // recur with the given period (which must be ≤ ℓ for the node to keep
@@ -260,9 +373,15 @@ type TickSource struct {
 	period simtime.Duration
 	next   simtime.Time
 	buf    [1]ta.Action // reusable return buffer
+
+	// demand, when wired (SetDemand), reports the clock threshold the
+	// node is waiting on; skipped counts TICKs the coalescing fast path
+	// elided as unobservable.
+	demand  func() (simtime.Time, bool)
+	skipped int64
 }
 
-var _ ta.Automaton = (*TickSource)(nil)
+var _ ta.Coalescable = (*TickSource)(nil)
 
 // NewTickSource returns the TICK emitter for node id driven by clk.
 func NewTickSource(id ta.NodeID, clk clock.Model, period simtime.Duration) *TickSource {
@@ -302,6 +421,66 @@ func (ts *TickSource) Fire(now simtime.Time) []ta.Action {
 	ts.next = now.Add(ts.period)
 	ts.buf[0] = ts.tick(now)
 	return ts.buf[:]
+}
+
+// SetDemand wires the clock-threshold query the source consults when
+// declaring interest — in the composed MMT system, the node's
+// ClockDemand. An unwired source treats every tick as observable and is
+// never coalesced.
+func (ts *TickSource) SetDemand(fn func() (simtime.Time, bool)) { ts.demand = fn }
+
+// SkippedTicks reports how many TICK emissions the coalescing fast path
+// elided as unobservable.
+func (ts *TickSource) SkippedTicks() int64 { return ts.skipped }
+
+// NextInterest implements ta.Coalescable. A TICK matters only when its
+// payload crosses the clock threshold the node is waiting on (§5.2:
+// "specific clock values can be missed"); every earlier tick merely
+// nudges mmtclock below that threshold, which no enabled action can see.
+// When the node demands nothing, no future tick is of interest — the
+// executor's skip horizon is then set by whatever event does matter, and
+// FastForward plants the sync TICK just before it so mmtclock is as
+// fresh there as the dense schedule would have left it.
+func (ts *TickSource) NextInterest() simtime.Time {
+	if ts.demand == nil {
+		return ts.next
+	}
+	c, ok := ts.demand()
+	if !ok {
+		return simtime.Never
+	}
+	return ts.nextTickReaching(c)
+}
+
+// nextTickReaching returns the first scheduled tick whose payload reaches
+// clock value c: ticks fire on the period grid anchored at next, and the
+// clock is monotone, so that is the first grid point at or after the
+// earliest real time the clock reads c.
+func (ts *TickSource) nextTickReaching(c simtime.Time) simtime.Time {
+	u := ts.clk.EarliestAt(c)
+	if u == simtime.Never {
+		return simtime.Never
+	}
+	if !u.After(ts.next) {
+		return ts.next
+	}
+	k := (int64(u.Sub(ts.next)) + int64(ts.period) - 1) / int64(ts.period)
+	return ts.next.Add(simtime.Duration(k) * ts.period)
+}
+
+// FastForward implements ta.Coalescable: skip the ticks strictly before
+// to, except that the newest grid point at or before to is kept as the
+// pending sync TICK. It fires at its exact dense-schedule time with its
+// exact dense payload, and because clocks are monotone (axiom C3) and
+// mmtclock is a running maximum, that single tick leaves mmtclock at `to`
+// byte-identical to delivering the whole skipped run.
+func (ts *TickSource) FastForward(to simtime.Time) {
+	if !ts.next.Before(to) {
+		return
+	}
+	k := int64(to.Sub(ts.next)) / int64(ts.period)
+	ts.next = ts.next.Add(simtime.Duration(k) * ts.period)
+	ts.skipped += k
 }
 
 func (ts *TickSource) tick(now simtime.Time) ta.Action {

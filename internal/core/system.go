@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"psclock/internal/channel"
 	"psclock/internal/clock"
@@ -9,6 +10,24 @@ import (
 	"psclock/internal/simtime"
 	"psclock/internal/ta"
 )
+
+// denseExecutors, when set, makes every Build* executor run the dense
+// differential-oracle path (exec.System.DisableCoalescing): no TICK/step
+// coalescing anywhere. It is process-global so harness entry points like
+// `pscbench -dense` can flip the whole experiment suite at once.
+var denseExecutors atomic.Bool
+
+// SetDenseExecutors toggles dense (non-coalescing) execution for every
+// subsequently built system and returns the previous setting.
+func SetDenseExecutors(v bool) bool { return denseExecutors.Swap(v) }
+
+func newSystem() *exec.System {
+	s := exec.New()
+	if denseExecutors.Load() {
+		s.DisableCoalescing()
+	}
+	return s
+}
 
 // Config describes a distributed system to build: the graph is the
 // complete directed graph on N nodes including self-loops (algorithm L of
@@ -148,7 +167,7 @@ func edgeSeed(base int64, i, j, n int) int64 {
 // model system in which the algorithm sees real time.
 func BuildTimed(cfg Config, f AlgorithmFactory) *Net {
 	cfg = cfg.withDefaults()
-	s := exec.New()
+	s := newSystem()
 	net := &Net{Sys: s, N: cfg.N}
 	for i := 0; i < cfg.N; i++ {
 		node := NewTimedNode(ta.NodeID(i), cfg.N, f(ta.NodeID(i), cfg.N))
@@ -180,7 +199,7 @@ func BuildTimed(cfg Config, f AlgorithmFactory) *Net {
 // attached to its clock, and edges carry clock-tagged messages.
 func BuildClocked(cfg Config, f AlgorithmFactory) *Net {
 	cfg = cfg.withDefaults()
-	s := exec.New()
+	s := newSystem()
 	net := &Net{Sys: s, N: cfg.N}
 	for i := 0; i < cfg.N; i++ {
 		node := NewClockNode(ta.NodeID(i), cfg.N, f(ta.NodeID(i), cfg.N), cfg.Clocks(i))
@@ -221,7 +240,7 @@ func BuildMMT(cfg Config, f AlgorithmFactory) *Net {
 	if cfg.TickPeriod > cfg.Ell {
 		panic(fmt.Sprintf("core: tick period %v exceeds step bound ℓ = %v", cfg.TickPeriod, cfg.Ell))
 	}
-	s := exec.New()
+	s := newSystem()
 	net := &Net{Sys: s, N: cfg.N}
 	for i := 0; i < cfg.N; i++ {
 		node := NewMMTNode(ta.NodeID(i), cfg.N, f(ta.NodeID(i), cfg.N), cfg.Ell, cfg.NewStep(), cfg.Seed*31+int64(i))
@@ -234,7 +253,11 @@ func BuildMMT(cfg Config, f AlgorithmFactory) *Net {
 
 		// The tick source's TICK(c) outputs reach the node through the
 		// node's own subscription above (TICK@node matches node.Matches).
+		// The demand wiring runs the other way: the source asks its node
+		// which clock threshold it is blocked on, so the coalescing fast
+		// path can synthesize exactly the TICK that crosses it.
 		ticks := NewTickSource(ta.NodeID(i), cfg.Clocks(i), cfg.TickPeriod)
+		ticks.SetDemand(node.ClockDemand)
 		s.Add(ticks)
 		net.Ticks = append(net.Ticks, ticks)
 	}

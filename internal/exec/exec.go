@@ -10,17 +10,23 @@
 // components that have it as an input (composition communicates on shared
 // actions, §2.1).
 //
-// Two index structures keep the hot path sub-linear in system size:
+// Three fast-path structures keep the hot path sub-linear in both system
+// size and simulated time:
 //
 //   - a deadline heap (sched.go) replaces the per-step linear scan over
-//     every component's Due with a lazily invalidated binary min-heap, and
+//     every component's Due with a lazily invalidated binary min-heap,
 //   - a routing table memoizes, per action header (Name, Node, Peer,
 //     Kind), which subscriptions match, so dispatch stops re-evaluating
-//     every predicate for every action.
+//     every predicate for every action, and
+//   - an interest-declaration pass (coalesce.go) advances time directly
+//     to the next observable event, collapsing runs of unobservable TICK
+//     and idle-step deadlines (ta.Coalescable) into arithmetic jumps.
 //
-// Both preserve the exact dispatch order of the original linear executor
-// (kept in linear.go as a differential reference): deterministic seeds
-// produce byte-identical traces on either path.
+// All preserve the dispatch order of the original linear executor (kept
+// in linear.go as a differential reference): deterministic seeds produce
+// byte-identical traces on the indexed path and byte-identical observable
+// actions on the coalesced path (which elides only hidden TICK events and
+// empty step firings; see DisableCoalescing for the dense oracle).
 package exec
 
 import (
@@ -87,6 +93,20 @@ type System struct {
 	// produce byte-identical traces.
 	linear bool
 
+	// dense disables tick/step coalescing (coalesce.go): every Coalescable
+	// component's deadlines are enumerated one heap event at a time, as
+	// they were before coalescing existed. It is the differential oracle
+	// for the coalesced fast path: dense and coalesced executions of the
+	// same seeded system must agree on every observable action. The linear
+	// path is always dense.
+	dense bool
+
+	// coal indexes the registered components that implement
+	// ta.Coalescable; ffScratch is the pooled consumed-entry list of a
+	// coalescing round.
+	coal      []coalEntry
+	ffScratch []int32
+
 	// KeepTrace controls whether events are recorded. Disable for
 	// throughput benchmarks; watchers still run.
 	KeepTrace bool
@@ -111,14 +131,26 @@ func (s *System) Add(a ta.Automaton) ta.Automaton {
 	idx := len(s.comps)
 	s.index[a.Name()] = idx
 	s.comps = append(s.comps, a)
-	if s.inited && !s.linear {
-		// Late registration: size the scheduler and pick up the newcomer's
-		// deadline immediately.
-		s.sched.grow(len(s.comps))
-		s.poll(idx)
+	if s.inited {
+		if cc, ok := a.(ta.Coalescable); ok {
+			s.coal = append(s.coal, coalEntry{idx: int32(idx), c: cc})
+		}
+		if !s.linear {
+			// Late registration: size the scheduler and pick up the
+			// newcomer's deadline immediately.
+			s.sched.grow(len(s.comps))
+			s.poll(idx)
+		}
 	}
 	return a
 }
+
+// DisableCoalescing forces the dense-tick path: every recurring TICK and
+// step deadline is enumerated as its own heap event, exactly as before
+// coalescing existed. It is the differential oracle for the coalesced
+// fast path (see coalesce.go) and may be toggled at any point; tests and
+// `pscbench -dense` use it to prove observable-action equivalence.
+func (s *System) DisableCoalescing() { s.dense = true }
 
 // Replace swaps the component registered under name (which the
 // replacement must keep) with a, redirecting any subscriptions that
@@ -143,8 +175,11 @@ func (s *System) Replace(name string, a ta.Automaton) {
 			s.subs[i].dst = a
 		}
 	}
-	if s.inited && !s.linear {
-		s.poll(idx)
+	if s.inited {
+		s.rebuildCoal()
+		if !s.linear {
+			s.poll(idx)
+		}
 	}
 }
 
@@ -372,6 +407,7 @@ func (s *System) init() {
 	}
 	s.inited = true
 	s.sched.grow(len(s.comps))
+	s.rebuildCoal()
 	// Late-resolved destinations: a Connect issued before its target's Add
 	// gets its component index here, before any dispatch needs it.
 	for i := range s.subs {
@@ -429,12 +465,15 @@ func (s *System) NextDue() (simtime.Time, bool) {
 }
 
 // Step advances to the next deadline and processes it. It returns false
-// when no further deadline exists or an error occurred.
+// when no further deadline exists or an error occurred. On the coalesced
+// path the next deadline is the next *observable* one: unobservable tick
+// and idle-step deadlines before it are fast-forwarded, not stepped.
 func (s *System) Step() bool {
 	s.init()
 	if s.err != nil {
 		return false
 	}
+	s.coalesce(simtime.Never)
 	next, ok := s.NextDue()
 	if !ok {
 		return false
@@ -451,6 +490,10 @@ func (s *System) Step() bool {
 func (s *System) Run(until simtime.Time) error {
 	s.init()
 	for s.err == nil {
+		// Coalescing is bounded by the run window: at return the skipped
+		// components' schedules sit exactly where the dense path would
+		// leave them at `until`, so callers may inject actions next.
+		s.coalesce(until)
 		next, ok := s.NextDue()
 		if !ok || next.After(until) {
 			break
@@ -471,6 +514,7 @@ func (s *System) Run(until simtime.Time) error {
 func (s *System) RunQuiet(limit simtime.Time) (bool, error) {
 	s.init()
 	for s.err == nil {
+		s.coalesce(limit)
 		next, ok := s.NextDue()
 		if !ok {
 			return true, nil

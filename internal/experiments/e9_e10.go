@@ -236,9 +236,27 @@ func E9Matrix() Result {
 	return Result{ID: "E9", Title: "verification matrix with mutations", Output: tb.String(), Failures: fails}
 }
 
+// e10CellBudget is the wall-clock time box of one (model, n) throughput
+// cell. Cells used to run a fixed operation count, which let the slowest
+// model dominate the whole suite's runtime; now each cell runs the
+// closed-loop workload for this long and reports measured-ops-per-budget.
+// The reported metrics (ops/s, events/s) are rates either way, so they
+// stay comparable across the change and across budget adjustments.
+//
+// The budget is split into e10Trials back-to-back windows over the same
+// warm system and the fastest window is reported: a single short window
+// is at the mercy of GC pauses and scheduler interference, and
+// interference only ever subtracts throughput, so max-of-N is the
+// low-noise estimator of what the executor sustains.
+const e10CellBudget = 30 * time.Millisecond
+
+const e10Trials = 3
+
 // E10Throughput regenerates Figure 5: executor throughput (simulated
 // operations and dispatched events per wall-clock second) for each model
-// as the system grows.
+// as the system grows. Each cell is time-boxed: clients run open-ended and
+// the cell stops after e10CellBudget of wall time, reporting whatever
+// operation and event counts the executor sustained in the box.
 func E10Throughput() Result {
 	bounds := simtime.NewInterval(1*ms, 3*ms)
 	eps := 200 * us
@@ -278,38 +296,66 @@ func E10Throughput() Result {
 			net.Sys.KeepTrace = false
 			events := 0
 			net.Sys.Watch(func(ta.Event) { events++ })
-			opsTotal := 40 * n
 			clients := workload.Attach(net, workload.Config{
-				Ops:        40,
+				Ops:        1 << 30, // effectively unbounded; the wall budget stops the cell
 				Think:      simtime.NewInterval(0, 2*ms),
 				WriteRatio: 0.4,
 				Seed:       12,
 			})
-			start := time.Now()
-			if _, err := net.Sys.RunQuiet(simtime.Time(60 * simtime.Second)); err != nil {
-				fails = append(fails, fmt.Sprintf("%s n=%d: %v", model, n, err))
+			// Advance simulated time in slices until the budget is spent:
+			// the wall clock is only consulted between slices, so the slice
+			// width bounds how far a cell can overshoot. The same system
+			// runs through every trial window; counters are deltas per
+			// window and the fastest window wins.
+			const slice = simtime.Time(50 * ms)
+			horizon := simtime.Time(0)
+			countDone := func() int {
+				done := 0
+				for _, c := range clients {
+					done += c.Done
+				}
+				return done
+			}
+			var runErr error
+			var bestOps, bestEvents float64
+			totalDone := 0
+			var totalWall time.Duration
+			for trial := 0; trial < e10Trials && runErr == nil; trial++ {
+				done0, events0 := countDone(), events
+				start := time.Now()
+				for time.Since(start) < e10CellBudget/e10Trials {
+					horizon = horizon.Add(simtime.Duration(slice))
+					if runErr = net.Sys.Run(horizon); runErr != nil {
+						break
+					}
+				}
+				wall := time.Since(start)
+				totalWall += wall
+				secs := wall.Seconds()
+				if secs <= 0 {
+					secs = 1e-9
+				}
+				totalDone = countDone()
+				if ops := float64(totalDone-done0) / secs; ops > bestOps {
+					bestOps = ops
+					bestEvents = float64(events-events0) / secs
+				}
+			}
+			if runErr != nil {
+				fails = append(fails, fmt.Sprintf("%s n=%d: %v", model, n, runErr))
 				continue
 			}
-			wall := time.Since(start)
-			done := 0
-			for _, c := range clients {
-				done += c.Done
-			}
-			if done != opsTotal {
-				fails = append(fails, fmt.Sprintf("%s n=%d: %d/%d ops", model, n, done, opsTotal))
+			if totalDone == 0 {
+				fails = append(fails, fmt.Sprintf("%s n=%d: no operation completed within the %v budget", model, n, e10CellBudget))
 				continue
 			}
-			secs := wall.Seconds()
-			if secs <= 0 {
-				secs = 1e-9
-			}
-			tb.AddRow(model, fmt.Sprint(n), fmt.Sprint(done), fmt.Sprint(events),
-				fmt.Sprintf("%.1f", float64(wall.Microseconds())/1000),
-				fmt.Sprintf("%.0f", float64(done)/secs),
-				fmt.Sprintf("%.0f", float64(events)/secs))
-			metrics[fmt.Sprintf("ops_per_sec_%s_n%d", model, n)] = float64(done) / secs
-			metrics[fmt.Sprintf("events_per_sec_%s_n%d", model, n)] = float64(events) / secs
+			tb.AddRow(model, fmt.Sprint(n), fmt.Sprint(totalDone), fmt.Sprint(events),
+				fmt.Sprintf("%.1f", float64(totalWall.Microseconds())/1000),
+				fmt.Sprintf("%.0f", bestOps),
+				fmt.Sprintf("%.0f", bestEvents))
+			metrics[fmt.Sprintf("ops_per_sec_%s_n%d", model, n)] = bestOps
+			metrics[fmt.Sprintf("events_per_sec_%s_n%d", model, n)] = bestEvents
 		}
 	}
-	return Result{ID: "E10", Title: "executor throughput by model and size", Output: tb.String(), Failures: fails, Metrics: metrics}
+	return Result{ID: "E10", Title: "executor throughput by model and size (time-boxed cells)", Output: tb.String(), Failures: fails, Metrics: metrics}
 }

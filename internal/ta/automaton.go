@@ -53,3 +53,54 @@ type Automaton interface {
 	// Fire performs the locally controlled actions enabled at now.
 	Fire(now Time) []Action
 }
+
+// Coalescable is an optional refinement of Automaton for components whose
+// Due deadlines are mostly unobservable bookkeeping: recurring TICK(c)
+// emissions and MMT step opportunities that, when taken, change no state
+// any other component (or the recorded visible trace) can see. The
+// executor uses the interface to advance simulated time directly to the
+// next observable event instead of enumerating every intermediate
+// deadline.
+//
+// The skip is semantics-preserving by the paper's own model: in §5.2 a
+// node knows its clock only through discrete TICK(c) inputs and "specific
+// clock values can be missed", so a TICK that leaves every component's
+// enabled-action set unchanged is indistinguishable — the only thing a
+// tick does is raise mmtclock, and because clocks are monotone (axiom C3)
+// the last tick at or before an instant determines that value alone.
+// Likewise an MMT step with an empty pending queue and no composite work
+// below mmtclock performs only the internal τ, which the hiding operator
+// already erases from the visible trace.
+//
+// Contract:
+//
+//   - NextInterest returns the earliest instant at which this component
+//     could perform an observable action — one that other components or
+//     the visible trace react to — given its current state and no further
+//     inputs. simtime.Never means no such instant is scheduled. The value
+//     must never be later than the true earliest observable action (being
+//     early merely wastes a little work; being late would skip real
+//     events), and a component whose very next deadline is observable
+//     must return that deadline (the executor stops coalescing there).
+//   - FastForward(to) advances the component's internal schedule past all
+//     deadlines strictly before `to` without performing them, exactly as
+//     if each had fired and been unobservable. It must consume any seeded
+//     randomness in the same order the skipped firings would have, so a
+//     fast-forwarded execution and a dense one remain byte-identical on
+//     every later action. The executor only calls it with `to` at or
+//     before every component's NextInterest, and never with
+//     simtime.Never.
+//
+// A component whose deadlines are all observable (a channel reporting its
+// next delivery, a clock-model node reporting its next composite
+// deadline) implements NextInterest as its Due and FastForward as a no-op;
+// the executor then never skips past it.
+type Coalescable interface {
+	Automaton
+	// NextInterest returns the earliest instant an observable action could
+	// occur, or simtime.Never.
+	NextInterest() Time
+	// FastForward advances internal bookkeeping past every unobservable
+	// deadline strictly before to.
+	FastForward(to Time)
+}
