@@ -200,7 +200,16 @@ func BenchmarkTraceRelations(b *testing.B) {
 
 // BenchmarkMMTRegister measures the full MMT pipeline (both simulations)
 // end to end.
-func BenchmarkMMTRegister(b *testing.B) {
+func BenchmarkMMTRegister(b *testing.B) { benchMMTRegister(b, 3, 0) }
+
+// BenchmarkMMTRegisterSeqN8 / BenchmarkMMTRegisterShardedN8 are the
+// sequential-vs-sharded pair for shard-count tuning at the E10 problem
+// size; profile them with -cpuprofile to see where a shard configuration
+// spends its time.
+func BenchmarkMMTRegisterSeqN8(b *testing.B)     { benchMMTRegister(b, 8, -1) }
+func BenchmarkMMTRegisterShardedN8(b *testing.B) { benchMMTRegister(b, 8, 8) }
+
+func benchMMTRegister(b *testing.B, n, shards int) {
 	const (
 		ms = psclock.Millisecond
 		us = psclock.Microsecond
@@ -212,7 +221,8 @@ func BenchmarkMMTRegister(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		net := psclock.BuildMMT(psclock.SystemConfig{
-			N: 3, Bounds: bounds, Seed: int64(i), Clocks: psclock.DriftClocks(eps, int64(i)), Ell: ell,
+			N: n, Bounds: bounds, Seed: int64(i), Clocks: psclock.DriftClocks(eps, int64(i)), Ell: ell,
+			Shards: shards,
 		}, psclock.RegisterFactory(psclock.NewRegisterS, p))
 		net.Sys.KeepTrace = false
 		for _, n := range net.MMT {

@@ -27,11 +27,30 @@ func loadReport(path string) (jsonReport, error) {
 	return rep, nil
 }
 
+// warnSettingsMismatch prints a warning for every execution setting that
+// differs between the two reports: a throughput delta between a sequential
+// and a sharded run, or a coalesced and a dense run, measures the
+// configuration change, not a regression. Warnings do not fail the
+// comparison — cross-configuration diffs are sometimes exactly the point —
+// they just make the apples-to-oranges explicit.
+func warnSettingsMismatch(old, cur jsonReport) {
+	diff := func(name string, o, n any) {
+		if o != n {
+			fmt.Fprintf(os.Stderr, "pscbench: warning: settings differ: %s was %v, now %v — deltas below reflect the configuration change\n", name, o, n)
+		}
+	}
+	diff("parallelism", old.Parallelism, cur.Parallelism)
+	diff("shards", old.Shards, cur.Shards)
+	diff("dense", old.Dense, cur.Dense)
+	diff("gomaxprocs", old.GOMAXPROCS, cur.GOMAXPROCS)
+}
+
 // compareReports prints per-experiment wall-time and ops/sec deltas of cur
 // against old and returns the regressions: wall time grown by more than
 // tol (on experiments big enough to measure), or any ops/sec metric
 // dropped by more than tol.
 func compareReports(old, cur jsonReport, tol float64) []string {
+	warnSettingsMismatch(old, cur)
 	byID := make(map[string]jsonResult, len(old.Experiments))
 	for _, e := range old.Experiments {
 		byID[e.ID] = e

@@ -10,6 +10,9 @@
 //	pscbench -json              # also write BENCH_results.json
 //	pscbench -compare old.json  # diff wall/ops-per-sec vs a previous report
 //	pscbench -dense             # dense differential-oracle executors (no coalescing)
+//	pscbench -shards 4          # sharded conservative-parallel executors
+//	pscbench -cpuprofile cpu.pb # write a CPU profile of the run
+//	pscbench -memprofile mem.pb # write a heap profile at exit
 //
 // Experiments run one after another; parallelism lives inside each
 // experiment, which fans its seeded rows over a bounded worker pool
@@ -26,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -46,9 +51,15 @@ type jsonResult struct {
 	Metrics  map[string]float64 `json:"metrics,omitempty"`
 }
 
-// jsonReport is the top-level shape of BENCH_results.json.
+// jsonReport is the top-level shape of BENCH_results.json. Besides the
+// results it records the effective execution settings, so -compare can
+// flag a diff between reports produced under different configurations
+// before anyone reads meaning into its deltas.
 type jsonReport struct {
 	Parallelism int          `json:"parallelism"`
+	Shards      int          `json:"shards"`
+	Dense       bool         `json:"dense"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
 	TotalWallMS float64      `json:"total_wall_ms"`
 	Experiments []jsonResult `json:"experiments"`
 }
@@ -66,12 +77,18 @@ func run(args []string) int {
 	comparePath := fs.String("compare", "", "previous BENCH_results.json to diff against; regressions beyond -tolerance exit nonzero")
 	tolerance := fs.Float64("tolerance", 0.20, "relative regression tolerance for -compare (0.20 = 20%)")
 	dense := fs.Bool("dense", false, "run every executor on the dense differential-oracle path (no tick/step coalescing)")
+	shards := fs.Int("shards", 0, "shard count for conservative-parallel execution (<2: sequential); also the default for experiments that build their own systems")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file after the experiment runs")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	if *dense {
 		defer core.SetDenseExecutors(core.SetDenseExecutors(true))
+	}
+	if *shards > 1 {
+		defer core.SetDefaultShards(core.SetDefaultShards(*shards))
 	}
 
 	// Load the baseline up front: -json overwrites BENCH_results.json, and
@@ -110,7 +127,28 @@ func run(args []string) int {
 		}
 	}
 
-	report := jsonReport{Parallelism: experiments.Parallelism()}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pscbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pscbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	report := jsonReport{
+		Parallelism: experiments.Parallelism(),
+		Shards:      core.DefaultShards(),
+		Dense:       *dense,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
 	start := time.Now()
 	failed := 0
 	for _, e := range selected {
@@ -131,6 +169,20 @@ func run(args []string) int {
 		})
 	}
 	report.TotalWallMS = float64(time.Since(start).Microseconds()) / 1000
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pscbench: -memprofile: %v\n", err)
+			return 2
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pscbench: -memprofile: %v\n", err)
+			return 2
+		}
+		f.Close()
+	}
 
 	if *emitJSON {
 		buf, err := json.MarshalIndent(report, "", "  ")

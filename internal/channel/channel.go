@@ -213,6 +213,12 @@ func NewClock(from, to ta.NodeID, bounds simtime.Interval, policy DelayPolicy, s
 // Name implements ta.Automaton.
 func (e *Edge) Name() string { return e.name }
 
+// From returns the link's sending endpoint.
+func (e *Edge) From() ta.NodeID { return e.from }
+
+// To returns the link's receiving endpoint.
+func (e *Edge) To() ta.NodeID { return e.to }
+
 // Init implements ta.Automaton.
 func (e *Edge) Init() []ta.Action { return nil }
 

@@ -23,7 +23,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -92,23 +91,60 @@ type timerEntry struct {
 	key any
 }
 
+// timerHeap is a plain binary min-heap ordered by (at, seq). It is
+// hand-rolled rather than container/heap because SetTimer and timer
+// firing are the per-callback hot path of every node: the heap.Interface
+// indirection boxes each timerEntry into an interface value on both Push
+// and Pop, which showed up as two heap allocations per timer in the
+// executor-throughput profile.
 type timerHeap []timerEntry
 
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func timerLess(a, b timerEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x any)   { *h = append(*h, x.(timerEntry)) }
-func (h *timerHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *timerHeap) push(e timerEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !timerLess(s[i], s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *timerHeap) pop() timerEntry {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = timerEntry{} // drop the key reference
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && timerLess(s[r], s[l]) {
+			m = r
+		}
+		if !timerLess(s[m], s[i]) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
 }
 
 // engine drives one Algorithm synchronously: the enclosing model adapter
@@ -131,9 +167,14 @@ type engine struct {
 	// algorithm's view monotone across catch-ups.
 	last simtime.Time
 
-	// callback state
+	// callback state. out is the per-callback action buffer and acc the
+	// per-advance accumulation buffer; both are reused across calls, so a
+	// returned slice is valid only until the next call into the engine —
+	// every adapter copies it out immediately (see appendActs and the
+	// emit/pend methods).
 	now simtime.Time
 	out []stamped
+	acc []stamped
 }
 
 var _ Context = (*engine)(nil)
@@ -194,8 +235,17 @@ func (e *engine) Send(to ta.NodeID, body any) {
 }
 
 func (e *engine) Broadcast(body any) {
-	for _, j := range e.Neighbors() {
-		e.Send(j, body)
+	// Iterate the neighbor set directly: Neighbors() copies, and a
+	// broadcast per operation made that copy a measurable share of the
+	// executor's allocations.
+	if e.neighbors != nil {
+		for _, j := range e.neighbors {
+			e.Send(j, body)
+		}
+		return
+	}
+	for j := 0; j < e.n; j++ {
+		e.Send(ta.NodeID(j), body)
 	}
 }
 
@@ -210,23 +260,22 @@ func (e *engine) Output(name string, payload any) {
 }
 
 func (e *engine) SetTimer(at simtime.Time, key any) {
-	heap.Push(&e.timers, timerEntry{at: at, seq: e.seq, key: key})
+	e.timers.push(timerEntry{at: at, seq: e.seq, key: key})
 	e.seq++
 }
 
 // run invokes fn with the context set to time t and returns the actions the
-// callback performed.
+// callback performed. The returned slice is the engine's reusable buffer:
+// it is valid only until the next call into the engine.
 func (e *engine) run(t simtime.Time, fn func()) []stamped {
 	if t.Before(e.last) {
 		t = e.last
 	}
 	e.last = t
 	e.now = t
-	e.out = nil
+	e.out = e.out[:0]
 	fn()
-	out := e.out
-	e.out = nil
-	return out
+	return e.out
 }
 
 // start delivers the Start callback at time t.
@@ -260,12 +309,13 @@ func (e *engine) nextTimer() (simtime.Time, bool) {
 // action exactly at its scheduled clock value, and the tags on any messages
 // it sends must say so (Definition 5.1's frag semantics). A callback may
 // register further timers with deadline ≤ t; those fire in the same
-// advance. It returns the actions performed.
+// advance. It returns the actions performed, in the engine's reusable
+// accumulation buffer — valid only until the next advance.
 func (e *engine) advance(t simtime.Time) []stamped {
-	var out []stamped
+	e.acc = e.acc[:0]
 	for len(e.timers) > 0 && !e.timers[0].at.After(t) {
-		entry := heap.Pop(&e.timers).(timerEntry)
-		out = append(out, e.run(entry.at, func() { e.alg.OnTimer(e, entry.key) })...)
+		entry := e.timers.pop()
+		e.acc = append(e.acc, e.run(entry.at, func() { e.alg.OnTimer(e, entry.key) })...)
 	}
-	return out
+	return e.acc
 }

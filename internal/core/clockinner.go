@@ -45,6 +45,12 @@ type clockInner struct {
 	buffered     int
 	received     int
 	heldClockMax simtime.Duration
+
+	// acc is the reusable output buffer: every public method returns a
+	// slice of it, valid only until the next call into the composite. The
+	// outer adapters (ClockNode.emit, MMTNode.pend) copy it out
+	// immediately.
+	acc []stamped
 }
 
 func newClockInner(id ta.NodeID, n int, alg Algorithm, noBuffer bool) *clockInner {
@@ -57,19 +63,20 @@ func newClockInner(id ta.NodeID, n int, alg Algorithm, noBuffer bool) *clockInne
 	}
 }
 
-// process converts the engine's raw outputs into the composite's outputs:
-// every SENDMSG is accompanied by the tagged ESENDMSG that S_ij,ε forwards
-// to the clock-model edge at the same instant.
-func (ci *clockInner) process(ss []stamped) []stamped {
-	out := make([]stamped, 0, len(ss))
+// process appends the engine's raw outputs to ci.acc, converted into the
+// composite's outputs: every SENDMSG is accompanied by the tagged ESENDMSG
+// that S_ij,ε forwards to the clock-model edge at the same instant. ss is
+// the engine's reusable buffer; the values are copied here before the next
+// engine call.
+func (ci *clockInner) process(ss []stamped) {
 	for _, s := range ss {
-		out = append(out, s)
+		ci.acc = append(ci.acc, s)
 		if s.act.Name == ta.NameSendMsg {
 			msg, ok := s.act.Payload.(ta.Msg)
 			if !ok {
 				panic(fmt.Sprintf("core: SENDMSG payload %T is not ta.Msg", s.act.Payload))
 			}
-			out = append(out, stamped{
+			ci.acc = append(ci.acc, stamped{
 				at: s.at,
 				act: ta.Action{
 					Name:    ta.NameESendMsg,
@@ -81,12 +88,13 @@ func (ci *clockInner) process(ss []stamped) []stamped {
 			})
 		}
 	}
-	return out
 }
 
 // start runs the algorithm's Start at clock 0.
 func (ci *clockInner) start() []stamped {
-	return ci.process(ci.eng.start(0))
+	ci.acc = ci.acc[:0]
+	ci.process(ci.eng.start(0))
+	return ci.acc
 }
 
 // nextDue returns the earliest clock value at which the composite has work:
@@ -109,7 +117,13 @@ func (ci *clockInner) nextDue() (simtime.Time, bool) {
 // clock value. This is both the ClockNode steady-state step and the MMT
 // catch-up fragment (Definition 5.1's frag).
 func (ci *clockInner) advance(c simtime.Time) []stamped {
-	var out []stamped
+	ci.acc = ci.acc[:0]
+	ci.advanceInto(c)
+	return ci.acc
+}
+
+// advanceInto is advance appending to ci.acc without resetting it.
+func (ci *clockInner) advanceInto(c simtime.Time) {
 	for {
 		// Earliest buffer release among queue fronts.
 		var (
@@ -135,19 +149,20 @@ func (ci *clockInner) advance(c simtime.Time) []stamped {
 			q := ci.queues[relFrom]
 			tm := q[0]
 			ci.queues[relFrom] = q[1:]
-			out = append(out, ci.deliverMsg(relAt, relFrom, tm)...)
+			ci.deliverMsg(relAt, relFrom, tm)
 		case timerOK && !timerAt.After(c):
-			out = append(out, ci.process(ci.eng.advance(timerAt))...)
+			ci.process(ci.eng.advance(timerAt))
 		default:
-			return out
+			return
 		}
 	}
 }
 
-// deliverMsg hands a message to the algorithm at clock value c, emitting
-// the node-internal RECVMSG action R_ji performs.
-func (ci *clockInner) deliverMsg(c simtime.Time, from ta.NodeID, tm ta.TaggedMsg) []stamped {
-	recv := stamped{
+// deliverMsg hands a message to the algorithm at clock value c, appending
+// to ci.acc the node-internal RECVMSG action R_ji performs and whatever
+// the algorithm does in response.
+func (ci *clockInner) deliverMsg(c simtime.Time, from ta.NodeID, tm ta.TaggedMsg) {
+	ci.acc = append(ci.acc, stamped{
 		at: c,
 		act: ta.Action{
 			Name:    ta.NameRecvMsg,
@@ -156,9 +171,8 @@ func (ci *clockInner) deliverMsg(c simtime.Time, from ta.NodeID, tm ta.TaggedMsg
 			Kind:    ta.KindOutput,
 			Payload: ta.Msg{Body: tm.Body},
 		},
-	}
-	out := append([]stamped{recv}, ci.process(ci.eng.message(c, from, tm.Body))...)
-	return out
+	})
+	ci.process(ci.eng.message(c, from, tm.Body))
 }
 
 // erecv handles an ERECVMSG from the clock-model edge at clock value c: the
@@ -166,30 +180,35 @@ func (ci *clockInner) deliverMsg(c simtime.Time, from ta.NodeID, tm ta.TaggedMsg
 // and its tag has been reached, and buffered otherwise. The composite is
 // caught up to c first, so the algorithm state is current.
 func (ci *clockInner) erecv(c simtime.Time, from ta.NodeID, tm ta.TaggedMsg) []stamped {
-	out := ci.advance(c)
+	ci.acc = ci.acc[:0]
+	ci.advanceInto(c)
 	ci.received++
 	if ci.noBuffer {
 		// Ablation: deliver at the current clock even when that is less
 		// than the sending clock — the situation the buffer exists to
 		// prevent (§4, Lamport's observation).
-		return append(out, ci.deliverMsg(c, from, tm)...)
+		ci.deliverMsg(c, from, tm)
+		return ci.acc
 	}
 	if len(ci.queues[from]) == 0 && !tm.SentClock.After(c) {
-		return append(out, ci.deliverMsg(c, from, tm)...)
+		ci.deliverMsg(c, from, tm)
+		return ci.acc
 	}
 	ci.buffered++
 	if held := simtime.Duration(tm.SentClock - c); held > ci.heldClockMax {
 		ci.heldClockMax = held
 	}
 	ci.queues[from] = append(ci.queues[from], tm)
-	return out
+	return ci.acc
 }
 
 // input handles an environment invocation at clock value c, catching up
 // first.
 func (ci *clockInner) input(c simtime.Time, name string, payload any) []stamped {
-	out := ci.advance(c)
-	return append(out, ci.process(ci.eng.input(c, name, payload))...)
+	ci.acc = ci.acc[:0]
+	ci.advanceInto(c)
+	ci.process(ci.eng.input(c, name, payload))
+	return ci.acc
 }
 
 // Buffered returns how many received messages had to be held, the total

@@ -21,6 +21,19 @@ var denseExecutors atomic.Bool
 // subsequently built system and returns the previous setting.
 func SetDenseExecutors(v bool) bool { return denseExecutors.Swap(v) }
 
+// defaultShards is the process-global shard count applied to every Build*
+// whose Config leaves Shards at zero, so harness entry points like
+// `pscbench -shards 4` can switch the whole experiment suite to sharded
+// conservative-parallel execution at once. Zero or one means sequential.
+var defaultShards atomic.Int64
+
+// SetDefaultShards sets the process-global default shard count for
+// subsequently built systems and returns the previous setting.
+func SetDefaultShards(n int) int { return int(defaultShards.Swap(int64(n))) }
+
+// DefaultShards returns the process-global default shard count.
+func DefaultShards() int { return int(defaultShards.Load()) }
+
 func newSystem() *exec.System {
 	s := exec.New()
 	if denseExecutors.Load() {
@@ -66,6 +79,32 @@ type Config struct {
 	// self-loops, which the register algorithms require (their broadcasts
 	// include the sender). Algorithms may only Send along existing edges.
 	Topology func(from, to int) bool
+
+	// Shards requests conservative-parallel sharded execution
+	// (exec.System.SetShards): nodes are partitioned into contiguous
+	// blocks, each node's tick source and clients join its shard, and every
+	// channel is pinned to its receiver's shard, so the minimum cross-shard
+	// link delay d1 becomes the executor's lookahead. Zero uses the
+	// process-global default (SetDefaultShards); negative forces sequential
+	// execution regardless of the default; values above N are clamped to N.
+	// Seeded runs produce identical observable traces either way.
+	Shards int
+}
+
+// shardCount resolves the effective shard count: the config's request,
+// falling back to the process default, clamped to [1, N].
+func (cfg Config) shardCount() int {
+	n := cfg.Shards
+	if n == 0 {
+		n = DefaultShards()
+	}
+	if n < 2 {
+		return 1
+	}
+	if n > cfg.N {
+		n = cfg.N
+	}
+	return n
 }
 
 func (cfg Config) hasEdge(i, j int) bool {
@@ -114,6 +153,63 @@ type Net struct {
 	Clocked []*ClockNode
 	MMT     []*MMTNode
 	Ticks   []*TickSource
+
+	// nodeShard and shardOf record the partition when Config requested
+	// sharded execution; both are nil on the sequential path. shardOf is
+	// the name→shard map the executor's assignment closure consults at
+	// first run, so AddClient can still join a client to its node's shard
+	// after building.
+	nodeShard []int
+	shardOf   map[string]int
+}
+
+// applySharding partitions the built components into cfg.shardCount()
+// contiguous node blocks and hands the executor the assignment along with
+// the minimum cross-shard link delay as lookahead. Same-instant causality
+// stays shard-local by construction: a node reacts instantly only to its
+// own tick source, its own clients, and deliveries from its incoming
+// channels — all pinned to its shard — while a channel merely schedules a
+// future arrival (≥ d1 later) when its sender's shard writes to it.
+func (net *Net) applySharding(cfg Config) {
+	s := cfg.shardCount()
+	if s < 2 {
+		return
+	}
+	shard := func(i int) int { return i * s / net.N }
+	m := make(map[string]int, 2*net.N+len(net.Edges))
+	for i, n := range net.Timed {
+		m[n.Name()] = shard(i)
+	}
+	for i, n := range net.Clocked {
+		m[n.Name()] = shard(i)
+	}
+	for i, n := range net.MMT {
+		m[n.Name()] = shard(i)
+	}
+	for i, t := range net.Ticks {
+		m[t.Name()] = shard(i)
+	}
+	lookahead := simtime.Duration(simtime.Never)
+	for _, e := range net.Edges {
+		recv := shard(int(e.To()))
+		m[e.Name()] = recv
+		if shard(int(e.From())) != recv {
+			if lo := e.Bounds().Lo; lo < lookahead {
+				lookahead = lo
+			}
+		}
+	}
+	net.nodeShard = make([]int, net.N)
+	for i := range net.nodeShard {
+		net.nodeShard[i] = shard(i)
+	}
+	net.shardOf = m
+	net.Sys.SetShards(s, lookahead, func(name string) int {
+		if sh, ok := net.shardOf[name]; ok {
+			return sh
+		}
+		return -1
+	})
 }
 
 // Invoke injects an environment invocation at the given node at the
@@ -132,6 +228,11 @@ func (net *Net) Invoke(node ta.NodeID, name string, payload any) {
 // receives that node's environment responses as inputs, and any invocation
 // actions it emits are routed to the node.
 func (net *Net) AddClient(c ta.Automaton, node ta.NodeID) {
+	if net.shardOf != nil {
+		// The client exchanges same-instant actions with its node, so it
+		// must live in the node's shard.
+		net.shardOf[c.Name()] = net.nodeShard[int(node)]
+	}
 	net.Sys.Add(c)
 	net.Sys.ConnectHeader(ResponsesAt(node), c)
 }
@@ -191,6 +292,7 @@ func BuildTimed(cfg Config, f AlgorithmFactory) *Net {
 		}
 	}
 	hideInterface(s)
+	net.applySharding(cfg)
 	return net
 }
 
@@ -226,6 +328,7 @@ func BuildClocked(cfg Config, f AlgorithmFactory) *Net {
 		}
 	}
 	hideInterface(s)
+	net.applySharding(cfg)
 	return net
 }
 
@@ -274,5 +377,6 @@ func BuildMMT(cfg Config, f AlgorithmFactory) *Net {
 		}
 	}
 	hideInterface(s)
+	net.applySharding(cfg)
 	return net
 }

@@ -68,17 +68,26 @@ func (s *System) rebuildCoal() {
 	}
 }
 
-// coalesce fast-forwards coalescable components past their unobservable
-// deadlines up to the next observable event, bounded by bound (the
-// current Run/RunQuiet window, or simtime.Never for Step). On the dense
-// and linear oracle paths it does nothing.
-func (s *System) coalesce(bound simtime.Time) {
-	if s.dense || s.linear || s.err != nil || len(s.coal) == 0 {
+// coalesce fast-forwards the lane's coalescable components past their
+// unobservable deadlines up to the next observable event, bounded by bound
+// (the current Run/RunQuiet window, the sharded round window, or
+// simtime.Never for Step). On the dense and linear oracle paths it does
+// nothing.
+//
+// Under sharded execution the bound is additionally capped at the round
+// window W: mail from other shards lands at the barrier with deadlines at
+// or after W, so no deadline the sweep skips inside the window can be
+// invalidated by a delivery the lane has not seen yet. Fast-forwarding in
+// window-sized increments reaches the same state as one direct jump:
+// FastForward targets are monotone and each call consumes exactly the
+// seeded draws of the deadlines it skips.
+func (s *System) coalesce(ln *lane, bound simtime.Time) {
+	if s.dense || s.linear || *ln.err != nil || len(s.coal) == 0 {
 		return
 	}
 	horizon := bound
-	sc := &s.sched
-	ff := s.ffScratch[:0]
+	sc := &ln.sched
+	ff := ln.ffScratch[:0]
 	for len(sc.heap) > 0 {
 		top := sc.heap[0]
 		if sc.stale(top) {
@@ -120,14 +129,14 @@ func (s *System) coalesce(bound simtime.Time) {
 		// component at its unchanged deadline) and let the caller's sweep
 		// proceed densely.
 		for _, idx := range ff {
-			s.poll(int(idx))
+			s.poll(ln, int(idx))
 		}
-		s.ffScratch = ff[:0]
+		ln.ffScratch = ff[:0]
 		return
 	}
 	for _, idx := range ff {
 		s.comps[idx].(ta.Coalescable).FastForward(horizon)
-		s.poll(int(idx))
+		s.poll(ln, int(idx))
 	}
-	s.ffScratch = ff[:0]
+	ln.ffScratch = ff[:0]
 }

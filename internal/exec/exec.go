@@ -10,23 +10,28 @@
 // components that have it as an input (composition communicates on shared
 // actions, §2.1).
 //
-// Three fast-path structures keep the hot path sub-linear in both system
+// Four fast-path structures keep the hot path sub-linear in both system
 // size and simulated time:
 //
 //   - a deadline heap (sched.go) replaces the per-step linear scan over
 //     every component's Due with a lazily invalidated binary min-heap,
 //   - a routing table memoizes, per action header (Name, Node, Peer,
 //     Kind), which subscriptions match, so dispatch stops re-evaluating
-//     every predicate for every action, and
+//     every predicate for every action,
 //   - an interest-declaration pass (coalesce.go) advances time directly
 //     to the next observable event, collapsing runs of unobservable TICK
-//     and idle-step deadlines (ta.Coalescable) into arithmetic jumps.
+//     and idle-step deadlines (ta.Coalescable) into arithmetic jumps, and
+//   - an optional sharded mode (shard.go) partitions the components into
+//     lanes that advance concurrently through bounded-lag windows sized
+//     by the minimum cross-shard link delay d1, with cross-shard actions
+//     buffered into mailboxes and merged at a barrier in canonical order.
 //
 // All preserve the dispatch order of the original linear executor (kept
 // in linear.go as a differential reference): deterministic seeds produce
 // byte-identical traces on the indexed path and byte-identical observable
-// actions on the coalesced path (which elides only hidden TICK events and
-// empty step firings; see DisableCoalescing for the dense oracle).
+// actions on the coalesced and sharded paths (which elide only hidden TICK
+// events and empty step firings; see DisableCoalescing for the dense
+// oracle and SetShards for the sharded configuration).
 package exec
 
 import (
@@ -69,6 +74,50 @@ type routeKey struct {
 	kind       ta.Kind
 }
 
+// lane is one execution context: a clock, a deadline scheduler, and the
+// dispatch scratch state. The sequential executor runs entirely on the
+// root lane (shard == -1); sharded execution (shard.go) adds one lane per
+// shard, each owning a disjoint set of components, and the root lane keeps
+// the global clock and handles barrier-time (Init/Inject) dispatch.
+//
+// Every field is confined to the lane's worker during a sharded round;
+// the coordinator only touches lane state between rounds (at barriers).
+type lane struct {
+	shard int32 // shard id, or -1 for the root lane
+	now   simtime.Time
+
+	// err points at the lane's error slot: the System error for the root
+	// lane (so config-time and execution errors share one slot, as
+	// before), errSlot for shard lanes (merged at barriers).
+	err     *error
+	errSlot error
+
+	sched     sched
+	ffScratch []int32
+
+	chainDepth int
+	scratch    [][]ta.Action
+	routes     map[routeKey][]int32
+
+	// Sharded-round buffers (unused on the root lane). events holds the
+	// lane's recorded events of the current round in canonical lane-local
+	// order; evCount counts events when nothing records them (the
+	// KeepTrace-off, no-watcher fast path); mail holds cross-shard
+	// deliveries awaiting the barrier. round and firing stamp each
+	// buffered event with its merge key (see shard.go).
+	events  []laneEvent
+	evCount int
+	mail    []mailEntry
+	round   int32
+	firing  int32
+}
+
+func (ln *lane) fail(err error) {
+	if *ln.err == nil {
+		*ln.err = err
+	}
+}
+
 // System is a composition of automata under execution. The zero value is
 // not usable; construct with New.
 type System struct {
@@ -76,16 +125,15 @@ type System struct {
 	index   map[string]int
 	subs    []subscription
 	slow    []int32 // indices of predicate-only (non-header) subscriptions
-	routes  map[routeKey][]int32
 	hidden  func(ta.Action) bool
 	watches []func(ta.Event)
 
-	now    simtime.Time
 	seq    int
 	inited bool
 	err    error
 
-	sched sched
+	// root is the sequential execution lane; root.now is the global clock.
+	root lane
 
 	// linear, when set before the system first runs, restores the original
 	// O(components) scan scheduler and O(subscriptions) dispatch. It exists
@@ -102,23 +150,31 @@ type System struct {
 	dense bool
 
 	// coal indexes the registered components that implement
-	// ta.Coalescable; ffScratch is the pooled consumed-entry list of a
-	// coalescing round.
-	coal      []coalEntry
-	ffScratch []int32
+	// ta.Coalescable.
+	coal []coalEntry
+
+	// Sharded-mode state; see shard.go. shardCfg is the requested
+	// configuration, lanes/compShard/lookahead the active partition once
+	// initShards accepts it, and shardReason records why it did not.
+	shardCfg    *shardConfig
+	lanes       []*lane
+	compShard   []int32
+	lookahead   simtime.Duration
+	shardOn     bool
+	shardReason string
 
 	// KeepTrace controls whether events are recorded. Disable for
 	// throughput benchmarks; watchers still run.
 	KeepTrace bool
 	trace     ta.Trace
-
-	chainDepth int
-	scratch    [][]ta.Action
 }
 
 // New returns an empty system at time zero.
 func New() *System {
-	return &System{index: make(map[string]int), KeepTrace: true}
+	s := &System{index: make(map[string]int), KeepTrace: true}
+	s.root.shard = -1
+	s.root.err = &s.err
+	return s
 }
 
 // Add registers a component. Component names must be unique; Add returns
@@ -132,14 +188,21 @@ func (s *System) Add(a ta.Automaton) ta.Automaton {
 	s.index[a.Name()] = idx
 	s.comps = append(s.comps, a)
 	if s.inited {
+		if s.shardOn {
+			// The shard partition and its lookahead were computed from the
+			// registration-time component set; growing it mid-run would
+			// leave the newcomer without a lane.
+			s.fail(fmt.Errorf("exec: Add(%s) after sharded execution started", a.Name()))
+			return a
+		}
 		if cc, ok := a.(ta.Coalescable); ok {
 			s.coal = append(s.coal, coalEntry{idx: int32(idx), c: cc})
 		}
 		if !s.linear {
 			// Late registration: size the scheduler and pick up the
 			// newcomer's deadline immediately.
-			s.sched.grow(len(s.comps))
-			s.poll(idx)
+			s.root.sched.grow(len(s.comps))
+			s.poll(&s.root, idx)
 		}
 	}
 	return a
@@ -168,6 +231,10 @@ func (s *System) Replace(name string, a ta.Automaton) {
 		s.fail(fmt.Errorf("exec: Replace: replacement is named %q, want %q", a.Name(), name))
 		return
 	}
+	if s.inited && s.shardOn {
+		s.fail(fmt.Errorf("exec: Replace(%s) after sharded execution started", name))
+		return
+	}
 	old := s.comps[idx]
 	s.comps[idx] = a
 	for i := range s.subs {
@@ -178,7 +245,7 @@ func (s *System) Replace(name string, a ta.Automaton) {
 	if s.inited {
 		s.rebuildCoal()
 		if !s.linear {
-			s.poll(idx)
+			s.poll(&s.root, idx)
 		}
 	}
 }
@@ -202,7 +269,9 @@ func (s *System) Connect(match func(ta.Action) bool, dst ta.Automaton) {
 // memoized, so the predicate runs once per distinct action header rather
 // than once per dispatched action. The contract is the caller's to keep: a
 // payload-inspecting predicate registered here will be consulted with an
-// arbitrary representative payload and its verdict reused.
+// arbitrary representative payload and its verdict reused. Under sharded
+// execution (SetShards) predicates are additionally consulted from
+// concurrent lanes, so they must not read mutable state.
 func (s *System) ConnectHeader(match func(ta.Action) bool, dst ta.Automaton) {
 	s.addSub(match, dst, true)
 }
@@ -222,7 +291,11 @@ func (s *System) addSub(match func(ta.Action) bool, dst ta.Automaton, header boo
 	if !header {
 		s.slow = append(s.slow, int32(len(s.subs)-1))
 	}
-	s.routes = nil // memoized routes are stale once the wiring changes
+	// Memoized routes are stale once the wiring changes.
+	s.root.routes = nil
+	for _, ln := range s.lanes {
+		ln.routes = nil
+	}
 }
 
 // Hide reclassifies matching actions as internal in the recorded trace,
@@ -238,13 +311,14 @@ func (s *System) Hide(match func(ta.Action) bool) {
 }
 
 // Watch registers an observer invoked for every dispatched event, hidden or
-// not, in dispatch order.
+// not, in dispatch order. Under sharded execution watchers run at round
+// barriers, still in canonical event order.
 func (s *System) Watch(fn func(ta.Event)) {
 	s.watches = append(s.watches, fn)
 }
 
 // Now returns the current simulated time.
-func (s *System) Now() simtime.Time { return s.now }
+func (s *System) Now() simtime.Time { return s.root.now }
 
 // Err returns the first execution error, if any.
 func (s *System) Err() error { return s.err }
@@ -259,19 +333,32 @@ func (s *System) fail(err error) {
 	}
 }
 
-// record logs the event and notifies watchers.
-func (s *System) record(a ta.Action, src string) {
+// record logs the event and notifies watchers. On shard lanes the event is
+// buffered with its canonical merge key instead and emitted at the round
+// barrier (shard.go); the root lane records immediately.
+func (s *System) record(ln *lane, a ta.Action, src string) {
+	if ln.shard >= 0 {
+		if !s.KeepTrace && len(s.watches) == 0 {
+			// Nobody is looking: count the event for sequence-number
+			// continuity and skip buffering entirely.
+			ln.evCount++
+			return
+		}
+		ln.events = append(ln.events, laneEvent{
+			a: a, src: src, at: ln.now, round: ln.round, firing: ln.firing,
+		})
+		return
+	}
 	if !s.KeepTrace && len(s.watches) == 0 {
-		// Nobody is looking: skip hidden-classification and event
-		// construction entirely. Seq still advances so that toggling
-		// KeepTrace mid-run yields consistent numbering.
+		// Seq still advances so that toggling KeepTrace mid-run yields
+		// consistent numbering.
 		s.seq++
 		return
 	}
 	if s.hidden != nil && a.Kind != ta.KindInternal && s.hidden(a) {
 		a.Kind = ta.KindInternal
 	}
-	e := ta.Event{Action: a, At: s.now, Src: src, Seq: s.seq}
+	e := ta.Event{Action: a, At: ln.now, Src: src, Seq: s.seq}
 	s.seq++
 	if s.KeepTrace {
 		if s.trace == nil {
@@ -291,29 +378,30 @@ func (s *System) record(a ta.Action, src string) {
 // Fire may re-enter the component that produced them; copying up front is
 // what lets components reuse their returned slices across calls (see the
 // ta.Automaton contract).
-func (s *System) borrow(acts []ta.Action) []ta.Action {
+func (ln *lane) borrow(acts []ta.Action) []ta.Action {
 	var buf []ta.Action
-	if n := len(s.scratch); n > 0 {
-		buf = s.scratch[n-1][:0]
-		s.scratch = s.scratch[:n-1]
+	if n := len(ln.scratch); n > 0 {
+		buf = ln.scratch[n-1][:0]
+		ln.scratch = ln.scratch[:n-1]
 	}
 	return append(buf, acts...)
 }
 
 // release clears and returns a borrowed buffer to the pool. Clearing drops
 // payload references so the pool never pins message bodies.
-func (s *System) release(buf []ta.Action) {
+func (ln *lane) release(buf []ta.Action) {
 	clear(buf)
-	s.scratch = append(s.scratch, buf[:0])
+	ln.scratch = append(ln.scratch, buf[:0])
 }
 
 // routeFor returns the header-subscription hit list for a's routing key,
 // computing and memoizing it on first sight. Header predicates depend only
 // on the key fields, so one representative action decides the route for
-// every action sharing its key.
-func (s *System) routeFor(a ta.Action) []int32 {
+// every action sharing its key. The memo is per-lane so concurrent shard
+// lanes never share map state.
+func (s *System) routeFor(ln *lane, a ta.Action) []int32 {
 	key := routeKey{name: a.Name, node: a.Node, peer: a.Peer, kind: a.Kind}
-	if hits, ok := s.routes[key]; ok {
+	if hits, ok := ln.routes[key]; ok {
 		return hits
 	}
 	var hits []int32
@@ -322,10 +410,10 @@ func (s *System) routeFor(a ta.Action) []int32 {
 			hits = append(hits, int32(i))
 		}
 	}
-	if s.routes == nil {
-		s.routes = make(map[routeKey][]int32)
+	if ln.routes == nil {
+		ln.routes = make(map[routeKey][]int32)
 	}
-	s.routes[key] = hits
+	ln.routes[key] = hits
 	return hits
 }
 
@@ -334,61 +422,83 @@ func (s *System) routeFor(a ta.Action) []int32 {
 // visited in registration order on both the indexed and linear paths:
 // the routing table yields header-subscription indices sorted by
 // registration, merged with the predicate-only subscriptions.
-func (s *System) dispatch(a ta.Action, src string) {
-	if s.err != nil {
+func (s *System) dispatch(ln *lane, a ta.Action, src string) {
+	if *ln.err != nil {
 		return
 	}
-	s.chainDepth++
-	if s.chainDepth > maxChain {
-		s.fail(fmt.Errorf("%w (last action %v at %v)", ErrChain, a, s.now))
+	ln.chainDepth++
+	if ln.chainDepth > maxChain {
+		ln.fail(fmt.Errorf("%w (action %s from %s at %v)", ErrChain, a.Name, srcLabel(src), ln.now))
 		return
 	}
-	s.record(a, src)
+	s.record(ln, a, src)
 	if s.linear {
 		for i := range s.subs {
 			if !s.subs[i].match(a) {
 				continue
 			}
-			s.deliverTo(&s.subs[i], a)
+			s.deliverTo(ln, int32(i), a, src)
 		}
 		return
 	}
-	fast := s.routeFor(a)
+	fast := s.routeFor(ln, a)
 	if len(s.slow) == 0 {
 		for _, i := range fast {
-			s.deliverTo(&s.subs[i], a)
+			s.deliverTo(ln, i, a, src)
 		}
 		return
 	}
 	fi, si := 0, 0
 	for fi < len(fast) || si < len(s.slow) {
 		if si >= len(s.slow) || (fi < len(fast) && fast[fi] < s.slow[si]) {
-			s.deliverTo(&s.subs[fast[fi]], a)
+			s.deliverTo(ln, fast[fi], a, src)
 			fi++
 			continue
 		}
 		i := s.slow[si]
 		si++
 		if s.subs[i].match(a) {
-			s.deliverTo(&s.subs[i], a)
+			s.deliverTo(ln, i, a, src)
 		}
 	}
 }
 
-// deliverTo hands a to one subscriber, dispatches its same-instant
+// srcLabel names an action source for error text; the empty source is an
+// environment injection.
+func srcLabel(src string) string {
+	if src == "" {
+		return "the environment"
+	}
+	return src
+}
+
+// deliverTo hands a to subscription subIdx, dispatches its same-instant
 // reactions, and refreshes the subscriber's deadline entry (its Due may
-// have changed with its state).
-func (s *System) deliverTo(sub *subscription, a ta.Action) {
-	outs := sub.dst.Deliver(s.now, a)
+// have changed with its state). On a shard lane, a subscriber owned by a
+// different lane is not delivered to: the action is buffered into the
+// lane's mailbox and delivered at the round barrier (shard.go).
+func (s *System) deliverTo(ln *lane, subIdx int32, a ta.Action, src string) {
+	sub := &s.subs[subIdx]
+	if ln.shard >= 0 && s.compShard[sub.dstIdx] != ln.shard {
+		ln.mail = append(ln.mail, mailEntry{sub: subIdx, a: a, at: ln.now, src: src})
+		return
+	}
+	outs := sub.dst.Deliver(ln.now, a)
 	if len(outs) > 0 {
-		buf := s.borrow(outs)
+		buf := ln.borrow(outs)
 		for _, out := range buf {
-			s.dispatch(out, sub.dst.Name())
+			s.dispatch(ln, out, sub.dst.Name())
 		}
-		s.release(buf)
+		ln.release(buf)
 	}
 	if !s.linear && sub.dstIdx >= 0 {
-		s.poll(int(sub.dstIdx))
+		target := ln
+		if s.shardOn && ln.shard < 0 {
+			// Barrier-time dispatch (Init, Inject) delivers inline but the
+			// subscriber's deadline lives in its owning lane's scheduler.
+			target = s.lanes[s.compShard[sub.dstIdx]]
+		}
+		s.poll(target, int(sub.dstIdx))
 	}
 }
 
@@ -396,9 +506,13 @@ func (s *System) deliverTo(sub *subscription, a ta.Action) {
 // time, e.g. an operation invocation driven directly by a test.
 func (s *System) Inject(a ta.Action) {
 	s.init()
-	s.chainDepth = 0
-	s.dispatch(a, "")
-	s.fireDue()
+	s.root.chainDepth = 0
+	s.dispatch(&s.root, a, "")
+	if s.shardOn {
+		s.fireInstant()
+		return
+	}
+	s.fireDue(&s.root)
 }
 
 func (s *System) init() {
@@ -406,7 +520,7 @@ func (s *System) init() {
 		return
 	}
 	s.inited = true
-	s.sched.grow(len(s.comps))
+	s.root.sched.grow(len(s.comps))
 	s.rebuildCoal()
 	// Late-resolved destinations: a Connect issued before its target's Add
 	// gets its component index here, before any dispatch needs it.
@@ -417,32 +531,46 @@ func (s *System) init() {
 			}
 		}
 	}
+	s.initShards()
 	for _, c := range s.comps {
 		if acts := c.Init(); len(acts) > 0 {
-			buf := s.borrow(acts)
+			buf := s.root.borrow(acts)
 			for _, a := range buf {
-				s.chainDepth = 0
-				s.dispatch(a, c.Name())
+				s.root.chainDepth = 0
+				s.dispatch(&s.root, a, c.Name())
 			}
-			s.release(buf)
+			s.root.release(buf)
 		}
 	}
 	if !s.linear {
 		for i := range s.comps {
-			s.poll(i)
+			s.poll(s.laneOf(i), i)
 		}
 	}
-	s.fireDue()
+	if s.shardOn {
+		s.fireInstant()
+		return
+	}
+	s.fireDue(&s.root)
 }
 
-// fireDue fires every component whose deadline has been reached, repeating
-// until the instant is quiescent.
-func (s *System) fireDue() {
+// laneOf returns the lane owning component i: its shard lane when sharded,
+// the root lane otherwise.
+func (s *System) laneOf(i int) *lane {
+	if s.shardOn {
+		return s.lanes[s.compShard[i]]
+	}
+	return &s.root
+}
+
+// fireDue fires every component of the lane whose deadline has been
+// reached, repeating until the instant is quiescent.
+func (s *System) fireDue(ln *lane) {
 	if s.linear {
 		s.fireDueLinear()
 		return
 	}
-	s.fireDueIndexed()
+	s.fireDueIndexed(ln)
 }
 
 // NextDue returns the earliest pending deadline strictly after now, or
@@ -451,13 +579,27 @@ func (s *System) NextDue() (simtime.Time, bool) {
 	if s.linear {
 		return s.nextDueLinear()
 	}
-	next, found := s.sched.peek()
+	if s.shardOn {
+		next, found := simtime.Never, false
+		for _, ln := range s.lanes {
+			if due, ok := s.nextDue(ln); ok && (!found || due.Before(next)) {
+				next, found = due, true
+			}
+		}
+		return next, found
+	}
+	return s.nextDue(&s.root)
+}
+
+// nextDue returns the lane's earliest pending deadline.
+func (s *System) nextDue(ln *lane) (simtime.Time, bool) {
+	next, found := ln.sched.peek()
 	// Rare: a late Add or Replace can park an already-due component in the
 	// dueNow heap outside a fireDue sweep; the next sweep fires it, but
 	// NextDue must still report it so Run/Step know there is work at or
 	// before now. Empty in steady state, so this loop normally costs nothing.
-	for _, idx := range s.sched.dueNow {
-		if due, ok := s.comps[idx].Due(s.now); ok && (!found || due.Before(next)) {
+	for _, idx := range ln.sched.dueNow {
+		if due, ok := s.comps[idx].Due(ln.now); ok && (!found || due.Before(next)) {
 			next, found = due, true
 		}
 	}
@@ -473,38 +615,55 @@ func (s *System) Step() bool {
 	if s.err != nil {
 		return false
 	}
-	s.coalesce(simtime.Never)
-	next, ok := s.NextDue()
+	if s.shardOn {
+		return s.stepSharded()
+	}
+	ln := &s.root
+	s.coalesce(ln, simtime.Never)
+	next, ok := s.nextDueAny(ln)
 	if !ok {
 		return false
 	}
-	if next.After(s.now) {
-		s.now = next // the ν time-passage step
+	if next.After(ln.now) {
+		ln.now = next // the ν time-passage step
 	}
-	s.fireDue()
+	s.fireDue(ln)
 	return s.err == nil
+}
+
+// nextDueAny dispatches between the linear and indexed next-deadline scans
+// for the sequential paths.
+func (s *System) nextDueAny(ln *lane) (simtime.Time, bool) {
+	if s.linear {
+		return s.nextDueLinear()
+	}
+	return s.nextDue(ln)
 }
 
 // Run executes every event with time ≤ until, then advances now to until.
 // It returns the first execution error.
 func (s *System) Run(until simtime.Time) error {
 	s.init()
+	if s.shardOn {
+		return s.runSharded(until)
+	}
+	ln := &s.root
 	for s.err == nil {
 		// Coalescing is bounded by the run window: at return the skipped
 		// components' schedules sit exactly where the dense path would
 		// leave them at `until`, so callers may inject actions next.
-		s.coalesce(until)
-		next, ok := s.NextDue()
+		s.coalesce(ln, until)
+		next, ok := s.nextDueAny(ln)
 		if !ok || next.After(until) {
 			break
 		}
-		if next.After(s.now) {
-			s.now = next
+		if next.After(ln.now) {
+			ln.now = next
 		}
-		s.fireDue()
+		s.fireDue(ln)
 	}
-	if s.err == nil && until.After(s.now) {
-		s.now = until
+	if s.err == nil && until.After(ln.now) {
+		ln.now = until
 	}
 	return s.err
 }
@@ -513,19 +672,23 @@ func (s *System) Run(until simtime.Time) error {
 // whichever comes first. It reports whether the system went quiescent.
 func (s *System) RunQuiet(limit simtime.Time) (bool, error) {
 	s.init()
+	if s.shardOn {
+		return s.runQuietSharded(limit)
+	}
+	ln := &s.root
 	for s.err == nil {
-		s.coalesce(limit)
-		next, ok := s.NextDue()
+		s.coalesce(ln, limit)
+		next, ok := s.nextDueAny(ln)
 		if !ok {
 			return true, nil
 		}
 		if next.After(limit) {
 			return false, nil
 		}
-		if next.After(s.now) {
-			s.now = next
+		if next.After(ln.now) {
+			ln.now = next
 		}
-		s.fireDue()
+		s.fireDue(ln)
 	}
 	return false, s.err
 }

@@ -11,35 +11,38 @@ import (
 // first run routes NextDue/fireDue through these implementations and
 // dispatch through the full-scan path; seeded executions must produce
 // byte-identical traces on either path (see the differential test and the
-// golden-trace test in internal/experiments).
+// golden-trace test in internal/experiments). The linear path always runs
+// on the root lane: it predates both coalescing and sharding, and both
+// fast paths disable themselves under it.
 
 // fireDueLinear fires every component whose deadline has been reached,
 // repeating full index-ordered sweeps until the instant is quiescent.
 func (s *System) fireDueLinear() {
+	ln := &s.root
 	for s.err == nil {
 		progressed := false
 		for _, c := range s.comps {
-			due, ok := c.Due(s.now)
-			if !ok || due.After(s.now) {
+			due, ok := c.Due(ln.now)
+			if !ok || due.After(ln.now) {
 				continue
 			}
-			acts := c.Fire(s.now)
+			acts := c.Fire(ln.now)
 			if len(acts) == 0 {
 				// The component claimed a reached deadline but performed
 				// nothing: its Due must move forward or the system is stuck.
-				if due2, ok2 := c.Due(s.now); ok2 && !due2.After(s.now) {
-					s.fail(fmt.Errorf("%w: %s at %v", ErrStuck, c.Name(), s.now))
+				if due2, ok2 := c.Due(ln.now); ok2 && !due2.After(ln.now) {
+					s.fail(fmt.Errorf("%w: %s claims due %v at %v but fires nothing", ErrStuck, c.Name(), due2, ln.now))
 					return
 				}
 				continue
 			}
 			progressed = true
-			buf := s.borrow(acts)
+			buf := ln.borrow(acts)
 			for _, a := range buf {
-				s.chainDepth = 0
-				s.dispatch(a, c.Name())
+				ln.chainDepth = 0
+				s.dispatch(ln, a, c.Name())
 			}
-			s.release(buf)
+			ln.release(buf)
 		}
 		if !progressed {
 			return
@@ -52,7 +55,7 @@ func (s *System) nextDueLinear() (simtime.Time, bool) {
 	next := simtime.Never
 	found := false
 	for _, c := range s.comps {
-		if due, ok := c.Due(s.now); ok && due.Before(next) {
+		if due, ok := c.Due(s.root.now); ok && due.Before(next) {
 			next = due
 			found = true
 		}

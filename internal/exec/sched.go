@@ -175,12 +175,12 @@ func (sc *sched) popNow() int32 {
 	return top
 }
 
-// poll refreshes the scheduler's view of component i after anything that
-// may have changed its state (Init, Deliver, Fire, Replace, late Add).
+// poll refreshes the lane scheduler's view of component i after anything
+// that may have changed its state (Init, Deliver, Fire, Replace, late Add).
 // The common case — deadline unchanged — is two loads and a compare.
-func (s *System) poll(i int) {
-	sc := &s.sched
-	due, ok := s.comps[i].Due(s.now)
+func (s *System) poll(ln *lane, i int) {
+	sc := &ln.sched
+	due, ok := s.comps[i].Due(ln.now)
 	if !ok {
 		if sc.curOk[i] {
 			sc.gen[i]++ // invalidates any live main-heap entry
@@ -196,7 +196,7 @@ func (s *System) poll(i int) {
 		return
 	}
 	if sc.curOk[i] && sc.curDue[i] == due {
-		if !due.After(s.now) {
+		if !due.After(ln.now) {
 			// Deadline reached but the component is still parked in the
 			// main heap (its entry predates now reaching due). Promote it
 			// so a mid-instant sweep sees it immediately.
@@ -209,7 +209,7 @@ func (s *System) poll(i int) {
 	sc.gen[i]++
 	sc.curOk[i] = true
 	sc.curDue[i] = due
-	if !due.After(s.now) {
+	if !due.After(ln.now) {
 		sc.pushNow(int32(i))
 		sc.inNow[i] = true
 	} else {
@@ -224,10 +224,17 @@ func (s *System) poll(i int) {
 // carried to the next round — exactly the set the linear sweep would have
 // missed on that pass and caught on its next one. Rounds repeat while any
 // component fired actions, as in the linear version.
-func (s *System) fireDueIndexed() {
-	sc := &s.sched
-	for s.err == nil {
-		sc.collectNow(s.now)
+//
+// The lane's round counter and firing index stamp each buffered event
+// under sharded execution (shard.go): because same-instant causality is
+// confined to a lane, a lane's round/carry decisions reproduce the global
+// sequential sweep's, so (time, round, firing index) is a merge key that
+// reconstructs the sequential dispatch order across lanes.
+func (s *System) fireDueIndexed(ln *lane) {
+	sc := &ln.sched
+	ln.round = 0
+	for *ln.err == nil {
+		sc.collectNow(ln.now)
 		if len(sc.dueNow) == 0 {
 			return
 		}
@@ -243,7 +250,7 @@ func (s *System) fireDueIndexed() {
 			cursor = idx
 			sc.inNow[idx] = false
 			c := s.comps[idx]
-			due, ok := c.Due(s.now)
+			due, ok := c.Due(ln.now)
 			if !ok {
 				if sc.curOk[idx] {
 					sc.gen[idx]++
@@ -251,32 +258,33 @@ func (s *System) fireDueIndexed() {
 				}
 				continue
 			}
-			if due.After(s.now) {
+			if due.After(ln.now) {
 				sc.gen[idx]++
 				sc.curOk[idx] = true
 				sc.curDue[idx] = due
 				sc.push(schedEntry{due: due, idx: idx, gen: sc.gen[idx]})
 				continue
 			}
-			acts := c.Fire(s.now)
+			acts := c.Fire(ln.now)
 			if len(acts) == 0 {
 				// The component claimed a reached deadline but performed
 				// nothing: its Due must move forward or the system is stuck.
-				if due2, ok2 := c.Due(s.now); ok2 && !due2.After(s.now) {
-					s.fail(fmt.Errorf("%w: %s at %v", ErrStuck, c.Name(), s.now))
+				if due2, ok2 := c.Due(ln.now); ok2 && !due2.After(ln.now) {
+					ln.fail(fmt.Errorf("%w: %s claims due %v at %v but fires nothing", ErrStuck, c.Name(), due2, ln.now))
 					return
 				}
-				s.poll(int(idx))
+				s.poll(ln, int(idx))
 				continue
 			}
 			progressed = true
-			buf := s.borrow(acts)
+			ln.firing = idx
+			buf := ln.borrow(acts)
 			for _, a := range buf {
-				s.chainDepth = 0
-				s.dispatch(a, c.Name())
+				ln.chainDepth = 0
+				s.dispatch(ln, a, c.Name())
 			}
-			s.release(buf)
-			s.poll(int(idx))
+			ln.release(buf)
+			s.poll(ln, int(idx))
 		}
 		sc.carry = carry
 		for _, idx := range carry {
@@ -286,5 +294,6 @@ func (s *System) fireDueIndexed() {
 		if !progressed {
 			return
 		}
+		ln.round++
 	}
 }

@@ -1,0 +1,480 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+// This file implements sharded conservative-parallel execution, a
+// Chandy–Misra–Bryant-style bounded-lag scheme built on the paper's own
+// timing assumption: every message spends at least d1 real time in its
+// channel (§2.3). Partition the components into shards so that all
+// same-instant causality is shard-local — each node together with its
+// clock/tick source and clients, every channel pinned to its receiver's
+// shard — and d1 becomes the lookahead of every cross-shard edge: an event
+// fired at time u in one shard cannot affect another shard before u + d1.
+//
+// Execution proceeds in rounds. A round picks the earliest pending
+// deadline T across all lanes and opens the window [T, W) with
+// W = T + L, L the minimum lookahead over cross-shard edges. Every lane
+// then advances independently through the window — its own coalescing
+// sweep, deadline heap, and fire-until-quiescent instants — which is safe
+// because no other lane's activity inside the window can reach it before
+// W. Actions that route to another lane's component are not delivered
+// inline; they are buffered into the sending lane's mailbox and delivered
+// single-threaded at the round barrier, where their deadlines (≥ u + d1 ≥
+// W) land strictly beyond the window just executed. The barrier also
+// merges the lanes' buffered events into the trace in the canonical
+// (time, fire round, firing component index) order, which reconstructs the
+// sequential indexed executor's dispatch order exactly — seeded sharded
+// runs are byte-identical to sequential runs on every recorded event for
+// systems with no coalescing divergence, and on every observable event in
+// general (lane-bounded coalescing may synthesize extra hidden sync TICKs
+// at window boundaries; see coalesce.go).
+//
+// Two dynamic checks guard the conservative assumption at every barrier
+// delivery: a cross-shard subscriber must not react at the same instant
+// (its Deliver must return no actions — true of channels, which only
+// schedule a future arrival), and the deadline it acquires must not fall
+// inside the window that just executed. Violations fail the run loudly
+// rather than reorder events silently.
+//
+// Sharding falls back to fully sequential execution — the configuration is
+// simply not activated — when it cannot be proven safe: a requested
+// lookahead ≤ 0 (some cross-shard edge has no minimum delay), a component
+// the assignment does not place, a subscription whose destination is not a
+// registered component (the executor cannot pin it to a lane), or the
+// linear oracle path. Sharded() reports whether the partition took effect.
+
+// shardConfig is a requested partition, held until init validates it.
+type shardConfig struct {
+	n         int
+	lookahead simtime.Duration
+	assign    func(name string) int
+}
+
+// laneEvent is one recorded action buffered during a sharded round, with
+// the canonical merge key (at, round, firing): lane-local fire rounds and
+// firing component indices reproduce the global sequential sweep's because
+// same-instant causality never crosses lanes.
+type laneEvent struct {
+	a      ta.Action
+	src    string
+	at     simtime.Time
+	round  int32
+	firing int32
+}
+
+// mailEntry is a cross-shard delivery awaiting the round barrier.
+type mailEntry struct {
+	sub int32
+	a   ta.Action
+	at  simtime.Time
+	src string
+}
+
+// SetShards configures conservative-parallel sharded execution: n shards,
+// the minimum cross-shard lookahead (the smallest d1 over edges whose
+// sender and receiver land in different shards; pass the saturating
+// simtime.Duration(simtime.Never) when no edge crosses shards), and an
+// assignment from component name to shard id in [0, n). The assignment is
+// consulted once, when the system first runs; it must place every
+// registered component, keep each component and everything it can react
+// with at the same instant in one shard, and pin each channel to its
+// receiver's shard. Registration must be complete by then: Add and Replace
+// fail once sharded execution has started.
+//
+// Sharding silently falls back to sequential execution when the
+// configuration cannot be proven safe (lookahead ≤ 0, an unplaced
+// component, an unregistered subscriber, n ≤ 1, or the linear oracle
+// path); Sharded reports whether it took effect. Either way, seeded runs
+// produce identical observable traces.
+func (s *System) SetShards(n int, lookahead simtime.Duration, assign func(name string) int) {
+	if s.inited {
+		s.fail(fmt.Errorf("exec: SetShards after the system started"))
+		return
+	}
+	if n <= 1 || assign == nil {
+		s.shardCfg = nil
+		return
+	}
+	s.shardCfg = &shardConfig{n: n, lookahead: lookahead, assign: assign}
+}
+
+// Sharded reports whether sharded execution is active. It is meaningful
+// once the system has started running (the partition is validated on first
+// run); before that it is always false.
+func (s *System) Sharded() bool { return s.shardOn }
+
+// ShardCount returns the number of active shards, or 0 when execution is
+// sequential.
+func (s *System) ShardCount() int { return len(s.lanes) }
+
+// ShardFallbackReason explains why a requested SetShards configuration was
+// not activated; it is empty when sharding is active or was never
+// requested.
+func (s *System) ShardFallbackReason() string { return s.shardReason }
+
+// initShards validates the requested partition and builds the lanes. It
+// runs inside init, after subscription destinations are resolved and
+// before any component acts.
+func (s *System) initShards() {
+	cfg := s.shardCfg
+	if cfg == nil {
+		return
+	}
+	if s.linear {
+		s.shardReason = "linear oracle path"
+		return
+	}
+	if cfg.lookahead <= 0 {
+		s.shardReason = "a cross-shard edge has zero lookahead"
+		return
+	}
+	for i := range s.subs {
+		if s.subs[i].dstIdx < 0 {
+			s.shardReason = fmt.Sprintf("subscriber %s is not a registered component", s.subs[i].dst.Name())
+			return
+		}
+	}
+	shard := make([]int32, len(s.comps))
+	for i, c := range s.comps {
+		sh := cfg.assign(c.Name())
+		if sh < 0 || sh >= cfg.n {
+			s.shardReason = fmt.Sprintf("component %s has no shard assignment", c.Name())
+			return
+		}
+		shard[i] = int32(sh)
+	}
+	s.compShard = shard
+	s.lookahead = cfg.lookahead
+	s.lanes = make([]*lane, cfg.n)
+	for k := range s.lanes {
+		ln := &lane{shard: int32(k), now: s.root.now}
+		ln.err = &ln.errSlot
+		ln.sched.grow(len(s.comps))
+		s.lanes[k] = ln
+	}
+	s.shardOn = true
+}
+
+// runLanes applies fn to every lane, concurrently when the machine has
+// cores to spare. Lane work only touches lane-owned state and read-only
+// wiring, so the only synchronization needed is the join.
+func (s *System) runLanes(fn func(*lane)) {
+	workers := runtime.GOMAXPROCS(0)
+	if len(s.lanes) < workers {
+		workers = len(s.lanes)
+	}
+	if workers <= 1 {
+		for _, ln := range s.lanes {
+			fn(ln)
+		}
+		return
+	}
+	var next atomic.Int32
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(s.lanes) {
+				return
+			}
+			fn(s.lanes[i])
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for k := 0; k < workers-1; k++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}
+
+// laneWindow advances one lane through the round window: coalesce up to
+// bound, then fire every deadline strictly before W and at or before
+// until, exactly as the sequential Run loop does within its window.
+func (s *System) laneWindow(ln *lane, bound, w, until simtime.Time) {
+	for *ln.err == nil {
+		s.coalesce(ln, bound)
+		next, ok := s.nextDue(ln)
+		if !ok || next.After(until) || !next.Before(w) {
+			return
+		}
+		if next.After(ln.now) {
+			ln.now = next
+		}
+		s.fireDueIndexed(ln)
+	}
+}
+
+// eventBefore orders buffered events by the canonical merge key.
+func eventBefore(a, b *laneEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.round != b.round {
+		return a.round < b.round
+	}
+	return a.firing < b.firing
+}
+
+// mergeEvents drains the lanes' event buffers into the trace in canonical
+// order, assigning global sequence numbers and running watchers. Each
+// lane's buffer is already sorted by the merge key (lanes process instants,
+// rounds, and firings in ascending order), so a k-way head merge suffices;
+// keys never tie across lanes because a component fires in exactly one.
+func (s *System) mergeEvents() {
+	counted := 0
+	for _, ln := range s.lanes {
+		counted += ln.evCount
+		ln.evCount = 0
+	}
+	s.seq += counted
+	for {
+		var best *lane
+		var bestPos int
+		for _, ln := range s.lanes {
+			if len(ln.events) == 0 {
+				continue
+			}
+			if best == nil || eventBefore(&ln.events[0], &best.events[bestPos]) {
+				best, bestPos = ln, 0
+			}
+		}
+		if best == nil {
+			break
+		}
+		le := best.events[0]
+		best.events = best.events[1:]
+		a := le.a
+		if s.hidden != nil && a.Kind != ta.KindInternal && s.hidden(a) {
+			a.Kind = ta.KindInternal
+		}
+		e := ta.Event{Action: a, At: le.at, Src: le.src, Seq: s.seq}
+		s.seq++
+		if s.KeepTrace {
+			if s.trace == nil {
+				s.trace = make(ta.Trace, 0, 4096)
+			}
+			s.trace = append(s.trace, e)
+		}
+		for _, w := range s.watches {
+			w(e)
+		}
+	}
+	for _, ln := range s.lanes {
+		// The buffers were consumed by reslicing; reset to the full
+		// capacity block and drop payload references.
+		ln.events = ln.events[:cap(ln.events)]
+		clear(ln.events)
+		ln.events = ln.events[:0]
+	}
+}
+
+// deliverMail performs the buffered cross-shard deliveries at the round
+// barrier. Per-edge order is the sending lane's dispatch order (a channel
+// has a single sender, so this is its sequential delivery order); order
+// across distinct destinations is immaterial because barrier deliveries
+// must be reaction-free. The round just fired every deadline strictly
+// before window bound w and at or before run bound fired (Run's until,
+// Step's instant): a delivery leaving its destination due inside that
+// already-swept region means the lookahead promise was broken — events
+// after the due are already merged — so it fails the run. A due past
+// either bound is fine: the deadline was legitimately left for a later
+// round.
+func (s *System) deliverMail(w, fired simtime.Time) {
+	for _, ln := range s.lanes {
+		for i := range ln.mail {
+			if s.err != nil {
+				break
+			}
+			m := &ln.mail[i]
+			sub := &s.subs[m.sub]
+			outs := sub.dst.Deliver(m.at, m.a)
+			if len(outs) > 0 {
+				s.fail(fmt.Errorf("exec: cross-shard subscriber %s reacted at the same instant to %s from %s at %v; sharded execution requires delayed cross-shard effects",
+					sub.dst.Name(), m.a.Name, srcLabel(m.src), m.at))
+				break
+			}
+			dl := s.lanes[s.compShard[sub.dstIdx]]
+			s.poll(dl, int(sub.dstIdx))
+			if due, ok := sub.dst.Due(dl.now); ok && due.Before(w) && !due.After(fired) {
+				s.fail(fmt.Errorf("exec: lookahead violation: %s from %s at %v made %s due at %v, inside the executed window ending %v",
+					m.a.Name, srcLabel(m.src), m.at, sub.dst.Name(), due, w))
+				break
+			}
+		}
+		clear(ln.mail)
+		ln.mail = ln.mail[:0]
+	}
+}
+
+// collectLaneErrs surfaces the first lane error, in shard order, as the
+// system error.
+func (s *System) collectLaneErrs() {
+	for _, ln := range s.lanes {
+		if ln.errSlot != nil {
+			s.fail(ln.errSlot)
+			ln.errSlot = nil
+		}
+	}
+}
+
+// barrier completes a round: merge the buffered events, deliver the
+// cross-shard mail against window bound w and run bound fired, and
+// surface lane errors.
+func (s *System) barrier(w, fired simtime.Time) {
+	s.mergeEvents()
+	s.deliverMail(w, fired)
+	s.collectLaneErrs()
+}
+
+// minLaneDue returns the earliest pending deadline over all lanes.
+func (s *System) minLaneDue() (simtime.Time, bool) {
+	next, found := simtime.Never, false
+	for _, ln := range s.lanes {
+		if due, ok := s.nextDue(ln); ok && (!found || due.Before(next)) {
+			next, found = due, true
+		}
+	}
+	return next, found
+}
+
+// fireInstant processes the current instant on every lane: barrier-time
+// dispatch (Init, Inject) may have armed deadlines at the global now, and
+// their same-instant cascades are shard-local like any other. Lanes first
+// take the time-passage step to the global clock.
+func (s *System) fireInstant() {
+	now := s.root.now
+	w := now.Add(s.lookahead)
+	s.runLanes(func(ln *lane) {
+		if now.After(ln.now) {
+			ln.now = now
+		}
+		s.fireDueIndexed(ln)
+	})
+	s.barrier(w, now)
+}
+
+// runSharded is Run on the sharded path: bounded-lag rounds until no
+// deadline remains at or before until.
+func (s *System) runSharded(until simtime.Time) error {
+	for s.err == nil {
+		t, ok := s.minLaneDue()
+		if !ok || t.After(until) {
+			break
+		}
+		w := t.Add(s.lookahead)
+		bound := w
+		if until.Before(bound) {
+			bound = until
+		}
+		s.runLanes(func(ln *lane) { s.laneWindow(ln, bound, w, until) })
+		s.barrier(w, until)
+	}
+	if s.err == nil {
+		if until.After(s.root.now) {
+			s.root.now = until
+		}
+		for _, ln := range s.lanes {
+			if s.root.now.After(ln.now) {
+				ln.now = s.root.now
+			}
+		}
+	}
+	return s.err
+}
+
+// runQuietSharded is RunQuiet on the sharded path. Quiescence is judged on
+// raw deadlines: coalescable components re-arm when consumed, so a lane
+// with any pending deadline reports it here just as the sequential scan
+// would after its coalescing pass.
+func (s *System) runQuietSharded(limit simtime.Time) (bool, error) {
+	for s.err == nil {
+		t, ok := s.minLaneDue()
+		if !ok {
+			return true, nil
+		}
+		if t.After(limit) {
+			return false, nil
+		}
+		w := t.Add(s.lookahead)
+		bound := w
+		if limit.Before(bound) {
+			bound = limit
+		}
+		s.runLanes(func(ln *lane) { s.laneWindow(ln, bound, w, limit) })
+		s.barrier(w, limit)
+	}
+	return false, s.err
+}
+
+// anyObservableScheduled reports whether any component with a pending
+// deadline could ever perform an observable action — the sharded
+// counterpart of the sequential coalescer's Never-horizon test, evaluated
+// up front because the window anchor would otherwise creep forever through
+// a system with nothing observable left.
+func (s *System) anyObservableScheduled() bool {
+	for i, c := range s.comps {
+		if _, ok := c.Due(s.lanes[s.compShard[i]].now); !ok {
+			continue
+		}
+		cc, isC := c.(ta.Coalescable)
+		if !isC || cc.NextInterest() != simtime.Never {
+			return true
+		}
+	}
+	return false
+}
+
+// stepSharded is Step on the sharded path: advance to the next (observable,
+// when coalescing) deadline and process exactly that instant, system-wide.
+func (s *System) stepSharded() bool {
+	coalescing := !s.dense && len(s.coal) > 0 && s.anyObservableScheduled()
+	for s.err == nil {
+		t, ok := s.minLaneDue()
+		if !ok {
+			return false
+		}
+		if coalescing {
+			w := t.Add(s.lookahead)
+			s.runLanes(func(ln *lane) { s.coalesce(ln, w) })
+			t, ok = s.minLaneDue()
+			if !ok {
+				return false
+			}
+			if !t.Before(w) {
+				// Every deadline inside the window was unobservable and the
+				// schedules jumped past it; re-anchor and sweep again.
+				continue
+			}
+		}
+		instant := t
+		w := instant.Add(s.lookahead)
+		s.runLanes(func(ln *lane) {
+			next, ok := s.nextDue(ln)
+			if !ok || next != instant {
+				return
+			}
+			if instant.After(ln.now) {
+				ln.now = instant
+			}
+			s.fireDueIndexed(ln)
+		})
+		s.barrier(w, instant)
+		if s.err == nil && instant.After(s.root.now) {
+			s.root.now = instant
+		}
+		return s.err == nil
+	}
+	return false
+}

@@ -261,101 +261,127 @@ func E10Throughput() Result {
 	bounds := simtime.NewInterval(1*ms, 3*ms)
 	eps := 200 * us
 	delta := 10 * us
-	tb := stats.NewTable("model", "n", "ops", "events", "wall ms", "ops/s", "events/s")
+	tb := stats.NewTable("model", "n", "shards", "ops", "events", "wall ms", "ops/s", "events/s")
 	var fails []string
 	metrics := make(map[string]float64)
+	// cell runs one time-boxed (model, n) measurement. shards < 2 forces
+	// the sequential executor — the baseline cells pass -1 so they stay a
+	// true sequential baseline even under `pscbench -shards N` — while
+	// shards ≥ 2 requires the sharded conservative-parallel path to engage
+	// (a silent fallback would quietly report sequential numbers under a
+	// sharded label, so it is a cell failure instead). suffix distinguishes
+	// the metric keys of sharded cells.
+	cell := func(model string, n, shards int, suffix string) {
+		p := register.Params{C: 200 * us, Delta: delta, D2: bounds.Hi + 2*eps + 24*100*us, Epsilon: eps}
+		ell := simtime.Duration(0)
+		if model == "mmt" {
+			ell = 100 * us
+		}
+		cfg := core.Config{
+			N: n, Bounds: bounds, Seed: 1100, Clocks: clock.DriftFactory(eps, 7), Ell: ell,
+			Shards: shards,
+		}
+		var net *core.Net
+		switch model {
+		case "timed":
+			net = core.BuildTimed(cfg, register.Factory(register.NewS, p))
+		case "clock":
+			net = core.BuildClocked(cfg, register.Factory(register.NewS, p))
+		case "mmt":
+			net = core.BuildMMT(cfg, register.Factory(register.NewS, p))
+			for _, mn := range net.MMT {
+				mn.RecordStamps = false
+			}
+		}
+		if model == "clock" {
+			for _, cn := range net.Clocked {
+				cn.RecordStamps = false
+			}
+		}
+		net.Sys.KeepTrace = false
+		events := 0
+		net.Sys.Watch(func(ta.Event) { events++ })
+		clients := workload.Attach(net, workload.Config{
+			Ops:        1 << 30, // effectively unbounded; the wall budget stops the cell
+			Think:      simtime.NewInterval(0, 2*ms),
+			WriteRatio: 0.4,
+			Seed:       12,
+		})
+		// Advance simulated time in slices until the budget is spent:
+		// the wall clock is only consulted between slices, so the slice
+		// width bounds how far a cell can overshoot. The same system
+		// runs through every trial window; counters are deltas per
+		// window and the fastest window wins.
+		const slice = simtime.Time(50 * ms)
+		horizon := simtime.Time(0)
+		countDone := func() int {
+			done := 0
+			for _, c := range clients {
+				done += c.Done
+			}
+			return done
+		}
+		var runErr error
+		var bestOps, bestEvents float64
+		totalDone := 0
+		var totalWall time.Duration
+		for trial := 0; trial < e10Trials && runErr == nil; trial++ {
+			done0, events0 := countDone(), events
+			start := time.Now()
+			for time.Since(start) < e10CellBudget/e10Trials {
+				horizon = horizon.Add(simtime.Duration(slice))
+				if runErr = net.Sys.Run(horizon); runErr != nil {
+					break
+				}
+			}
+			wall := time.Since(start)
+			totalWall += wall
+			secs := wall.Seconds()
+			if secs <= 0 {
+				secs = 1e-9
+			}
+			totalDone = countDone()
+			if ops := float64(totalDone-done0) / secs; ops > bestOps {
+				bestOps = ops
+				bestEvents = float64(events-events0) / secs
+			}
+		}
+		if runErr != nil {
+			fails = append(fails, fmt.Sprintf("%s n=%d%s: %v", model, n, suffix, runErr))
+			return
+		}
+		if shards > 1 && !net.Sys.Sharded() {
+			fails = append(fails, fmt.Sprintf("%s n=%d%s: sharded execution did not engage (%s)",
+				model, n, suffix, net.Sys.ShardFallbackReason()))
+			return
+		}
+		if totalDone == 0 {
+			fails = append(fails, fmt.Sprintf("%s n=%d%s: no operation completed within the %v budget", model, n, suffix, e10CellBudget))
+			return
+		}
+		tb.AddRow(model, fmt.Sprint(n), fmt.Sprint(net.Sys.ShardCount()), fmt.Sprint(totalDone), fmt.Sprint(events),
+			fmt.Sprintf("%.1f", float64(totalWall.Microseconds())/1000),
+			fmt.Sprintf("%.0f", bestOps),
+			fmt.Sprintf("%.0f", bestEvents))
+		metrics[fmt.Sprintf("ops_per_sec_%s_n%d%s", model, n, suffix)] = bestOps
+		metrics[fmt.Sprintf("events_per_sec_%s_n%d%s", model, n, suffix)] = bestEvents
+	}
 	// Rows stay sequential on purpose: each times its own wall clock, and
 	// concurrent rows would steal cycles from each other's measurement.
 	for _, n := range []int{2, 4, 8} {
 		for _, model := range []string{"timed", "clock", "mmt"} {
-			p := register.Params{C: 200 * us, Delta: delta, D2: bounds.Hi + 2*eps + 24*100*us, Epsilon: eps}
-			ell := simtime.Duration(0)
-			if model == "mmt" {
-				ell = 100 * us
-			}
-			cfg := core.Config{
-				N: n, Bounds: bounds, Seed: 1100, Clocks: clock.DriftFactory(eps, 7), Ell: ell,
-			}
-			var net *core.Net
-			switch model {
-			case "timed":
-				net = core.BuildTimed(cfg, register.Factory(register.NewS, p))
-			case "clock":
-				net = core.BuildClocked(cfg, register.Factory(register.NewS, p))
-			case "mmt":
-				net = core.BuildMMT(cfg, register.Factory(register.NewS, p))
-				for _, mn := range net.MMT {
-					mn.RecordStamps = false
-				}
-			}
-			if model == "clock" {
-				for _, cn := range net.Clocked {
-					cn.RecordStamps = false
-				}
-			}
-			net.Sys.KeepTrace = false
-			events := 0
-			net.Sys.Watch(func(ta.Event) { events++ })
-			clients := workload.Attach(net, workload.Config{
-				Ops:        1 << 30, // effectively unbounded; the wall budget stops the cell
-				Think:      simtime.NewInterval(0, 2*ms),
-				WriteRatio: 0.4,
-				Seed:       12,
-			})
-			// Advance simulated time in slices until the budget is spent:
-			// the wall clock is only consulted between slices, so the slice
-			// width bounds how far a cell can overshoot. The same system
-			// runs through every trial window; counters are deltas per
-			// window and the fastest window wins.
-			const slice = simtime.Time(50 * ms)
-			horizon := simtime.Time(0)
-			countDone := func() int {
-				done := 0
-				for _, c := range clients {
-					done += c.Done
-				}
-				return done
-			}
-			var runErr error
-			var bestOps, bestEvents float64
-			totalDone := 0
-			var totalWall time.Duration
-			for trial := 0; trial < e10Trials && runErr == nil; trial++ {
-				done0, events0 := countDone(), events
-				start := time.Now()
-				for time.Since(start) < e10CellBudget/e10Trials {
-					horizon = horizon.Add(simtime.Duration(slice))
-					if runErr = net.Sys.Run(horizon); runErr != nil {
-						break
-					}
-				}
-				wall := time.Since(start)
-				totalWall += wall
-				secs := wall.Seconds()
-				if secs <= 0 {
-					secs = 1e-9
-				}
-				totalDone = countDone()
-				if ops := float64(totalDone-done0) / secs; ops > bestOps {
-					bestOps = ops
-					bestEvents = float64(events-events0) / secs
-				}
-			}
-			if runErr != nil {
-				fails = append(fails, fmt.Sprintf("%s n=%d: %v", model, n, runErr))
-				continue
-			}
-			if totalDone == 0 {
-				fails = append(fails, fmt.Sprintf("%s n=%d: no operation completed within the %v budget", model, n, e10CellBudget))
-				continue
-			}
-			tb.AddRow(model, fmt.Sprint(n), fmt.Sprint(totalDone), fmt.Sprint(events),
-				fmt.Sprintf("%.1f", float64(totalWall.Microseconds())/1000),
-				fmt.Sprintf("%.0f", bestOps),
-				fmt.Sprintf("%.0f", bestEvents))
-			metrics[fmt.Sprintf("ops_per_sec_%s_n%d", model, n)] = bestOps
-			metrics[fmt.Sprintf("events_per_sec_%s_n%d", model, n)] = bestEvents
+			cell(model, n, -1, "")
 		}
+	}
+	// Sharded cells at the largest size: `pscbench -shards N` sets the
+	// count; without it the cells still measure the sharded path at its
+	// default width so the comparison is always present in the report.
+	shards := core.DefaultShards()
+	if shards < 2 {
+		shards = 4
+	}
+	for _, model := range []string{"timed", "clock", "mmt"} {
+		cell(model, 8, shards, "_sharded")
 	}
 	return Result{ID: "E10", Title: "executor throughput by model and size (time-boxed cells)", Output: tb.String(), Failures: fails, Metrics: metrics}
 }

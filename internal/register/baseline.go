@@ -41,6 +41,7 @@ type Baseline struct {
 
 	value   Value
 	updates map[simtime.Time]updateRec
+	due     []simtime.Time // scratch for applyDueUpdates, reused across calls
 }
 
 var _ core.Algorithm = (*Baseline)(nil)
@@ -125,7 +126,7 @@ func (b *Baseline) OnTimer(ctx core.Context, key any) {
 }
 
 func (b *Baseline) applyDue(now simtime.Time) {
-	b.value = applyDueUpdates(b.updates, b.value, now)
+	b.value = applyDueUpdates(b.updates, b.value, now, &b.due)
 }
 
 // Costs returns the baseline's analytical worst-case read and write time
