@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 tier2 bench microbench json compare
+.PHONY: all build test tier1 tier2 bench microbench json compare stream-bench
 
 all: tier1
 
@@ -20,15 +20,22 @@ tier2:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-# Regenerate BENCH_results.json: per-experiment wall time, pass/fail, and
-# E10's executor ops/sec and events/sec metrics.
+# Regenerate BENCH_results.json: per-experiment wall time, pass/fail,
+# E10's executor ops/sec and memory metrics, and the long-horizon
+# streaming pipeline section (-stream).
 json:
-	$(GO) run ./cmd/pscbench -json
+	$(GO) run ./cmd/pscbench -json -stream
 
-# Regression gate: rerun all experiments and diff wall time and ops/sec
-# against the committed BENCH_results.json; exits nonzero past 20% drop.
+# Regression gate: rerun all experiments and diff wall time, ops/sec, and
+# memory (peak heap, allocs/op — gated upward) against the committed
+# BENCH_results.json; exits nonzero past 20% in the regressing direction.
 compare:
-	$(GO) run ./cmd/pscbench -compare BENCH_results.json
+	$(GO) run ./cmd/pscbench -compare BENCH_results.json -stream
+
+# Long-horizon streaming pipeline measurement alone: 10^6 operations
+# verified online in O(window) memory, peak heap and allocs/op printed.
+stream-bench:
+	$(GO) run ./cmd/pscbench -stream -run E10
 
 # Experiment-level benchmarks (E1–E16 plus substrate micro-benchmarks).
 bench:

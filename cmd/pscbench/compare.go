@@ -71,17 +71,18 @@ func compareReports(old, cur jsonReport, tol float64) []string {
 					e.ID, prev.WallMS, e.WallMS, pct(prev.WallMS, e.WallMS), tol*100))
 		}
 		fmt.Printf("%-5s %-28s %10.1f %10.1f %+7.0f%%%s\n", e.ID, "wall ms", prev.WallMS, e.WallMS, pct(prev.WallMS, e.WallMS), mark)
-		// Union of old and new ops/sec keys: a tracked throughput metric
-		// disappearing from the report is itself a gate failure, not a
-		// silent pass.
+		// Union of old and new gated keys: a tracked metric disappearing
+		// from the report is itself a gate failure, not a silent pass.
+		// Throughput metrics regress downward; memory metrics (peak heap,
+		// allocs/op) regress upward.
 		keySet := make(map[string]bool, len(e.Metrics)+len(prev.Metrics))
 		for k := range e.Metrics {
-			if strings.HasPrefix(k, "ops_per_sec") {
+			if gatedMetric(k) {
 				keySet[k] = true
 			}
 		}
 		for k := range prev.Metrics {
-			if strings.HasPrefix(k, "ops_per_sec") {
+			if gatedMetric(k) {
 				keySet[k] = true
 			}
 		}
@@ -97,21 +98,89 @@ func compareReports(old, cur jsonReport, tol float64) []string {
 			}
 			n, ok := e.Metrics[k]
 			if !ok {
-				regressions = append(regressions, fmt.Sprintf("%s %s: metric missing from new report (was %.0f ops/s)", e.ID, k, o))
+				regressions = append(regressions, fmt.Sprintf("%s %s: metric missing from new report (was %.0f)", e.ID, k, o))
 				fmt.Printf("%-5s %-28s %10.0f %10s %8s  REGRESSION\n", e.ID, k, o, "-", "gone")
 				continue
 			}
 			mark := ""
-			if n < o*(1-tol) {
+			if regressed(k, o, n, tol) {
 				mark = "  REGRESSION"
 				regressions = append(regressions,
-					fmt.Sprintf("%s %s: %.0f -> %.0f ops/s (%.0f%%, tolerance %.0f%%)",
+					fmt.Sprintf("%s %s: %.0f -> %.0f (%+.0f%%, tolerance %.0f%%)",
 						e.ID, k, o, n, pct(o, n), tol*100))
 			}
 			fmt.Printf("%-5s %-28s %10.0f %10.0f %+7.0f%%%s\n", e.ID, k, o, n, pct(o, n), mark)
 		}
 	}
+	regressions = append(regressions, compareStream(old, cur, tol)...)
 	fmt.Printf("total wall: %.0f ms -> %.0f ms (%+.0f%%)\n", old.TotalWallMS, cur.TotalWallMS, pct(old.TotalWallMS, cur.TotalWallMS))
+	return regressions
+}
+
+// memoryMetric reports whether a metric gates upward: more bytes or more
+// allocations per operation is the regression. (Derived ratios like
+// heap_ratio_retained_over_stream are informational and ungated.)
+func memoryMetric(k string) bool {
+	return strings.HasPrefix(k, "peak_heap") || strings.HasPrefix(k, "allocs_per_op")
+}
+
+// gatedMetric reports whether the comparison gates this metric at all.
+func gatedMetric(k string) bool {
+	return strings.HasPrefix(k, "ops_per_sec") || memoryMetric(k)
+}
+
+// Memory readings carry GC-timing noise that relative tolerance alone
+// cannot absorb when the absolute numbers are small (a streaming run's
+// whole live window is tens of KiB): a memory regression must clear the
+// relative tolerance AND an absolute floor. A real leak — say the online
+// checker's window failing to GC — blows through both immediately.
+const (
+	memSlackBytes  = 256 * 1024
+	memSlackAllocs = 2.0
+)
+
+// regressed applies the metric's direction: throughput must not drop,
+// memory must not grow, each beyond tol (plus the absolute memory floor).
+func regressed(k string, old, cur, tol float64) bool {
+	if memoryMetric(k) {
+		slack := memSlackAllocs
+		if strings.HasPrefix(k, "peak_heap") {
+			slack = memSlackBytes
+		}
+		return cur > old*(1+tol) && cur-old > slack
+	}
+	return cur < old*(1-tol)
+}
+
+// compareStream diffs the -stream sections of two reports: streaming peak
+// heap or allocs/op growing beyond tol is a regression — the memory
+// profile is the whole point of the streaming pipeline. Reports without
+// matching sections only warn, like mismatched settings.
+func compareStream(old, cur jsonReport, tol float64) []string {
+	if old.Stream == nil || cur.Stream == nil {
+		if old.Stream != nil || cur.Stream != nil {
+			fmt.Fprintln(os.Stderr, "pscbench: warning: only one report has a -stream section; streaming memory deltas not compared")
+		}
+		return nil
+	}
+	o, n := old.Stream, cur.Stream
+	if o.Ops != n.Ops {
+		fmt.Fprintf(os.Stderr, "pscbench: warning: -stream sections measure different op counts (%d vs %d); streaming memory deltas not compared\n", o.Ops, n.Ops)
+		return nil
+	}
+	var regressions []string
+	row := func(name string, ov, nv float64, gate bool) {
+		mark := ""
+		if gate && ov > 0 && regressed(name, ov, nv, tol) {
+			mark = "  REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("stream %s: %.0f -> %.0f (%+.0f%%, tolerance %.0f%%)", name, ov, nv, pct(ov, nv), tol*100))
+		}
+		fmt.Printf("%-5s %-28s %10.0f %10.0f %+7.0f%%%s\n", "strm", name, ov, nv, pct(ov, nv), mark)
+	}
+	row("ops_per_sec", o.OpsPerSec, n.OpsPerSec, false)
+	row("peak_heap_bytes", o.PeakHeapBytes, n.PeakHeapBytes, true)
+	row("allocs_per_op", o.AllocsPerOp, n.AllocsPerOp, true)
 	return regressions
 }
 

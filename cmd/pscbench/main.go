@@ -11,6 +11,8 @@
 //	pscbench -compare old.json  # diff wall/ops-per-sec vs a previous report
 //	pscbench -dense             # dense differential-oracle executors (no coalescing)
 //	pscbench -shards 4          # sharded conservative-parallel executors
+//	pscbench -stream            # long-horizon streaming pipeline measurement
+//	pscbench -streamops 1000000 # operation count for -stream
 //	pscbench -cpuprofile cpu.pb # write a CPU profile of the run
 //	pscbench -memprofile mem.pb # write a heap profile at exit
 //
@@ -61,7 +63,33 @@ type jsonReport struct {
 	Dense       bool         `json:"dense"`
 	GOMAXPROCS  int          `json:"gomaxprocs"`
 	TotalWallMS float64      `json:"total_wall_ms"`
+	Stream      *jsonStream  `json:"stream,omitempty"`
 	Experiments []jsonResult `json:"experiments"`
+}
+
+// jsonStream records the -stream measurement: the long-horizon workload
+// verified through the streaming pipeline with retention off, plus a
+// retained-pipeline baseline at a memory-feasible operation count. The
+// projected fields scale the baseline's peak heap linearly to the
+// streaming run's operation count — retention's live heap grows linearly
+// with the run, which is the comparison the streaming pipeline exists to
+// win.
+type jsonStream struct {
+	Ops           int     `json:"ops"`
+	Pass          bool    `json:"pass"`
+	WallMS        float64 `json:"wall_ms"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	PeakHeapBytes float64 `json:"peak_heap_bytes"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	States        int     `json:"states"`
+
+	RetainedOps           int     `json:"retained_ops"`
+	RetainedPeakHeapBytes float64 `json:"retained_peak_heap_bytes"`
+	RetainedAllocsPerOp   float64 `json:"retained_allocs_per_op"`
+	// ProjectedRetainedHeapBytes = retained peak heap scaled to Ops.
+	ProjectedRetainedHeapBytes float64 `json:"projected_retained_heap_bytes"`
+	// HeapRatio = projected retained heap over streaming peak heap.
+	HeapRatio float64 `json:"heap_ratio"`
 }
 
 func main() {
@@ -80,6 +108,8 @@ func run(args []string) int {
 	shards := fs.Int("shards", 0, "shard count for conservative-parallel execution (<2: sequential); also the default for experiments that build their own systems")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file after the experiment runs")
+	stream := fs.Bool("stream", false, "after the experiments, run the long-horizon streaming pipeline measurement and record peak heap and allocs/op")
+	streamOps := fs.Int("streamops", 1_000_000, "operation count for the -stream measurement")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -167,6 +197,17 @@ func run(args []string) int {
 			Failures: r.Failures,
 			Metrics:  r.Metrics,
 		})
+	}
+	if *stream {
+		js, err := runStream(*streamOps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pscbench: -stream: %v\n", err)
+			return 1
+		}
+		report.Stream = js
+		if !js.Pass {
+			failed++
+		}
 	}
 	report.TotalWallMS = float64(time.Since(start).Microseconds()) / 1000
 

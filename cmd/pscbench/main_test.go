@@ -92,6 +92,70 @@ func TestCompareCleanPass(t *testing.T) {
 	}
 }
 
+// TestStreamSmoke runs the -stream measurement at a small operation count
+// and checks the recorded memory fields land in the JSON report.
+func TestStreamSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a streaming workload")
+	}
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+	if code := run([]string{"-stream", "-streamops", "3000", "-json", "-run", "E1"}); code != 0 {
+		t.Fatalf("code = %d", code)
+	}
+	buf, err := os.ReadFile(benchFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stream == nil {
+		t.Fatal("report has no stream section")
+	}
+	if !rep.Stream.Pass || rep.Stream.Ops < 3000 || rep.Stream.PeakHeapBytes <= 0 || rep.Stream.AllocsPerOp <= 0 {
+		t.Errorf("stream section incomplete: %+v", rep.Stream)
+	}
+	if rep.Stream.RetainedPeakHeapBytes <= rep.Stream.PeakHeapBytes {
+		t.Errorf("retained baseline heap %.0f not above streaming %.0f",
+			rep.Stream.RetainedPeakHeapBytes, rep.Stream.PeakHeapBytes)
+	}
+}
+
+// TestCompareGatesMemoryGrowth fabricates a baseline whose memory numbers
+// the real run must exceed: memory metrics gate upward, so impossible
+// tiny baselines trip the gate while huge ones pass.
+func TestCompareGatesMemoryGrowth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments")
+	}
+	base := filepath.Join(t.TempDir(), "old.json")
+	writeReport(t, base, jsonReport{Experiments: []jsonResult{{
+		ID: "E1", WallMS: 60_000,
+		Metrics: map[string]float64{"peak_heap_bytes_fabricated": 1}, // any real heap is a >20% growth
+	}}})
+	// E1 records no peak_heap metrics, so a fabricated baseline key must
+	// trip the metric-missing gate rather than pass silently.
+	if code := run([]string{"-compare", base, "-run", "E1"}); code != 1 {
+		t.Errorf("vanished memory metric not flagged: code = %d, want 1", code)
+	}
+	writeReport(t, base, jsonReport{
+		Stream: &jsonStream{Ops: 3000, PeakHeapBytes: 1, AllocsPerOp: 0.0001},
+		Experiments: []jsonResult{{ID: "E1", WallMS: 60_000}},
+	})
+	if code := run([]string{"-compare", base, "-stream", "-streamops", "3000", "-run", "E1"}); code != 1 {
+		t.Errorf("streaming memory growth not flagged: code = %d, want 1", code)
+	}
+}
+
 // TestDenseOracleRun smokes the -dense flag: the differential-oracle
 // executors must still pass an experiment end to end.
 func TestDenseOracleRun(t *testing.T) {

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"fmt"
+
+	"psclock/internal/experiments"
+)
+
+// retainedBaselineCap bounds the retained-pipeline baseline run: retention
+// at the full -streamops scale is exactly the memory profile the
+// streaming pipeline exists to avoid, so the baseline runs at a feasible
+// size and its peak heap is projected linearly to the streaming scale.
+const retainedBaselineCap = 20_000
+
+// runStream executes the -stream measurement: the long-horizon workload
+// through the streaming pipeline (retention off, online checker, O(window)
+// memory), then the retained baseline, and prints the comparison.
+func runStream(ops int) (*jsonStream, error) {
+	fmt.Printf("=== stream: long-horizon streaming pipeline (%d ops) ===\n", ops)
+	sr, err := experiments.StreamRun(ops, false)
+	if err != nil {
+		return nil, err
+	}
+	baseOps := ops
+	if baseOps > retainedBaselineCap {
+		baseOps = retainedBaselineCap
+	}
+	rr, err := experiments.StreamRun(baseOps, true)
+	if err != nil {
+		return nil, err
+	}
+	js := &jsonStream{
+		Ops:           sr.Ops,
+		Pass:          sr.OK,
+		WallMS:        sr.WallMS,
+		OpsPerSec:     sr.OpsPerSec,
+		PeakHeapBytes: float64(sr.PeakHeapBytes),
+		AllocsPerOp:   sr.AllocsPerOp,
+		States:        sr.States,
+
+		RetainedOps:           rr.Ops,
+		RetainedPeakHeapBytes: float64(rr.PeakHeapBytes),
+		RetainedAllocsPerOp:   rr.AllocsPerOp,
+	}
+	if rr.Ops > 0 {
+		js.ProjectedRetainedHeapBytes = float64(rr.PeakHeapBytes) * float64(sr.Ops) / float64(rr.Ops)
+	}
+	if sr.PeakHeapBytes > 0 {
+		js.HeapRatio = js.ProjectedRetainedHeapBytes / float64(sr.PeakHeapBytes)
+	}
+	fmt.Printf("streaming: %d ops in %.0f ms (%.0f ops/s), peak heap %.1f KiB, %.1f allocs/op, linearizable=%v (states %d)\n",
+		sr.Ops, sr.WallMS, sr.OpsPerSec, float64(sr.PeakHeapBytes)/(1<<10), sr.AllocsPerOp, sr.OK, sr.States)
+	fmt.Printf("retained baseline: %d ops, peak heap %.1f MiB, %.1f allocs/op — projected to %d ops: %.1f MiB (ratio %.1fx)\n",
+		rr.Ops, float64(rr.PeakHeapBytes)/(1<<20), rr.AllocsPerOp, sr.Ops, js.ProjectedRetainedHeapBytes/(1<<20), js.HeapRatio)
+	if !sr.OK {
+		fmt.Printf("RESULT: FAIL (%s)\n", sr.Reason)
+	} else {
+		fmt.Println("RESULT: PASS")
+	}
+	return js, nil
+}

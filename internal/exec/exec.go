@@ -127,6 +127,7 @@ type System struct {
 	slow    []int32 // indices of predicate-only (non-header) subscriptions
 	hidden  func(ta.Action) bool
 	watches []func(ta.Event)
+	sinks   []Sink
 
 	seq    int
 	inited bool
@@ -333,12 +334,23 @@ func (s *System) fail(err error) {
 	}
 }
 
-// record logs the event and notifies watchers. On shard lanes the event is
-// buffered with its canonical merge key instead and emitted at the round
-// barrier (shard.go); the root lane records immediately.
+// record logs the event and notifies every consumer (retained trace,
+// watchers, sinks) via emit. On shard lanes the event is buffered with its
+// canonical merge key instead and emitted at the round barrier (shard.go);
+// the root lane records immediately.
+//
+// Sequence-number semantics, pinned: Seq counts every dispatched event,
+// recorded or not. When nothing observes events (observing() false) the
+// fast paths only advance the count, so toggling KeepTrace — or attaching
+// a sink or watcher — mid-run resumes numbering exactly where a fully
+// recorded run would be: the events recorded after a re-enable carry the
+// same Seq values they would in an always-on run, and the gap in Seq is
+// precisely the number of unobserved events. Both fast paths (the root
+// s.seq++ and the shard-lane evCount, folded into s.seq at the barrier
+// merge) share the observing() predicate so sinks are respected everywhere.
 func (s *System) record(ln *lane, a ta.Action, src string) {
 	if ln.shard >= 0 {
-		if !s.KeepTrace && len(s.watches) == 0 {
+		if !s.observing() {
 			// Nobody is looking: count the event for sequence-number
 			// continuity and skip buffering entirely.
 			ln.evCount++
@@ -349,9 +361,7 @@ func (s *System) record(ln *lane, a ta.Action, src string) {
 		})
 		return
 	}
-	if !s.KeepTrace && len(s.watches) == 0 {
-		// Seq still advances so that toggling KeepTrace mid-run yields
-		// consistent numbering.
+	if !s.observing() {
 		s.seq++
 		return
 	}
@@ -360,17 +370,7 @@ func (s *System) record(ln *lane, a ta.Action, src string) {
 	}
 	e := ta.Event{Action: a, At: ln.now, Src: src, Seq: s.seq}
 	s.seq++
-	if s.KeepTrace {
-		if s.trace == nil {
-			// Traced runs record thousands of events; start with a block
-			// big enough to skip the early growth doublings.
-			s.trace = make(ta.Trace, 0, 4096)
-		}
-		s.trace = append(s.trace, e)
-	}
-	for _, w := range s.watches {
-		w(e)
-	}
+	s.emit(e)
 }
 
 // borrow copies acts into a pooled scratch buffer. The executor iterates
@@ -628,6 +628,7 @@ func (s *System) Step() bool {
 		ln.now = next // the ν time-passage step
 	}
 	s.fireDue(ln)
+	s.flushSinks(ln.now)
 	return s.err == nil
 }
 
@@ -665,6 +666,9 @@ func (s *System) Run(until simtime.Time) error {
 	if s.err == nil && until.After(ln.now) {
 		ln.now = until
 	}
+	// Low-watermark: every event strictly before ln.now has been emitted;
+	// a subsequent Inject or Run can still produce events at ln.now itself.
+	s.flushSinks(ln.now)
 	return s.err
 }
 
@@ -680,9 +684,11 @@ func (s *System) RunQuiet(limit simtime.Time) (bool, error) {
 		s.coalesce(ln, limit)
 		next, ok := s.nextDueAny(ln)
 		if !ok {
+			s.flushSinks(ln.now)
 			return true, nil
 		}
 		if next.After(limit) {
+			s.flushSinks(ln.now)
 			return false, nil
 		}
 		if next.After(ln.now) {

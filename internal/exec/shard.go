@@ -227,11 +227,12 @@ func eventBefore(a, b *laneEvent) bool {
 	return a.firing < b.firing
 }
 
-// mergeEvents drains the lanes' event buffers into the trace in canonical
-// order, assigning global sequence numbers and running watchers. Each
-// lane's buffer is already sorted by the merge key (lanes process instants,
-// rounds, and firings in ascending order), so a k-way head merge suffices;
-// keys never tie across lanes because a component fires in exactly one.
+// mergeEvents drains the lanes' event buffers into the emit chain (trace,
+// watchers, sinks) in canonical order, assigning global sequence numbers.
+// Each lane's buffer is already sorted by the merge key (lanes process
+// instants, rounds, and firings in ascending order), so a k-way head merge
+// suffices; keys never tie across lanes because a component fires in
+// exactly one.
 func (s *System) mergeEvents() {
 	counted := 0
 	for _, ln := range s.lanes {
@@ -261,15 +262,7 @@ func (s *System) mergeEvents() {
 		}
 		e := ta.Event{Action: a, At: le.at, Src: le.src, Seq: s.seq}
 		s.seq++
-		if s.KeepTrace {
-			if s.trace == nil {
-				s.trace = make(ta.Trace, 0, 4096)
-			}
-			s.trace = append(s.trace, e)
-		}
-		for _, w := range s.watches {
-			w(e)
-		}
+		s.emit(e)
 	}
 	for _, ln := range s.lanes {
 		// The buffers were consumed by reslicing; reset to the full
@@ -330,12 +323,26 @@ func (s *System) collectLaneErrs() {
 }
 
 // barrier completes a round: merge the buffered events, deliver the
-// cross-shard mail against window bound w and run bound fired, and
-// surface lane errors.
+// cross-shard mail against window bound w and run bound fired, surface
+// lane errors, and advance the sinks' low-watermark. The watermark is
+// min(w, fired): every deadline strictly before the window bound and at or
+// before the run bound has fired and merged, remaining lane deadlines sit
+// at or beyond w, and barrier mail may only arm deadlines outside the
+// swept region (enforced by deliverMail) — so no future event can precede
+// it. This is the per-lane-watermarks-merged-at-the-barrier rule: each
+// lane's local clock has individually cleared the window, and the merge
+// makes their minimum globally safe.
 func (s *System) barrier(w, fired simtime.Time) {
 	s.mergeEvents()
 	s.deliverMail(w, fired)
 	s.collectLaneErrs()
+	if s.err == nil {
+		bound := w
+		if fired.Before(bound) {
+			bound = fired
+		}
+		s.flushSinks(bound)
+	}
 }
 
 // minLaneDue returns the earliest pending deadline over all lanes.
@@ -390,6 +397,7 @@ func (s *System) runSharded(until simtime.Time) error {
 				ln.now = s.root.now
 			}
 		}
+		s.flushSinks(s.root.now)
 	}
 	return s.err
 }

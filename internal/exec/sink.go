@@ -1,0 +1,86 @@
+package exec
+
+import (
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+// Sink consumes the executor's recorded event stream. It is the streaming
+// counterpart of the retained trace: where Trace() hands the caller the
+// whole history after the fact, a sink observes each event as it is
+// committed and may discard it immediately, so run length is no longer
+// bounded by memory.
+//
+// Ordering guarantees (the contract every executor path upholds):
+//
+//   - Observe is called once per recorded event, in canonical dispatch
+//     order — the exact order the retained trace would hold. On the
+//     sequential paths (indexed and linear) that is dispatch order; under
+//     sharded execution events are buffered per lane and observed at round
+//     barriers, merged in the canonical (time, fire round, firing
+//     component) order, which reconstructs the sequential order (see
+//     shard.go).
+//   - Event times are non-decreasing across the stream, and Seq values are
+//     strictly increasing and contiguous with the retained trace's
+//     numbering (including runs during which recording was off; see
+//     KeepTrace).
+//   - Flush(bound) promises that every event with At < bound has already
+//     been observed and that no future Observe will carry At < bound:
+//     bound is a low-watermark. Sinks may garbage-collect any state that
+//     only concerns times before bound. Flush is invoked at the end of
+//     every Run/RunQuiet/Step and, under sharded execution, at every round
+//     barrier, so a run driven in slices yields a steadily advancing
+//     watermark.
+//   - Observe and Flush are always invoked from the coordinating
+//     goroutine, never concurrently, even under sharded execution.
+//
+// Sinks observe events with hiding already applied (hidden actions arrive
+// reclassified as KindInternal), exactly as watchers and the retained
+// trace do.
+type Sink interface {
+	Observe(ta.Event)
+	Flush(bound simtime.Time)
+}
+
+// AddSink appends sink to the ordered sink chain: sinks observe every
+// event after the retained trace is appended and registered watchers ran,
+// in registration order. Sinks keep observing while KeepTrace is false —
+// disabling retention disables only retention.
+func (s *System) AddSink(sink Sink) {
+	s.sinks = append(s.sinks, sink)
+}
+
+// observing reports whether anything consumes recorded events: the
+// retained trace, a watcher, or a sink. When false, record takes the
+// counting fast path that only advances sequence numbers.
+func (s *System) observing() bool {
+	return s.KeepTrace || len(s.watches) > 0 || len(s.sinks) > 0
+}
+
+// emit commits one fully-formed event: retained trace (when KeepTrace),
+// watchers, then sinks, all in canonical event order. Both the sequential
+// record path and the sharded barrier merge funnel through here, so every
+// consumer sees one stream.
+func (s *System) emit(e ta.Event) {
+	if s.KeepTrace {
+		if s.trace == nil {
+			// Traced runs record thousands of events; start with a block
+			// big enough to skip the early growth doublings.
+			s.trace = make(ta.Trace, 0, 4096)
+		}
+		s.trace = append(s.trace, e)
+	}
+	for _, w := range s.watches {
+		w(e)
+	}
+	for _, k := range s.sinks {
+		k.Observe(e)
+	}
+}
+
+// flushSinks advances every sink's low-watermark to bound.
+func (s *System) flushSinks(bound simtime.Time) {
+	for _, k := range s.sinks {
+		k.Flush(bound)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"psclock/internal/channel"
 	"psclock/internal/clock"
+	"psclock/internal/linearize"
 	"psclock/internal/register"
 	"psclock/internal/simtime"
 	"psclock/internal/stats"
@@ -25,11 +26,13 @@ func E1AlgorithmL() Result {
 			factory: register.Factory(register.NewL, p),
 			n:       3, bounds: bounds, seed: 101 + int64(c),
 			ops: 40, think: simtime.NewInterval(0, 2*ms), writeRatio: 0.4,
+			stream: []streamCheck{{"lin", linearize.Options{Initial: register.Initial.String()}}},
 		})
 		if err != nil {
 			r.fails = append(r.fails, err.Error())
 			return r
 		}
+		r.fails = append(r.fails, streamParity(out)...)
 		reads, writes := register.Latencies(out.ops)
 		rs, ws := stats.Summarize(reads), stats.Summarize(writes)
 		lin := linCheck(out, 0)
@@ -67,11 +70,16 @@ func E2AlgorithmS() Result {
 			factory: register.Factory(register.NewS, p),
 			n:       3, bounds: simtime.NewInterval(bounds.Lo, d2p), seed: 202 + int64(eps),
 			ops: 30, think: simtime.NewInterval(0, 2*ms), writeRatio: 0.4,
+			stream: []streamCheck{
+				{"lin", linearize.Options{Initial: register.Initial.String()}},
+				{"super", linearize.Options{Initial: register.Initial.String(), MinAfterInv: 2 * eps}},
+			},
 		})
 		if err != nil {
 			r.fails = append(r.fails, err.Error())
 			return r
 		}
+		r.fails = append(r.fails, streamParity(out)...)
 		reads, writes := register.Latencies(out.ops)
 		rs, ws := stats.Summarize(reads), stats.Summarize(writes)
 		super := superCheck(out, eps)
@@ -139,11 +147,13 @@ func E3ClockModel() Result {
 			n:       3, bounds: bounds, seed: 303 + int64(eps),
 			clocks: factoryFor(cname, eps), delays: channel.UniformDelay,
 			ops: 30, think: simtime.NewInterval(0, 2*ms), writeRatio: 0.4,
+			stream: []streamCheck{{"lin", linearize.Options{Initial: register.Initial.String()}}},
 		})
 		if err != nil {
 			r.fails = append(r.fails, err.Error())
 			return r
 		}
+		r.fails = append(r.fails, streamParity(out)...)
 		reads, writes := register.Latencies(out.ops)
 		rs, ws := stats.Summarize(reads), stats.Summarize(writes)
 		lin := linCheck(out, 0)

@@ -383,5 +383,11 @@ func E10Throughput() Result {
 	for _, model := range []string{"timed", "clock", "mmt"} {
 		cell(model, 8, shards, "_sharded")
 	}
-	return Result{ID: "E10", Title: "executor throughput by model and size (time-boxed cells)", Output: tb.String(), Failures: fails, Metrics: metrics}
+	// Pipeline comparison: the same workload checked streaming (online
+	// checker over the event-sink pipeline, no retention) and retained
+	// (trace + batch check), with memory columns.
+	pipeOut, pipeFails := e10Pipelines(metrics)
+	fails = append(fails, pipeFails...)
+	return Result{ID: "E10", Title: "executor throughput by model and size (time-boxed cells)",
+		Output: tb.String() + "\n" + pipeOut, Failures: fails, Metrics: metrics}
 }

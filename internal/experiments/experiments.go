@@ -31,9 +31,11 @@ import (
 	"psclock/internal/channel"
 	"psclock/internal/clock"
 	"psclock/internal/core"
+	"psclock/internal/exec"
 	"psclock/internal/linearize"
 	"psclock/internal/register"
 	"psclock/internal/simtime"
+	"psclock/internal/stats"
 	"psclock/internal/workload"
 )
 
@@ -135,12 +137,30 @@ type runSpec struct {
 	think      simtime.Interval
 	writeRatio float64
 	noBuffer   bool
+
+	// stream lists online checkers to attach as a streaming monitor
+	// alongside the retained trace; streamParity later cross-checks each
+	// verdict against the batch checker over the retained history.
+	stream []streamCheck
+	// sinks are additional event sinks attached before the run.
+	sinks []exec.Sink
+	// noRetain turns trace retention off: the run is observed only
+	// through the attached sinks and monitor, and runOut.ops is empty.
+	noRetain bool
+}
+
+// streamCheck names one online-checker configuration of a run's monitor.
+type streamCheck struct {
+	name string
+	opt  linearize.Options
 }
 
 // runOut is what a run produces.
 type runOut struct {
-	net *core.Net
-	ops []linearize.Op
+	net    *core.Net
+	ops    []linearize.Op
+	mon    *register.Monitor
+	stream []streamCheck
 }
 
 // run executes the spec to completion and extracts the history.
@@ -165,6 +185,20 @@ func run(spec runSpec) (runOut, error) {
 		net = core.BuildMMT(cfg, spec.factory)
 	default:
 		return runOut{}, fmt.Errorf("experiments: unknown model %q", spec.model)
+	}
+	var mon *register.Monitor
+	if len(spec.stream) > 0 {
+		mon = register.NewMonitor()
+		for _, sc := range spec.stream {
+			mon.AddCheck(sc.name, sc.opt)
+		}
+		net.Sys.AddSink(mon)
+	}
+	for _, sk := range spec.sinks {
+		net.Sys.AddSink(sk)
+	}
+	if spec.noRetain {
+		net.Sys.KeepTrace = false
 	}
 	clients := workload.Attach(net, workload.Config{
 		Ops:        spec.ops,
@@ -198,11 +232,51 @@ func run(spec runSpec) (runOut, error) {
 			return runOut{}, fmt.Errorf("experiments: %s completed %d/%d ops", c.Name(), c.Done, spec.ops)
 		}
 	}
-	ops, err := register.History(net.Sys.Trace().Visible())
-	if err != nil {
-		return runOut{}, err
+	var ops []linearize.Op
+	if !spec.noRetain {
+		var err error
+		if ops, err = register.History(net.Sys.Trace().Visible()); err != nil {
+			return runOut{}, err
+		}
 	}
-	return runOut{net: net, ops: ops}, nil
+	return runOut{net: net, ops: ops, mon: mon, stream: spec.stream}, nil
+}
+
+// streamParity cross-checks a run's streaming monitor against its
+// retained trace: every online verdict must be byte-identical to the
+// batch checker replayed over the scraped history, and the monitor's
+// O(1)-memory latency aggregates must equal the retained sample's
+// count/extrema/mean. Returns failure strings; empty when the spec
+// attached no monitor.
+func streamParity(out runOut) []string {
+	if out.mon == nil {
+		return nil
+	}
+	var fails []string
+	if err := out.mon.Err(); err != nil {
+		return []string{fmt.Sprintf("streaming monitor: %v", err)}
+	}
+	for _, sc := range out.stream {
+		batch := linearize.Check(out.ops, sc.opt)
+		if got := out.mon.Verdict(sc.name); got != batch {
+			fails = append(fails, fmt.Sprintf("streaming %q verdict %+v != batch %+v", sc.name, got, batch))
+		}
+	}
+	reads, writes := register.Latencies(out.ops)
+	for _, side := range []struct {
+		kind   string
+		sample []simtime.Duration
+		stream *stats.Stream
+	}{{"read", reads, &out.mon.Reads}, {"write", writes, &out.mon.Writes}} {
+		want := stats.Summarize(side.sample)
+		if side.stream.N != want.N || side.stream.Min != want.Min ||
+			side.stream.Max != want.Max || side.stream.Mean() != want.Mean {
+			fails = append(fails, fmt.Sprintf("streaming %s latencies n=%d [%v, %v] mean=%v != retained n=%d [%v, %v] mean=%v",
+				side.kind, side.stream.N, side.stream.Min, side.stream.Max, side.stream.Mean(),
+				want.N, want.Min, want.Max, want.Mean))
+		}
+	}
+	return fails
 }
 
 // linearizeCheck decides plain linearizability (widen = 0) or P_ε

@@ -7,8 +7,10 @@ import (
 
 	"psclock/internal/channel"
 	"psclock/internal/clock"
+	"psclock/internal/exec"
 	"psclock/internal/register"
 	"psclock/internal/simtime"
+	"psclock/internal/trace"
 )
 
 // goldenHashes pins the full recorded trace (labels, kinds, times,
@@ -45,6 +47,40 @@ func goldenRun(seed int64) (uint64, error) {
 		fmt.Fprintf(h, "%s|%d|%d|%d|%s\n", e.Action.Label(), e.Action.Kind, e.At, e.Seq, e.Src)
 	}
 	return h.Sum64(), nil
+}
+
+// TestGoldenTracesStreaming replays the golden runs with retention off
+// and a streaming hash sink attached: the event-sink pipeline must
+// observe byte-for-byte the stream the retained trace would hold, so the
+// sink's hash must reproduce the very same golden constants.
+func TestGoldenTracesStreaming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full register runs; skipped with -short")
+	}
+	bounds := simtime.NewInterval(1*ms, 3*ms)
+	eps := 500 * us
+	p := register.Params{C: 700 * us, Delta: 10 * us, D2: bounds.Hi + 2*eps, Epsilon: eps}
+	for seed, want := range goldenHashes {
+		seed, want := seed, want
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			h := trace.NewHash()
+			_, err := run(runSpec{
+				model:   "clock",
+				factory: register.Factory(register.NewS, p),
+				n:       3, bounds: bounds, seed: seed,
+				clocks: clock.SpreadFactory(eps), delays: channel.UniformDelay,
+				ops: 25, think: simtime.NewInterval(0, 2*ms), writeRatio: 0.4,
+				sinks: []exec.Sink{h}, noRetain: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := h.Sum64(); got != want {
+				t.Errorf("streaming trace hash = %#x, want %#x (sink stream diverges from retained trace)", got, want)
+			}
+		})
+	}
 }
 
 // TestGoldenTraces asserts that fixed-seed executions produce byte-for-byte

@@ -15,16 +15,18 @@
 // remaining window closes, assign it the earliest feasible point, and
 // backtrack on read-value mismatches. Greedy earliest-point assignment is
 // safe (an exchange argument: delaying a point never enables an otherwise
-// infeasible order), and memoizing on (set of linearized operations, last
-// written value) makes the search fast for the bounded-concurrency
-// histories the workloads generate.
+// infeasible order).
+//
+// The search engine is the *online* frontier checker of online.go, which
+// consumes operations as they complete and settles verdict fragments as a
+// low-watermark passes each operation's window — O(window) state for
+// streaming monitors. The batch functions below replay a history into it,
+// so both paths share one engine and return identical Results.
 package linearize
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
-	"strings"
 
 	"psclock/internal/simtime"
 	"psclock/internal/ta"
@@ -89,6 +91,12 @@ type Options struct {
 	ShiftFuture simtime.Duration
 	// MaxStates bounds the search; 0 means the default (4 million).
 	MaxStates int
+	// AssumeUnique skips the value-uniqueness bookkeeping (duplicate-write
+	// and read-of-unwritten detection), whose state grows with the number
+	// of distinct values rather than the concurrency window. Set it only
+	// for workloads that guarantee uniqueness by construction (§3), e.g.
+	// the long-horizon streaming runs.
+	AssumeUnique bool
 }
 
 // Result reports the outcome of a check.
@@ -101,13 +109,15 @@ type Result struct {
 	States int
 }
 
-// Check decides whether the history is linearizable under the options.
+// Check decides whether the history is linearizable under the options. It
+// replays the history through the online engine: submit every operation in
+// history order, then settle all deadlines at once.
 func Check(ops []Op, opt Options) Result {
-	c, err := newChecker(ops, opt)
-	if err != nil {
-		return Result{OK: false, Reason: err.Error()}
+	o := NewOnline(opt)
+	for _, op := range ops {
+		o.Add(op)
 	}
-	return c.solve()
+	return o.Finish()
 }
 
 // CheckLinearizable decides plain linearizability (the problem P of §6.1)
@@ -129,207 +139,39 @@ func CheckEps(ops []Op, initial string, eps simtime.Duration) Result {
 	return Check(ops, Options{Initial: initial, Widen: eps})
 }
 
-// interval is one operation's admissible placement window after applying
-// the options.
-type interval struct {
-	op     Op
-	lo, hi simtime.Time
-	drop   bool // pending op whose effect was provably never observed
-}
-
-type checker struct {
-	ivs       []interval
-	initial   string
-	maxStates int
-
-	states int
-	memo   map[string]bool
-}
-
-func newChecker(ops []Op, opt Options) (*checker, error) {
-	if opt.MaxStates == 0 {
-		opt.MaxStates = 4 << 20
-	}
-	// Uniqueness of written values is a precondition (§3).
+// validateHistory checks the structural preconditions — unique written
+// values and no read of a never-written value — without running the
+// search. Shrink uses it to distinguish genuine violation witnesses from
+// histories a removal made malformed.
+func validateHistory(ops []Op, initial string) error {
 	writers := make(map[string]int, len(ops))
-	observed := make(map[string]bool, len(ops))
+	observed := make(map[string]int, len(ops))
 	for i, o := range ops {
 		if o.Kind == Write {
 			if j, dup := writers[o.Value]; dup {
-				return nil, fmt.Errorf("linearize: value %q written twice (ops %d and %d)", o.Value, j, i)
+				return fmt.Errorf("linearize: value %q written twice (ops %d and %d)", o.Value, j, i)
 			}
 			writers[o.Value] = i
 		} else if !o.Pending() {
-			// Pending reads returned nothing; only completed reads
-			// witness values.
-			observed[o.Value] = true
-		}
-	}
-	for v := range observed {
-		if _, ok := writers[v]; !ok && v != opt.Initial {
-			return nil, fmt.Errorf("linearize: value %q read but never written", v)
-		}
-	}
-
-	ivs := make([]interval, 0, len(ops))
-	for _, o := range ops {
-		iv := interval{op: o}
-		lo := o.Inv.Add(opt.MinAfterInv)
-		if opt.Widen > 0 {
-			lo = lo.Add(-opt.Widen)
-		}
-		if lo < 0 {
-			lo = 0
-		}
-		iv.lo = lo
-		switch {
-		case o.Pending():
-			if o.Kind == Read {
-				// A pending read returned nothing; it may simply not have
-				// taken effect.
-				iv.drop = true
-			} else if !observed[o.Value] {
-				// A pending write whose value nobody read may not have
-				// taken effect either. (If it was observed it must be
-				// placeable, with an unbounded window.)
-				iv.drop = true
-			}
-			iv.hi = simtime.Never
-		default:
-			iv.hi = o.Res.Add(opt.Widen).Add(opt.ShiftFuture)
-		}
-		if !iv.drop {
-			ivs = append(ivs, iv)
-		}
-	}
-	sort.SliceStable(ivs, func(i, j int) bool {
-		if ivs[i].lo != ivs[j].lo {
-			return ivs[i].lo < ivs[j].lo
-		}
-		return ivs[i].hi < ivs[j].hi
-	})
-	return &checker{ivs: ivs, initial: opt.Initial, maxStates: opt.MaxStates, memo: make(map[string]bool)}, nil
-}
-
-// state: all operations with index < prefix are linearized, plus those in
-// extras; last is the last written value.
-func stateKey(prefix int, extras []int, last string) string {
-	var b strings.Builder
-	b.Grow(16 + 4*len(extras) + len(last))
-	b.WriteString(strconv.Itoa(prefix))
-	for _, e := range extras {
-		b.WriteByte(',')
-		b.WriteString(strconv.Itoa(e))
-	}
-	b.WriteByte('|')
-	b.WriteString(last)
-	return b.String()
-}
-
-func (c *checker) solve() Result {
-	ok, reason := c.dfs(0, nil, c.initial)
-	r := Result{OK: ok, States: c.states}
-	if !ok {
-		if reason == "" {
-			reason = "no valid linearization order exists"
-		}
-		r.Reason = reason
-	}
-	return r
-}
-
-// dfs explores linearization orders. prefix/extras identify the linearized
-// set; last is the current register value. The running point lower bound L
-// equals the max lo over the linearized set, so it needs no explicit
-// tracking: an op placed next gets point max(L, lo), feasible iff that is
-// ≤ its hi; since L only matters through comparisons with hi values, it
-// suffices to verify hi ≥ lo for candidates and hi ≥ L via the minHi
-// candidate rule below.
-func (c *checker) dfs(prefix int, extras []int, last string) (bool, string) {
-	c.states++
-	if c.states > c.maxStates {
-		return false, fmt.Sprintf("linearize: state budget (%d) exhausted", c.maxStates)
-	}
-	// Advance prefix past contiguously linearized ops.
-	for len(extras) > 0 && extras[0] == prefix {
-		extras = extras[1:]
-		prefix++
-	}
-	if prefix == len(c.ivs) {
-		return true, ""
-	}
-	key := stateKey(prefix, extras, last)
-	if done, seen := c.memo[key]; seen {
-		return done, ""
-	}
-
-	// L = max lo over linearized ops; every remaining op's point will be
-	// ≥ L, so any remaining op with hi < L is dead. L is bounded above by
-	// lo of any candidate we may still place... we compute L explicitly
-	// from the linearized set: it is the max lo among ops < prefix or in
-	// extras. Since ivs is sorted by lo, that is the lo of the latest
-	// linearized index.
-	lastIdx := prefix - 1
-	if len(extras) > 0 {
-		lastIdx = extras[len(extras)-1]
-	}
-	var l simtime.Time
-	if lastIdx >= 0 {
-		l = c.ivs[lastIdx].lo
-	}
-
-	// minHi over remaining ops: a candidate whose lo exceeds minHi would
-	// strand the minHi op (its point would be forced past its close).
-	minHi := simtime.Never
-	inExtras := make(map[int]bool, len(extras))
-	for _, e := range extras {
-		inExtras[e] = true
-	}
-	for i := prefix; i < len(c.ivs); i++ {
-		if inExtras[i] {
-			continue
-		}
-		if c.ivs[i].hi < minHi {
-			minHi = c.ivs[i].hi
-		}
-	}
-	if minHi < l {
-		c.memo[key] = false
-		return false, ""
-	}
-
-	for i := prefix; i < len(c.ivs); i++ {
-		if inExtras[i] {
-			continue
-		}
-		iv := c.ivs[i]
-		if iv.lo > minHi {
-			break // sorted by lo: no further candidates
-		}
-		point := iv.lo.Max(l)
-		if point > iv.hi {
-			continue
-		}
-		next := last
-		switch iv.op.Kind {
-		case Write:
-			next = iv.op.Value
-		case Read:
-			if iv.op.Value != last {
-				continue
+			if _, seen := observed[o.Value]; !seen {
+				observed[o.Value] = i
 			}
 		}
-		newExtras := make([]int, 0, len(extras)+1)
-		newExtras = append(newExtras, extras...)
-		newExtras = append(newExtras, i)
-		sort.Ints(newExtras)
-		if ok, reason := c.dfs(prefix, newExtras, next); ok {
-			c.memo[key] = true
-			return true, ""
-		} else if reason != "" {
-			return false, reason
+	}
+	badID, badVal := -1, ""
+	for v, id := range observed {
+		if v == initial {
+			continue
+		}
+		if _, ok := writers[v]; ok {
+			continue
+		}
+		if badID < 0 || id < badID {
+			badID, badVal = id, v
 		}
 	}
-	c.memo[key] = false
-	return false, ""
+	if badID >= 0 {
+		return fmt.Errorf("linearize: value %q read but never written", badVal)
+	}
+	return nil
 }

@@ -1,0 +1,561 @@
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+// This file implements the online (streaming, windowed) form of the
+// Wing-Gong checker. The batch entry points (Check, CheckEps,
+// CheckSuperLinearizable) are thin wrappers that replay a history through
+// it, so one engine serves both paths and the verdicts are identical by
+// construction.
+//
+// # Frontier automaton
+//
+// Operations arrive as they complete. Each gets a placement window
+// [lo, hi] exactly as in the batch checker (lo = Inv + MinAfterInv − Widen
+// clamped at 0; hi = Res + Widen + ShiftFuture, or Never while pending).
+// Instead of one big backtracking search over the whole history, the
+// engine processes operations' *deadlines* (their hi instants) in
+// canonical (hi, lo, arrival) order. Processing deadline d means: in every
+// linearization, d must be placed using only operations whose windows open
+// no later than d closes — everything else opens strictly afterwards. The
+// engine therefore maintains a *frontier*: the set of distinguishable
+// search states after all processed deadlines, where a state is
+//
+//	(early, last, ℓ)
+//
+// — the set of not-yet-closed operations already linearized ahead of their
+// deadline ("early"), the register value after the linearized prefix, and
+// ℓ, the maximum window-open over the prefix (the running lower bound on
+// the next linearization point; the batch dfs tracks the same quantity
+// implicitly through its sort order). Two states with equal (early, last)
+// are merged keeping the smaller ℓ, which dominates: every continuation
+// feasible for the larger ℓ is feasible for the smaller.
+//
+// At deadline d, states that already linearized d simply discard it from
+// their early set; every other state runs a bounded dfs committing some
+// set of still-open operations and then d itself, in every value-
+// consistent order (greedy earliest-point placement per commit, the same
+// exchange argument as the batch checker). The union of resulting states,
+// deduplicated, is the next frontier. An empty frontier is a definitive
+// violation: failure is sticky and later stages are skipped, so the
+// verdict — and the States count — is independent of how the caller slices
+// its Advance calls. Soundness and completeness follow from decomposing
+// any linearization order into segments each ending at the next deadline
+// in hi-order: the dfs at that deadline explores exactly the candidate
+// segments (operations opening after hi_d cannot precede d in any order,
+// and the stranding prune only discards states in which some open
+// operation's window has provably closed below ℓ).
+//
+// # Watermarks and garbage collection
+//
+// Advance(w) tells the engine no further operation will be *invoked*
+// before w (the executors' event-time monotonicity guarantee, surfaced by
+// exec.Sink.Flush). A deadline is safe to process once no future arrival
+// could either (a) open before it closes — future windows open at or after
+// min over open invocations of (Inv + MinAfterInv − Widen) and at least
+// w + MinAfterInv − Widen — or (b) close before it closes — future windows
+// close at or after w. Begin declares in-flight invocations so (a) is
+// exact; operations submitted while still pending freeze the bound at
+// their own invocation until Finish resolves their fate. Processed
+// operations leave the window entirely: steady-state memory is O(open
+// window), not O(history). The value-uniqueness bookkeeping (duplicate
+// writes, reads of never-written values) still grows with the number of
+// distinct values; AssumeUnique drops it for trusted workloads, making the
+// whole engine O(window).
+type Online struct {
+	opt       Options
+	finishing bool
+	finished  bool
+	final     Result
+
+	window   []olIv
+	frontier []olState
+	open     map[ta.NodeID][]simtime.Time
+	nextID   int
+	states   int
+
+	failed     bool
+	failReason string
+
+	// Value-uniqueness bookkeeping; nil under Options.AssumeUnique.
+	dupErr   error
+	writers  map[string]int // value → first writing op (arrival index)
+	observed map[string]int // value → first completed read (arrival index)
+}
+
+// olIv is one submitted operation with its placement window.
+type olIv struct {
+	id      int
+	kind    Kind
+	value   string
+	lo, hi  simtime.Time
+	pending bool
+	closed  bool
+}
+
+// olState is one frontier state; early holds ids in ascending order and is
+// treated as immutable (copy on write).
+type olState struct {
+	early []int
+	last  string
+	ell   simtime.Time
+}
+
+// NewOnline returns an online checker with the given options.
+func NewOnline(opt Options) *Online {
+	if opt.MaxStates == 0 {
+		opt.MaxStates = 4 << 20
+	}
+	o := &Online{
+		opt:      opt,
+		open:     make(map[ta.NodeID][]simtime.Time),
+		frontier: []olState{{last: opt.Initial}},
+	}
+	if !opt.AssumeUnique {
+		o.writers = make(map[string]int)
+		o.observed = make(map[string]int)
+	}
+	return o
+}
+
+// Begin declares an in-flight invocation on node at time inv. The checker
+// holds its processing bound at the invocation until Add supplies the
+// completed (or Finish-time pending) operation, because a not-yet-completed
+// operation may still have to be linearized before already-completed ones.
+// Invocations are tracked per (node, inv), so a node's next Begin may
+// safely arrive before the Add completing its previous operation when both
+// fall at the same instant.
+func (o *Online) Begin(node ta.NodeID, inv simtime.Time) {
+	if o.finished {
+		return
+	}
+	o.open[node] = append(o.open[node], inv)
+}
+
+// Add submits an operation, normally at its completion; pending operations
+// (Res == Never) are meant to be submitted just before Finish. Submission
+// order is the canonical arrival order used for tie-breaking and error
+// reporting, so replaying a batch history must Add in history order.
+func (o *Online) Add(op Op) {
+	if o.finished {
+		return
+	}
+	id := o.nextID
+	o.nextID++
+	if invs := o.open[op.Node]; len(invs) > 0 {
+		for i, t := range invs {
+			if t == op.Inv {
+				invs[i] = invs[len(invs)-1]
+				invs = invs[:len(invs)-1]
+				break
+			}
+		}
+		if len(invs) == 0 {
+			delete(o.open, op.Node)
+		} else {
+			o.open[op.Node] = invs
+		}
+	}
+	if o.writers != nil {
+		if op.Kind == Write {
+			if j, dup := o.writers[op.Value]; dup {
+				if o.dupErr == nil {
+					o.dupErr = fmt.Errorf("linearize: value %q written twice (ops %d and %d)", op.Value, j, id)
+				}
+			} else {
+				o.writers[op.Value] = id
+			}
+		} else if !op.Pending() {
+			if _, seen := o.observed[op.Value]; !seen {
+				o.observed[op.Value] = id
+			}
+		}
+	}
+	if o.failed {
+		return // verdict already settled; keep only the bookkeeping above
+	}
+	lo := op.Inv.Add(o.opt.MinAfterInv)
+	if o.opt.Widen > 0 {
+		lo = lo.Add(-o.opt.Widen)
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	hi := simtime.Never
+	if !op.Pending() {
+		hi = op.Res.Add(o.opt.Widen).Add(o.opt.ShiftFuture)
+	}
+	o.window = append(o.window, olIv{
+		id: id, kind: op.Kind, value: op.Value, lo: lo, hi: hi, pending: op.Pending(),
+	})
+}
+
+// Advance informs the checker that no operation will be invoked before
+// watermark, processes every deadline that is now settled, and
+// garbage-collects them from the window. Watermarks need not be monotone;
+// a stale bound simply settles nothing new.
+func (o *Online) Advance(watermark simtime.Time) {
+	if o.finished {
+		return
+	}
+	if o.failed {
+		o.window = o.window[:0] // verdict settled: the window is garbage
+		return
+	}
+	o.drain(o.effBound(watermark), false)
+}
+
+// effBound converts the invocation watermark into the largest deadline
+// bound that is safe to process: future windows cannot open before any of
+// the candidate terms, and cannot close before w itself.
+func (o *Online) effBound(w simtime.Time) simtime.Time {
+	adj := func(t simtime.Time) simtime.Time {
+		t = t.Add(o.opt.MinAfterInv)
+		if o.opt.Widen > 0 {
+			t = t.Add(-o.opt.Widen)
+		}
+		return t
+	}
+	b := w
+	if a := adj(w); a < b {
+		b = a
+	}
+	for _, invs := range o.open {
+		for _, inv := range invs {
+			if a := adj(inv); a < b {
+				b = a
+			}
+		}
+	}
+	for i := range o.window {
+		if o.window[i].pending && o.window[i].lo < b {
+			b = o.window[i].lo
+		}
+	}
+	return b
+}
+
+// Finish settles every remaining deadline and returns the verdict; it is
+// idempotent, and the Result is identical to the batch checker's on the
+// same operation sequence. Open invocations that never completed should be
+// Added as pending operations before calling Finish; reads and unobserved
+// writes among them are dropped exactly as in the batch checker.
+func (o *Online) Finish() Result {
+	if o.finished {
+		return o.final
+	}
+	o.finished, o.finishing = true, true
+	// Value-uniqueness violations take priority over (and report without)
+	// search results, mirroring the batch checker's construction errors.
+	if o.writers != nil {
+		if o.dupErr != nil {
+			o.final = Result{OK: false, Reason: o.dupErr.Error()}
+			return o.final
+		}
+		badID, badVal := -1, ""
+		for v, id := range o.observed {
+			if v == o.opt.Initial {
+				continue
+			}
+			if _, ok := o.writers[v]; ok {
+				continue
+			}
+			if badID < 0 || id < badID {
+				badID, badVal = id, v
+			}
+		}
+		if badID >= 0 {
+			o.final = Result{OK: false, Reason: fmt.Sprintf("linearize: value %q read but never written", badVal)}
+			return o.final
+		}
+	}
+	if !o.failed {
+		// A pending read returned nothing, and a pending write nobody read
+		// may never have taken effect: both may simply not have happened.
+		// An observed pending write must be placeable (unbounded window).
+		wasObserved := o.observedValues()
+		kept := o.window[:0]
+		for _, iv := range o.window {
+			if iv.pending && (iv.kind == Read || !wasObserved(iv.value)) {
+				continue
+			}
+			kept = append(kept, iv)
+		}
+		o.window = kept
+		o.drain(0, true)
+	}
+	if o.failed {
+		o.final = Result{OK: false, Reason: o.failReason, States: o.states}
+	} else {
+		o.final = Result{OK: true, States: o.states}
+	}
+	o.window, o.frontier, o.open, o.writers, o.observed = nil, nil, nil, nil, nil
+	return o.final
+}
+
+// observedValues returns the was-this-value-read-by-a-completed-read
+// predicate used to resolve pending writes. Under AssumeUnique the exact
+// map is not kept; the still-windowed completed reads stand in for it,
+// which is sound whenever reads that observed a pending write are still
+// unsettled at Finish — always true for plain linearizability, where such
+// a read's window closes after the write's invocation holds the bound.
+func (o *Online) observedValues() func(string) bool {
+	if o.observed != nil {
+		return func(v string) bool { _, ok := o.observed[v]; return ok }
+	}
+	seen := make(map[string]bool)
+	for i := range o.window {
+		if o.window[i].kind == Read && !o.window[i].pending {
+			seen[o.window[i].value] = true
+		}
+	}
+	return func(v string) bool { return seen[v] }
+}
+
+// drain settles every unprocessed deadline strictly below bound (every
+// deadline when all is set) in canonical (hi, lo, arrival) order, then
+// compacts the window. The canonical order makes the stage sequence — and
+// therefore the verdict and States — a function of the submitted
+// operations alone, independent of Advance slicing.
+func (o *Online) drain(bound simtime.Time, all bool) {
+	var due []int
+	for i := range o.window {
+		iv := &o.window[i]
+		if iv.closed || (!all && (iv.pending || iv.hi >= bound)) {
+			continue
+		}
+		due = append(due, i)
+	}
+	if len(due) == 0 {
+		return
+	}
+	sort.Slice(due, func(a, b int) bool {
+		x, y := &o.window[due[a]], &o.window[due[b]]
+		if x.hi != y.hi {
+			return x.hi < y.hi
+		}
+		if x.lo != y.lo {
+			return x.lo < y.lo
+		}
+		return x.id < y.id
+	})
+	for _, di := range due {
+		if !o.failed {
+			o.stage(di)
+		}
+		o.window[di].closed = true
+	}
+	kept := o.window[:0]
+	for _, iv := range o.window {
+		if !iv.closed {
+			kept = append(kept, iv)
+		}
+	}
+	o.window = kept
+}
+
+// stage processes one deadline: every frontier state either discards it
+// from its early set (already linearized) or searches for the commit
+// sequences that linearize it now. The next frontier is the deduplicated
+// union; empty means no linearization order exists.
+func (o *Online) stage(di int) {
+	target := &o.window[di]
+	nf := frontierBuilder{idx: make(map[string]int)}
+	memo := make(map[string]bool)
+	for _, s := range o.frontier {
+		if p := indexOfID(s.early, target.id); p >= 0 {
+			rest := make([]int, 0, len(s.early)-1)
+			rest = append(rest, s.early[:p]...)
+			rest = append(rest, s.early[p+1:]...)
+			nf.emit(olState{early: rest, last: s.last, ell: s.ell})
+			continue
+		}
+		o.commit(s, target, &nf, memo)
+		if o.failed {
+			return
+		}
+	}
+	o.frontier = nf.finish()
+	if len(o.frontier) == 0 {
+		o.failed = true
+		o.failReason = "no valid linearization order exists"
+	}
+}
+
+// commit explores linearizing zero or more still-open operations and then
+// the target, with greedy earliest-point placement per step. Each call is
+// one search state, shared with the batch wrapper's accounting.
+func (o *Online) commit(s olState, target *olIv, nf *frontierBuilder, memo map[string]bool) {
+	o.states++
+	if o.states > o.opt.MaxStates {
+		o.failed = true
+		o.failReason = fmt.Sprintf("linearize: state budget (%d) exhausted", o.opt.MaxStates)
+		return
+	}
+	key := stateKey(s)
+	if memo[key] {
+		return
+	}
+	memo[key] = true
+	if ns, ok := o.place(s, target); ok && !o.strands(ns, target.id) {
+		nf.emit(ns)
+	}
+	for i := range o.window {
+		x := &o.window[i]
+		if x.closed || x.id == target.id || x.lo > target.hi {
+			continue
+		}
+		if x.pending && !o.finishing {
+			continue // fate (drop vs forced) unresolved until Finish
+		}
+		if indexOfID(s.early, x.id) >= 0 {
+			continue
+		}
+		ns, ok := o.place(s, x)
+		if !ok {
+			continue
+		}
+		early := make([]int, 0, len(s.early)+1)
+		early = append(early, s.early...)
+		early = append(early, x.id)
+		sort.Ints(early)
+		ns.early = early
+		if o.strands(ns, -1) {
+			continue
+		}
+		o.commit(ns, target, nf, memo)
+		if o.failed {
+			return
+		}
+	}
+}
+
+// place linearizes iv next in state s at the earliest feasible point,
+// returning the successor state (early is aliased; callers copy).
+func (o *Online) place(s olState, iv *olIv) (olState, bool) {
+	point := iv.lo
+	if s.ell > point {
+		point = s.ell
+	}
+	if point > iv.hi {
+		return olState{}, false
+	}
+	last := s.last
+	switch iv.kind {
+	case Write:
+		last = iv.value
+	case Read:
+		if iv.value != last {
+			return olState{}, false
+		}
+	}
+	ell := s.ell
+	if iv.lo > ell {
+		ell = iv.lo
+	}
+	return olState{early: s.early, last: last, ell: ell}, true
+}
+
+// strands reports whether some open operation outside the state's early
+// set (and other than exclude) can no longer be placed: its window closes
+// below the state's point lower bound. Such states are dead. Operations
+// not yet submitted can never trigger this — their windows close at or
+// beyond every processed bound — so the answer does not depend on Advance
+// slicing.
+func (o *Online) strands(ns olState, exclude int) bool {
+	for i := range o.window {
+		x := &o.window[i]
+		if x.closed || x.id == exclude || x.hi >= ns.ell {
+			continue
+		}
+		if indexOfID(ns.early, x.id) < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// frontierBuilder accumulates emitted states, merging duplicates by
+// (early, last) with the dominating (minimum) ℓ, and yields them in a
+// canonical order.
+type frontierBuilder struct {
+	idx  map[string]int
+	keys []string
+	out  []olState
+}
+
+func (b *frontierBuilder) emit(s olState) {
+	var k strings.Builder
+	for _, id := range s.early {
+		k.WriteString(strconv.Itoa(id))
+		k.WriteByte(',')
+	}
+	k.WriteByte('|')
+	k.WriteString(s.last)
+	key := k.String()
+	if i, ok := b.idx[key]; ok {
+		if s.ell < b.out[i].ell {
+			b.out[i].ell = s.ell
+		}
+		return
+	}
+	b.idx[key] = len(b.out)
+	b.keys = append(b.keys, key)
+	b.out = append(b.out, s)
+}
+
+func (b *frontierBuilder) finish() []olState {
+	sort.Sort(byKey{b})
+	return b.out
+}
+
+type byKey struct{ b *frontierBuilder }
+
+func (s byKey) Len() int           { return len(s.b.out) }
+func (s byKey) Less(i, j int) bool { return s.b.keys[i] < s.b.keys[j] }
+func (s byKey) Swap(i, j int) {
+	s.b.keys[i], s.b.keys[j] = s.b.keys[j], s.b.keys[i]
+	s.b.out[i], s.b.out[j] = s.b.out[j], s.b.out[i]
+}
+
+// stateKey renders a state for the per-stage memo. Unlike frontier
+// deduplication, the memo must distinguish ℓ values: a later-visited state
+// with a smaller ℓ has strictly more continuations.
+func stateKey(s olState) string {
+	var b strings.Builder
+	b.Grow(16 + 4*len(s.early) + len(s.last))
+	for _, id := range s.early {
+		b.WriteString(strconv.Itoa(id))
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	b.WriteString(s.last)
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatInt(int64(s.ell), 10))
+	return b.String()
+}
+
+// indexOfID finds id in the ascending slice, or -1.
+func indexOfID(ids []int, id int) int {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ids) && ids[lo] == id {
+		return lo
+	}
+	return -1
+}

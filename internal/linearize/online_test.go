@@ -1,0 +1,246 @@
+package linearize
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+// randAlternating generates a random history that respects per-node
+// alternation (one operation at a time per node, the contract Begin
+// documents and register.History guarantees), with cross-node concurrency,
+// occasional pending operations, and occasional structural violations
+// (duplicate writes, reads of never-written values) to exercise the
+// validation paths.
+func randAlternating(r *rand.Rand) []Op {
+	nodes := 2 + r.Intn(3)
+	var written []string
+	var ops []Op
+	wseq := 0
+	for n := 0; n < nodes; n++ {
+		now := simtime.Time(r.Intn(20))
+		k := 1 + r.Intn(4)
+		for i := 0; i < k; i++ {
+			inv := now
+			res := inv.Add(simtime.Duration(1 + r.Intn(30)))
+			pending := r.Intn(12) == 0
+			if pending {
+				res = simtime.Never
+			}
+			if r.Intn(2) == 0 {
+				v := fmt.Sprintf("w%d", wseq)
+				wseq++
+				if r.Intn(20) == 0 && len(written) > 0 {
+					v = written[r.Intn(len(written))] // duplicate write
+				}
+				written = append(written, v)
+				ops = append(ops, Op{Node: ta.NodeID(n), Kind: Write, Value: v, Inv: inv, Res: res})
+			} else {
+				v := "v0"
+				switch {
+				case r.Intn(25) == 0:
+					v = fmt.Sprintf("zz%d", r.Intn(3)) // never written
+				case len(written) > 0 && r.Intn(4) != 0:
+					v = written[r.Intn(len(written))]
+				}
+				ops = append(ops, Op{Node: ta.NodeID(n), Kind: Read, Value: v, Inv: inv, Res: res})
+			}
+			if pending {
+				break // the node never got its response; it issues nothing more
+			}
+			now = res.Add(simtime.Duration(r.Intn(10)))
+		}
+	}
+	return ops
+}
+
+// completionOrder returns the history in canonical streaming order: by
+// response time (pending last), the order a monitor submits operations.
+func completionOrder(ops []Op) []Op {
+	seq := append([]Op(nil), ops...)
+	sort.SliceStable(seq, func(i, j int) bool {
+		if seq[i].Res != seq[j].Res {
+			return seq[i].Res < seq[j].Res
+		}
+		if seq[i].Inv != seq[j].Inv {
+			return seq[i].Inv < seq[j].Inv
+		}
+		return seq[i].Node < seq[j].Node
+	})
+	return seq
+}
+
+// replayOnline drives the online checker through seq with a randomized but
+// contract-respecting schedule: Begin at each invocation, Add at each
+// response (seq order), and Advance calls interleaved at valid watermarks.
+func replayOnline(r *rand.Rand, seq []Op, opt Options) Result {
+	type ev struct {
+		at     simtime.Time
+		isAdd  bool
+		seqIdx int
+	}
+	var evs []ev
+	for i, op := range seq {
+		evs = append(evs, ev{at: op.Inv, isAdd: false, seqIdx: i})
+		evs = append(evs, ev{at: op.Res, isAdd: true, seqIdx: i})
+	}
+	sort.SliceStable(evs, func(a, b int) bool {
+		if evs[a].at != evs[b].at {
+			return evs[a].at < evs[b].at
+		}
+		if evs[a].isAdd != evs[b].isAdd {
+			return !evs[a].isAdd // invocations precede responses at an instant
+		}
+		return evs[a].seqIdx < evs[b].seqIdx
+	})
+	o := NewOnline(opt)
+	for i, e := range evs {
+		if e.isAdd {
+			if e.at == simtime.Never {
+				break // pending tail: submit below, right before Finish
+			}
+			o.Add(seq[e.seqIdx])
+		} else {
+			o.Begin(seq[e.seqIdx].Node, seq[e.seqIdx].Inv)
+		}
+		switch r.Intn(3) {
+		case 0:
+			o.Advance(e.at)
+		case 1:
+			if i+1 < len(evs) && evs[i+1].at != simtime.Never {
+				o.Advance(evs[i+1].at)
+			}
+		}
+	}
+	for _, op := range seq {
+		if op.Pending() {
+			o.Add(op)
+		}
+	}
+	return o.Finish()
+}
+
+// randOnlineOptions varies the checking mode across the batch entry
+// points' parameter space.
+func randOnlineOptions(r *rand.Rand) Options {
+	opt := Options{Initial: "v0"}
+	switch r.Intn(4) {
+	case 1:
+		opt.Widen = simtime.Duration(1 + r.Intn(10))
+	case 2:
+		opt.MinAfterInv = simtime.Duration(1 + r.Intn(10))
+	case 3:
+		opt.ShiftFuture = simtime.Duration(1 + r.Intn(10))
+	}
+	if r.Intn(10) == 0 {
+		opt.MaxStates = 1 + r.Intn(50) // exercise the budget verdict too
+	}
+	if r.Intn(8) == 0 {
+		opt.AssumeUnique = true
+	}
+	return opt
+}
+
+// TestOnlineMatchesBatch is the streaming/batch differential property: on
+// randomized histories, under randomized Advance schedules, the online
+// checker's Result — OK, Reason, and States — is byte-identical to the
+// batch Check over the same operation sequence. Mismatches are minimized
+// with the Shrink machinery before reporting.
+func TestOnlineMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 1500; trial++ {
+		ops := randAlternating(r)
+		opt := randOnlineOptions(r)
+		if opt.AssumeUnique && validateHistory(ops, opt.Initial) != nil {
+			opt.AssumeUnique = false // uniqueness-trusting mode needs a clean history
+		}
+		seq := completionOrder(ops)
+		want := Check(seq, opt)
+		sched := rand.New(rand.NewSource(int64(trial)))
+		got := replayOnline(sched, seq, opt)
+		if got == want {
+			continue
+		}
+		mismatch := func(h []Op) bool {
+			hs := completionOrder(h)
+			return Check(hs, opt) != replayOnline(rand.New(rand.NewSource(int64(trial))), hs, opt)
+		}
+		small := shrinkWith(seq, mismatch)
+		t.Fatalf("trial %d: online %+v != batch %+v\nopts: %+v\nminimized history:\n%v",
+			trial, got, want, opt, small)
+	}
+}
+
+// TestOnlineScheduleIndependence pins that two different Advance slicings
+// produce identical Results — the verdict is a function of the submitted
+// operations alone.
+func TestOnlineScheduleIndependence(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		seq := completionOrder(randAlternating(r))
+		opt := randOnlineOptions(r)
+		if opt.AssumeUnique && validateHistory(seq, opt.Initial) != nil {
+			opt.AssumeUnique = false
+		}
+		a := replayOnline(rand.New(rand.NewSource(1)), seq, opt)
+		b := replayOnline(rand.New(rand.NewSource(2)), seq, opt)
+		if a != b {
+			t.Fatalf("trial %d: schedules disagree: %+v vs %+v\n%v", trial, a, b, seq)
+		}
+	}
+}
+
+// TestOnlineEntryPointParity replays through the exported batch wrappers,
+// confirming CheckLinearizable/CheckEps/CheckSuperLinearizable all route
+// through the one engine with their documented option mappings.
+func TestOnlineEntryPointParity(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		seq := completionOrder(randAlternating(r))
+		eps := simtime.Duration(1 + r.Intn(8))
+		if got, want := CheckLinearizable(seq, "v0"), Check(seq, Options{Initial: "v0"}); got != want {
+			t.Fatalf("CheckLinearizable: %+v != %+v", got, want)
+		}
+		if got, want := CheckEps(seq, "v0", eps), Check(seq, Options{Initial: "v0", Widen: eps}); got != want {
+			t.Fatalf("CheckEps: %+v != %+v", got, want)
+		}
+		if got, want := CheckSuperLinearizable(seq, "v0", eps), Check(seq, Options{Initial: "v0", MinAfterInv: 2 * eps}); got != want {
+			t.Fatalf("CheckSuperLinearizable: %+v != %+v", got, want)
+		}
+	}
+}
+
+// TestOnlineGC pins the O(window) property: with a steadily advancing
+// watermark, settled operations leave the window instead of accumulating.
+func TestOnlineGC(t *testing.T) {
+	o := NewOnline(Options{Initial: "v0", AssumeUnique: true})
+	const n = 10000
+	maxWindow := 0
+	for i := 0; i < n; i++ {
+		inv := simtime.Time(i * 20)
+		res := inv.Add(10)
+		v := fmt.Sprintf("w%d", i)
+		o.Begin(0, inv)
+		o.Add(Op{Node: 0, Kind: Write, Value: v, Inv: inv, Res: res})
+		o.Begin(1, inv.Add(11))
+		o.Add(Op{Node: 1, Kind: Read, Value: v, Inv: inv.Add(11), Res: inv.Add(19)})
+		o.Advance(simtime.Time((i + 1) * 20))
+		if len(o.window) > maxWindow {
+			maxWindow = len(o.window)
+		}
+	}
+	if maxWindow > 8 {
+		t.Fatalf("window grew to %d entries on a sequential stream; GC is not engaging", maxWindow)
+	}
+	r := o.Finish()
+	if !r.OK {
+		t.Fatalf("sequential stream rejected: %+v", r)
+	}
+	if r.States > 3*2*n+10 {
+		t.Fatalf("states %d exceed linear bound", r.States)
+	}
+}

@@ -10,11 +10,10 @@ package linearize
 // invalid to begin with.
 func Shrink(ops []Op, opt Options) []Op {
 	violates := func(h []Op) bool {
-		c, err := newChecker(h, opt)
-		if err != nil {
+		if validateHistory(h, opt.Initial) != nil {
 			return false // structurally invalid ≠ a violation witness
 		}
-		return !c.solve().OK
+		return !Check(h, opt).OK
 	}
 	return shrinkWith(ops, violates)
 }

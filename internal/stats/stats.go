@@ -53,6 +53,45 @@ func (s Summary) String() string {
 	return fmt.Sprintf("n=%d min=%v mean=%v p99=%v max=%v", s.N, s.Min, s.Mean, s.P99, s.Max)
 }
 
+// Stream is an O(1)-memory incremental aggregator of durations — the
+// streaming counterpart of Summarize for pipelines that cannot retain the
+// sample. It tracks count, extrema, and mean exactly; order statistics
+// need the sample and are deliberately absent.
+type Stream struct {
+	N        int
+	Min, Max simtime.Duration
+	sum      int64
+}
+
+// Add folds one duration into the aggregate.
+func (s *Stream) Add(d simtime.Duration) {
+	if s.N == 0 || d < s.Min {
+		s.Min = d
+	}
+	if s.N == 0 || d > s.Max {
+		s.Max = d
+	}
+	s.N++
+	s.sum += int64(d)
+}
+
+// Mean returns the running mean, or 0 for an empty aggregate.
+func (s *Stream) Mean() simtime.Duration {
+	if s.N == 0 {
+		return 0
+	}
+	return simtime.Duration(s.sum / int64(s.N))
+}
+
+// Summary converts the aggregate to a Summary; percentile fields are left
+// zero (unavailable without the retained sample).
+func (s *Stream) Summary() Summary {
+	if s.N == 0 {
+		return Summary{}
+	}
+	return Summary{N: s.N, Min: s.Min, Max: s.Max, Mean: s.Mean()}
+}
+
 // MaxDuration returns the largest element, or 0 for an empty sample.
 func MaxDuration(ds []simtime.Duration) simtime.Duration {
 	var m simtime.Duration
