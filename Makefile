@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 tier2 bench microbench json compare stream-bench
+.PHONY: all build test tier1 tier2 bench microbench json compare stream-bench live-smoke live-bench
 
 all: tier1
 
@@ -45,3 +45,15 @@ bench:
 # differential oracle.
 microbench:
 	$(GO) test -run XXX -bench 'BenchmarkSchedulerStep|BenchmarkDispatchRouting' ./internal/exec/
+
+# Time-boxed live-runtime smoke: serve the register over loopback TCP
+# under jittered clocks, drive a short closed-loop load, and require zero
+# online-linearizability violations and a clean shutdown. CI runs this.
+live-smoke:
+	$(GO) run ./cmd/pscserve -duration 2s -rate 120 -clock jitter -slack 3ms -v
+
+# Longer live run that records throughput, latency percentiles, and the
+# measured ε/delay bounds into the live section of BENCH_results.json
+# (compared by `make compare` via pscbench -compare).
+live-bench:
+	$(GO) run ./cmd/pscserve -duration 8s -rate 200 -clock jitter -slack 2ms -seed 1 -json

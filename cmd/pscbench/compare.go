@@ -113,6 +113,7 @@ func compareReports(old, cur jsonReport, tol float64) []string {
 		}
 	}
 	regressions = append(regressions, compareStream(old, cur, tol)...)
+	regressions = append(regressions, compareLive(old, cur, tol)...)
 	fmt.Printf("total wall: %.0f ms -> %.0f ms (%+.0f%%)\n", old.TotalWallMS, cur.TotalWallMS, pct(old.TotalWallMS, cur.TotalWallMS))
 	return regressions
 }
@@ -181,6 +182,47 @@ func compareStream(old, cur jsonReport, tol float64) []string {
 	row("ops_per_sec", o.OpsPerSec, n.OpsPerSec, false)
 	row("peak_heap_bytes", o.PeakHeapBytes, n.PeakHeapBytes, true)
 	row("allocs_per_op", o.AllocsPerOp, n.AllocsPerOp, true)
+	return regressions
+}
+
+// compareLive diffs the pscserve live sections: throughput must not drop
+// beyond tol, latency percentiles print informationally (wall-clock
+// latency on a shared host is too noisy to gate), and a run that stopped
+// passing its online check is always a regression. Sections from
+// different configurations (topology, clock or transport adversary, or
+// load shape) only warn, like mismatched settings: the delta would
+// measure the configuration change.
+func compareLive(old, cur jsonReport, tol float64) []string {
+	if old.Live == nil || cur.Live == nil {
+		if old.Live != nil || cur.Live != nil {
+			fmt.Fprintln(os.Stderr, "pscbench: warning: only one report has a live section; live deltas not compared")
+		}
+		return nil
+	}
+	o, n := old.Live, cur.Live
+	if o.Nodes != n.Nodes || o.Clients != n.Clients || o.Clock != n.Clock || o.Transport != n.Transport {
+		fmt.Fprintf(os.Stderr, "pscbench: warning: live sections ran different configurations (%d nodes/%d clients/%s/%s vs %d/%d/%s/%s); live deltas not compared\n",
+			o.Nodes, o.Clients, o.Clock, o.Transport, n.Nodes, n.Clients, n.Clock, n.Transport)
+		return nil
+	}
+	var regressions []string
+	row := func(name string, ov, nv float64, gate bool) {
+		mark := ""
+		if gate && ov > 0 && regressed(name, ov, nv, tol) {
+			mark = "  REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("live %s: %.0f -> %.0f (%+.0f%%, tolerance %.0f%%)", name, ov, nv, pct(ov, nv), tol*100))
+		}
+		fmt.Printf("%-5s %-28s %10.0f %10.0f %+7.0f%%%s\n", "live", name, ov, nv, pct(ov, nv), mark)
+	}
+	row("ops_per_sec", o.OpsPerSec, n.OpsPerSec, true)
+	row("read_p50_us", o.ReadP50US, n.ReadP50US, false)
+	row("read_p99_us", o.ReadP99US, n.ReadP99US, false)
+	row("write_p50_us", o.WriteP50US, n.WriteP50US, false)
+	row("write_p99_us", o.WriteP99US, n.WriteP99US, false)
+	if o.Pass && !n.Pass {
+		regressions = append(regressions, "live: previous run passed its online check, new run did not")
+	}
 	return regressions
 }
 

@@ -38,6 +38,7 @@ import (
 
 	"psclock/internal/core"
 	"psclock/internal/experiments"
+	"psclock/internal/live"
 )
 
 // benchFile is what -json writes.
@@ -64,6 +65,10 @@ type jsonReport struct {
 	GOMAXPROCS  int          `json:"gomaxprocs"`
 	TotalWallMS float64      `json:"total_wall_ms"`
 	Stream      *jsonStream  `json:"stream,omitempty"`
+	// Live is the pscserve wall-clock section; pscbench never produces
+	// it, but carries an existing one forward when rewriting the file so
+	// the two tools co-own BENCH_results.json.
+	Live        *live.Report `json:"live,omitempty"`
 	Experiments []jsonResult `json:"experiments"`
 }
 
@@ -226,6 +231,12 @@ func run(args []string) int {
 	}
 
 	if *emitJSON {
+		// Preserve the live section pscserve wrote, if any: -json rewrites
+		// the whole file, but the live runtime's results are not ours to
+		// drop.
+		if prev, err := loadReport(benchFile); err == nil {
+			report.Live = prev.Live
+		}
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pscbench: %v\n", err)

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"psclock/internal/live"
 )
 
 func TestList(t *testing.T) {
@@ -196,5 +198,34 @@ func TestJSONOutput(t *testing.T) {
 	}
 	if rep.Experiments[0].WallMS <= 0 || rep.TotalWallMS <= 0 {
 		t.Errorf("missing wall times: %+v", rep)
+	}
+}
+
+// TestCompareLive exercises the live-section gate directly: a throughput
+// drop beyond tolerance and a pass-to-fail flip regress, a configuration
+// mismatch only warns, and latency growth is informational.
+func TestCompareLive(t *testing.T) {
+	mk := func(ops float64, pass bool) jsonReport {
+		return jsonReport{Live: &live.Report{
+			Nodes: 3, Clients: 3, Clock: "jitter", Transport: "tcp",
+			OpsPerSec: ops, ReadP99US: 1000, Pass: pass,
+		}}
+	}
+	if regs := compareLive(mk(1000, true), mk(950, true), 0.2); len(regs) != 0 {
+		t.Errorf("5%% throughput drop within tolerance flagged: %v", regs)
+	}
+	if regs := compareLive(mk(1000, true), mk(500, true), 0.2); len(regs) != 1 {
+		t.Errorf("50%% throughput drop: got %v, want one regression", regs)
+	}
+	if regs := compareLive(mk(1000, true), mk(1000, false), 0.2); len(regs) != 1 {
+		t.Errorf("pass->fail flip: got %v, want one regression", regs)
+	}
+	other := mk(10, true)
+	other.Live.Transport = "chan"
+	if regs := compareLive(mk(1000, true), other, 0.2); len(regs) != 0 {
+		t.Errorf("cross-configuration sections compared: %v", regs)
+	}
+	if regs := compareLive(jsonReport{}, mk(1000, true), 0.2); len(regs) != 0 {
+		t.Errorf("missing baseline section compared: %v", regs)
 	}
 }

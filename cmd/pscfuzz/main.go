@@ -9,6 +9,7 @@
 //
 //	pscfuzz -trials 200 -seed 1
 //	pscfuzz -trials 50 -mutate    # sanity: fuzz the broken L variant, expect violations
+//	pscfuzz -trials 50 -shards 4  # differential: sharded vs sequential execution
 package main
 
 import (
@@ -42,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	trials := fs.Int("trials", 100, "number of randomized trials")
 	seed := fs.Int64("seed", 1, "campaign seed")
 	mutate := fs.Bool("mutate", false, "fuzz the broken variant (plain L in the clock model); violations are then expected")
+	shards := fs.Int("shards", 0, "run each trial again under sharded conservative-parallel execution with this many shards and require an identical history (<2: off)")
 	verbose := fs.Bool("v", false, "print each trial's configuration")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -50,7 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	violations := 0
 	for trial := 0; trial < *trials; trial++ {
 		cfgSeed := *seed*1_000_000_007 + int64(trial)
-		desc, ops, err := oneTrial(cfgSeed, *mutate)
+		desc, ops, err := oneTrial(cfgSeed, *mutate, 0)
 		if err != nil {
 			fmt.Fprintf(stderr, "pscfuzz: trial %d (%s): %v\n", trial, desc, err)
 			return 2
@@ -59,6 +61,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "trial %d: %s (%d ops)\n", trial, desc, len(ops))
 		}
 		res := linearize.CheckLinearizable(ops, register.Initial.String())
+		if *shards > 1 {
+			if msg := diffSharded(cfgSeed, *mutate, *shards, ops, res); msg != "" {
+				fmt.Fprintf(stdout, "DIVERGENCE in trial %d: %s\n  %s\n", trial, desc, msg)
+				fmt.Fprintf(stdout, "replay: pscfuzz -trials 1 -seed %d -shards %d\n", cfgSeed, *shards)
+				return 2
+			}
+		}
 		if res.OK {
 			continue
 		}
@@ -82,12 +91,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	fmt.Fprintf(stdout, "%d trials, 0 violations\n", *trials)
+	if *shards > 1 {
+		fmt.Fprintf(stdout, "%d trials, 0 violations, sequential and %d-sharded histories identical\n", *trials, *shards)
+	} else {
+		fmt.Fprintf(stdout, "%d trials, 0 violations\n", *trials)
+	}
 	return 0
 }
 
-// oneTrial draws and runs one configuration.
-func oneTrial(seed int64, mutate bool) (string, []linearize.Op, error) {
+// diffSharded reruns the trial under sharded execution and compares the
+// resulting operation history and verdict against the sequential run.
+// The conservative-parallel executor promises determinism — identical
+// traces, not merely equivalent ones — so any diff is a bug in the
+// d1-lookahead machinery. Returns "" when the runs agree.
+func diffSharded(seed int64, mutate bool, shards int, seqOps []linearize.Op, seqRes linearize.Result) string {
+	_, ops, err := oneTrial(seed, mutate, shards)
+	if err != nil {
+		return fmt.Sprintf("sharded run failed: %v", err)
+	}
+	if len(ops) != len(seqOps) {
+		return fmt.Sprintf("sequential run has %d ops, %d-sharded run has %d", len(seqOps), shards, len(ops))
+	}
+	for i := range ops {
+		if ops[i] != seqOps[i] {
+			return fmt.Sprintf("histories diverge at op %d: sequential %v, %d-sharded %v", i, seqOps[i], shards, ops[i])
+		}
+	}
+	if res := linearize.CheckLinearizable(ops, register.Initial.String()); res.OK != seqRes.OK {
+		return fmt.Sprintf("verdicts diverge: sequential OK=%v, %d-sharded OK=%v (%s)", seqRes.OK, shards, res.OK, res.Reason)
+	}
+	return ""
+}
+
+// oneTrial draws and runs one configuration; shards > 1 selects the
+// conservative-parallel executor (negative and 0..1 run sequentially).
+func oneTrial(seed int64, mutate bool, shards int) (string, []linearize.Op, error) {
 	r := rand.New(rand.NewSource(seed))
 	n := 2 + r.Intn(4)
 	d1 := simtime.Duration(r.Int63n(int64(2 * ms)))
@@ -146,7 +184,10 @@ func oneTrial(seed int64, mutate bool) (string, []linearize.Op, error) {
 	desc := fmt.Sprintf("alg=%s n=%d d=[%v,%v] ε=%v c=%v clocks=%s delays=%s seed=%d",
 		algName, n, d1, d2, eps, cKnob, cname, dname, seed)
 
-	cfg := core.Config{N: n, Bounds: bounds, Seed: seed, Clocks: cf, NewDelay: df, FIFO: r.Intn(2) == 0}
+	if shards < 2 {
+		shards = -1 // pin sequential even if a process-global default is set
+	}
+	cfg := core.Config{N: n, Bounds: bounds, Seed: seed, Clocks: cf, NewDelay: df, FIFO: r.Intn(2) == 0, Shards: shards}
 	net := core.BuildClocked(cfg, factory)
 	clients := workload.Attach(net, workload.Config{
 		Ops:        8 + r.Intn(10),

@@ -54,3 +54,19 @@ func TestBadFlag(t *testing.T) {
 		t.Error("bad flag accepted")
 	}
 }
+
+// TestShardedDifferential runs the campaign with the sharded-vs-sequential
+// differential check on: the conservative-parallel executor must replay
+// every drawn configuration to a byte-identical history.
+func TestShardedDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations twice per trial")
+	}
+	code, out := runFuzz(t, "-trials", "10", "-seed", "3", "-shards", "4")
+	if code != 0 {
+		t.Fatalf("code=%d out=%s", code, out)
+	}
+	if !strings.Contains(out, "4-sharded histories identical") {
+		t.Errorf("out = %q", out)
+	}
+}

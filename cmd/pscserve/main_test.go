@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke is the in-process version of the CI smoke job: a short
+// serve-and-load cycle over real TCP with jittered clocks must pass the
+// online check and exit zero.
+func TestRunSmoke(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{
+		"-duration", "400ms", "-rate", "120", "-nodes", "3",
+		"-clock", "jitter", "-slack", "3ms", "-seed", "7",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "PASS: online linearizability held") {
+		t.Fatalf("no PASS line in output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "0 client errors") {
+		t.Fatalf("client errors in output:\n%s", out.String())
+	}
+}
+
+// TestRunChanTransport covers the in-process transport path end to end.
+func TestRunChanTransport(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{
+		"-duration", "300ms", "-rate", "120", "-transport", "chan",
+		"-clock", "offset", "-slack", "3ms",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}
+
+// TestRunBadFlags checks usage errors exit 2 without starting a runtime.
+func TestRunBadFlags(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-clock", "atomic"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown clock: exit %d, want 2", code)
+	}
+	if code := run([]string{"-transport", "carrier-pigeon"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown transport: exit %d, want 2", code)
+	}
+	if code := run([]string{"-eps", "-1ms"}, &out, &errb); code != 2 {
+		t.Fatalf("negative eps: exit %d, want 2", code)
+	}
+}

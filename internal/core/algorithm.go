@@ -84,69 +84,6 @@ type Algorithm interface {
 // A assigning an automaton to every node of the graph (§3.3).
 type AlgorithmFactory func(id ta.NodeID, n int) Algorithm
 
-// timerEntry is one pending SetTimer registration.
-type timerEntry struct {
-	at  simtime.Time
-	seq int
-	key any
-}
-
-// timerHeap is a plain binary min-heap ordered by (at, seq). It is
-// hand-rolled rather than container/heap because SetTimer and timer
-// firing are the per-callback hot path of every node: the heap.Interface
-// indirection boxes each timerEntry into an interface value on both Push
-// and Pop, which showed up as two heap allocations per timer in the
-// executor-throughput profile.
-type timerHeap []timerEntry
-
-func timerLess(a, b timerEntry) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-func (h *timerHeap) push(e timerEntry) {
-	*h = append(*h, e)
-	s := *h
-	i := len(s) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if !timerLess(s[i], s[p]) {
-			break
-		}
-		s[i], s[p] = s[p], s[i]
-		i = p
-	}
-}
-
-func (h *timerHeap) pop() timerEntry {
-	s := *h
-	top := s[0]
-	n := len(s) - 1
-	s[0] = s[n]
-	s[n] = timerEntry{} // drop the key reference
-	s = s[:n]
-	*h = s
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		m := l
-		if r := l + 1; r < n && timerLess(s[r], s[l]) {
-			m = r
-		}
-		if !timerLess(s[m], s[i]) {
-			break
-		}
-		s[i], s[m] = s[m], s[i]
-		i = m
-	}
-	return top
-}
-
 // engine drives one Algorithm synchronously: the enclosing model adapter
 // (timed node, clock node, or MMT wrapper) tells it what time it is and
 // what arrived, and collects the actions the algorithm performed. The
@@ -160,8 +97,7 @@ type engine struct {
 	// graph including the self-loop).
 	neighbors []ta.NodeID
 
-	timers timerHeap
-	seq    int
+	timers TimerQueue
 
 	// last is the high-water mark of observed time, keeping the
 	// algorithm's view monotone across catch-ups.
@@ -260,8 +196,7 @@ func (e *engine) Output(name string, payload any) {
 }
 
 func (e *engine) SetTimer(at simtime.Time, key any) {
-	e.timers.push(timerEntry{at: at, seq: e.seq, key: key})
-	e.seq++
+	e.timers.Push(at, key)
 }
 
 // run invokes fn with the context set to time t and returns the actions the
@@ -295,10 +230,7 @@ func (e *engine) message(t simtime.Time, from ta.NodeID, body any) []stamped {
 
 // nextTimer returns the earliest pending timer deadline.
 func (e *engine) nextTimer() (simtime.Time, bool) {
-	if len(e.timers) == 0 {
-		return 0, false
-	}
-	return e.timers[0].at, true
+	return e.timers.Next()
 }
 
 // advance fires, in (deadline, registration) order, every timer with
@@ -313,9 +245,13 @@ func (e *engine) nextTimer() (simtime.Time, bool) {
 // accumulation buffer — valid only until the next advance.
 func (e *engine) advance(t simtime.Time) []stamped {
 	e.acc = e.acc[:0]
-	for len(e.timers) > 0 && !e.timers[0].at.After(t) {
-		entry := e.timers.pop()
-		e.acc = append(e.acc, e.run(entry.at, func() { e.alg.OnTimer(e, entry.key) })...)
+	for {
+		at, ok := e.timers.Next()
+		if !ok || at.After(t) {
+			break
+		}
+		entry := e.timers.Pop()
+		e.acc = append(e.acc, e.run(entry.At, func() { e.alg.OnTimer(e, entry.Key) })...)
 	}
 	return e.acc
 }

@@ -1,0 +1,94 @@
+package core
+
+import "psclock/internal/simtime"
+
+// TimerEntry is one pending SetTimer registration: a deadline plus the
+// algorithm's opaque key, ordered by (At, registration).
+type TimerEntry struct {
+	// At is the deadline the callback was requested for.
+	At simtime.Time
+	// Key is the opaque value handed back to Algorithm.OnTimer.
+	Key any
+
+	seq int
+}
+
+// TimerQueue is the (deadline, registration)-ordered store of pending
+// SetTimer registrations. It is the runtime-agnostic half of the timer
+// contract of Context.SetTimer: both the simulator's engine (this package)
+// and the wall-clock runtime (internal/live) drain the same queue, so an
+// algorithm's timers fire in the same (at, seq) order in both worlds.
+//
+// The heap is hand-rolled rather than container/heap because SetTimer and
+// timer firing are the per-callback hot path of every node: the
+// heap.Interface indirection boxes each entry into an interface value on
+// both Push and Pop, which showed up as two heap allocations per timer in
+// the executor-throughput profile. The zero TimerQueue is ready to use.
+type TimerQueue struct {
+	h   []TimerEntry
+	seq int
+}
+
+func timerLess(a, b TimerEntry) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.seq < b.seq
+}
+
+// Push registers a timer at deadline `at` with the given key. Entries with
+// equal deadlines pop in registration order.
+func (q *TimerQueue) Push(at simtime.Time, key any) {
+	q.h = append(q.h, TimerEntry{At: at, Key: key, seq: q.seq})
+	q.seq++
+	s := q.h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !timerLess(s[i], s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+// Len returns the number of pending registrations.
+func (q *TimerQueue) Len() int { return len(q.h) }
+
+// Next returns the earliest pending deadline without removing it.
+func (q *TimerQueue) Next() (simtime.Time, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].At, true
+}
+
+// Pop removes and returns the earliest entry. It panics on an empty queue;
+// callers gate on Len or Next.
+func (q *TimerQueue) Pop() TimerEntry {
+	s := q.h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = TimerEntry{} // drop the key reference
+	s = s[:n]
+	q.h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && timerLess(s[r], s[l]) {
+			m = r
+		}
+		if !timerLess(s[m], s[i]) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
+}

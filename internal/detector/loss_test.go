@@ -1,0 +1,192 @@
+package detector_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"psclock/internal/channel"
+	"psclock/internal/core"
+	"psclock/internal/detector"
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+// restores extracts RESTORE events (by, of, at) from a trace.
+func restores(tr ta.Trace) []detector.Suspicion {
+	var out []detector.Suspicion
+	for _, e := range tr {
+		if e.Action.Name == detector.ActRestore {
+			out = append(out, detector.Suspicion{By: e.Action.Node, Of: e.Action.Payload.(ta.NodeID), At: e.At})
+		}
+	}
+	return out
+}
+
+// dropFrom installs a drop predicate on every edge leaving node `from`.
+// Edge send ordinals are 0-based; the detector's only traffic is its
+// heartbeats, so ordinal k is heartbeat k+1.
+func dropFrom(net *core.Net, from ta.NodeID, drop func(seq int) bool) {
+	for _, e := range net.Edges {
+		if e.From() == from {
+			e.Drop = func(seq int, _ *rand.Rand) bool { return drop(seq) }
+		}
+	}
+}
+
+// TestSuspectedAfterLossThenRestored loses a burst of node 0's heartbeats
+// long enough to exceed the safe timeout: both peers must suspect node 0
+// while the burst lasts and restore it when heartbeats resume — and never
+// suspect each other, whose heartbeats flowed throughout.
+func TestSuspectedAfterLossThenRestored(t *testing.T) {
+	bounds := simtime.NewInterval(500*us, 1500*us)
+	period := 5 * ms
+	p := detector.Params{
+		Period:     period,
+		Timeout:    detector.SafeTimeoutTA(period, bounds),
+		Heartbeats: 12,
+	}
+	cfg := core.Config{N: 3, Bounds: bounds, Seed: 11, NewDelay: channel.MinDelay}
+	net := core.BuildTimed(cfg, detector.Factory(p))
+	// Beats 4..7 (sent at 15..30ms) vanish: a 25ms silence against a 6ms
+	// timeout. Beat 8 at 35ms revives the link. The horizon stops short of
+	// 61.5ms, where the bounded heartbeat stream ending (last beat 55ms)
+	// would make every watcher fire legitimately.
+	dropFrom(net, 0, func(seq int) bool { return seq >= 3 && seq <= 6 })
+	if err := net.Sys.Run(simtime.Time(58 * ms)); err != nil {
+		t.Fatal(err)
+	}
+	sus := detector.Suspicions(net.Sys.Trace())
+	res := restores(net.Sys.Trace())
+	susBy := map[ta.NodeID]int{}
+	for _, s := range sus {
+		if s.Of != 0 {
+			t.Fatalf("node %v suspected healthy node %v at %v", s.By, s.Of, s.At)
+		}
+		susBy[s.By]++
+	}
+	if susBy[1] != 1 || susBy[2] != 1 {
+		t.Fatalf("suspicions of node 0: %v, want exactly one from each peer", susBy)
+	}
+	resBy := map[ta.NodeID]int{}
+	for _, r := range res {
+		if r.Of != 0 {
+			t.Fatalf("node %v restored never-suspected node %v", r.By, r.Of)
+		}
+		resBy[r.By]++
+	}
+	if resBy[1] != 1 || resBy[2] != 1 {
+		t.Fatalf("restores of node 0: %v, want exactly one from each peer", resBy)
+	}
+	for _, e := range net.Edges {
+		if e.From() == 0 && e.To() != 0 && e.Dropped != 4 {
+			t.Fatalf("edge %v->%v dropped %d heartbeats, want 4", e.From(), e.To(), e.Dropped)
+		}
+	}
+}
+
+// TestTotalLossNeverRestores cuts node 0's outgoing links permanently
+// after two delivered heartbeats: to its peers this is indistinguishable
+// from a crash, so suspicion must arrive and never be withdrawn.
+func TestTotalLossNeverRestores(t *testing.T) {
+	bounds := simtime.NewInterval(500*us, 1500*us)
+	period := 5 * ms
+	p := detector.Params{
+		Period:     period,
+		Timeout:    detector.SafeTimeoutTA(period, bounds),
+		Heartbeats: 12,
+	}
+	cfg := core.Config{N: 3, Bounds: bounds, Seed: 13, NewDelay: channel.MinDelay}
+	net := core.BuildTimed(cfg, detector.Factory(p))
+	// Horizon short of the end-of-stream timeout (see above).
+	dropFrom(net, 0, func(seq int) bool { return seq >= 2 })
+	if err := net.Sys.Run(simtime.Time(50 * ms)); err != nil {
+		t.Fatal(err)
+	}
+	susBy := map[ta.NodeID]int{}
+	for _, s := range detector.Suspicions(net.Sys.Trace()) {
+		if s.Of != 0 {
+			t.Fatalf("node %v suspected healthy node %v", s.By, s.Of)
+		}
+		susBy[s.By]++
+	}
+	if susBy[1] != 1 || susBy[2] != 1 {
+		t.Fatalf("suspicions of node 0: %v, want exactly one from each peer", susBy)
+	}
+	if res := restores(net.Sys.Trace()); len(res) != 0 {
+		t.Fatalf("silent node restored: %v", res)
+	}
+}
+
+// oneLate is a DelayPolicy delivering every message at d1 except one send
+// ordinal, which it delays by `by` less than d2 − d1 extra: the §1
+// worst case for a heartbeat watcher, a fast beat re-arming the watch
+// followed by the next beat crawling in.
+type oneLate struct {
+	ordinal int
+	short   simtime.Duration // how far below d2 the late delivery stays
+	n       int
+}
+
+func (p *oneLate) Name() string { return "one-late" }
+func (p *oneLate) Delay(_ *rand.Rand, iv simtime.Interval) simtime.Duration {
+	d := iv.Lo
+	if p.n == p.ordinal {
+		d = iv.Hi - p.short
+	}
+	p.n++
+	return d
+}
+
+// TestLateHeartbeatWithinSafeTimeout drives the worst-case delay pattern
+// — beat k at d1, beat k+1 at (just under) d2 — against the safe timeout
+// π + (d2 − d1): the late heartbeat must land inside the watch window,
+// so no suspicion fires. This pins the exact boundary SafeTimeoutTA
+// claims.
+func TestLateHeartbeatWithinSafeTimeout(t *testing.T) {
+	bounds := simtime.NewInterval(500*us, 1500*us)
+	period := 5 * ms
+	p := detector.Params{
+		Period:     period,
+		Timeout:    detector.SafeTimeoutTA(period, bounds),
+		Heartbeats: 10,
+	}
+	cfg := core.Config{N: 3, Bounds: bounds, Seed: 17,
+		NewDelay: func() channel.DelayPolicy { return &oneLate{ordinal: 4, short: 50 * us} }}
+	net := core.BuildTimed(cfg, detector.Factory(p))
+	// Last beat at 45ms; stop before the stream's end trips the watchers.
+	if err := net.Sys.Run(simtime.Time(48 * ms)); err != nil {
+		t.Fatal(err)
+	}
+	if sus := detector.Suspicions(net.Sys.Trace()); len(sus) != 0 {
+		t.Fatalf("late-but-in-bounds heartbeat caused suspicions: %v", sus)
+	}
+}
+
+// TestLateHeartbeatBeyondTightTimeout shrinks the timeout 100µs below the
+// safe bound and replays the same pattern with the late beat at exactly
+// d2: the watch must fire just before the heartbeat lands, and the
+// arrival must then restore the peer — the false-suspicion/recovery edge
+// the safe margin exists to exclude.
+func TestLateHeartbeatBeyondTightTimeout(t *testing.T) {
+	bounds := simtime.NewInterval(500*us, 1500*us)
+	period := 5 * ms
+	p := detector.Params{
+		Period:     period,
+		Timeout:    detector.SafeTimeoutTA(period, bounds) - 100*us,
+		Heartbeats: 10,
+	}
+	cfg := core.Config{N: 3, Bounds: bounds, Seed: 19,
+		NewDelay: func() channel.DelayPolicy { return &oneLate{ordinal: 4, short: 0} }}
+	net := core.BuildTimed(cfg, detector.Factory(p))
+	if err := net.Sys.Run(simtime.Time(48 * ms)); err != nil {
+		t.Fatal(err)
+	}
+	sus := detector.Suspicions(net.Sys.Trace())
+	if len(sus) == 0 {
+		t.Fatal("tight timeout survived the worst-case late heartbeat")
+	}
+	res := restores(net.Sys.Trace())
+	if len(res) != len(sus) {
+		t.Fatalf("%d suspicions but %d restores; every false suspicion must be withdrawn on arrival", len(sus), len(res))
+	}
+}

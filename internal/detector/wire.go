@@ -1,0 +1,9 @@
+package detector
+
+import "encoding/gob"
+
+// Register the heartbeat body so the live runtime's TCP transport can
+// gob-encode it as an interface value (see internal/register/wire.go).
+func init() {
+	gob.Register(heartbeat{})
+}

@@ -1,0 +1,142 @@
+package live
+
+import (
+	"encoding/gob"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"psclock/internal/register"
+	"psclock/internal/simtime"
+	"psclock/internal/stats"
+	"psclock/internal/ta"
+)
+
+// LoadConfig describes the closed-loop client population pscserve runs
+// against the live register.
+type LoadConfig struct {
+	// Clients is the number of concurrent clients; client i drives node
+	// i mod nodes.
+	Clients int
+	// Duration bounds the run in wall time.
+	Duration time.Duration
+	// Rate caps each client at this many operations per second (0 = as
+	// fast as the closed loop allows). The cap is a pacing floor between
+	// invocations, so the loop stays closed: no client ever has more than
+	// one operation outstanding.
+	Rate float64
+	// WriteRatio is the probability an operation is a WRITE.
+	WriteRatio float64
+	// Seed derives per-client rngs; written values are unique per
+	// execution (writer = client's node, per-client sequence), satisfying
+	// the §3 uniqueness assumption.
+	Seed int64
+}
+
+// LoadResult aggregates the load generator's view of a run.
+type LoadResult struct {
+	Ops, Reads, Writes int
+	// ReadLat and WriteLat summarize client-observed latencies from a
+	// seeded reservoir sample (percentiles over the full run in bounded
+	// memory).
+	ReadLat, WriteLat stats.Summary
+	// Errors counts client-side failures (dial, encode, decode); a clean
+	// run has zero.
+	Errors int
+}
+
+// RunLoad drives the register server at addrs with closed-loop clients
+// until the duration elapses, then waits for outstanding operations to
+// complete. Each client owns one TCP connection.
+func RunLoad(addrs []string, cfg LoadConfig) LoadResult {
+	if cfg.Clients <= 0 {
+		cfg.Clients = len(addrs)
+	}
+	var (
+		mu       sync.Mutex
+		agg      LoadResult
+		readRes  = stats.NewReservoir(4096, cfg.Seed*7+1)
+		writeRes = stats.NewReservoir(4096, cfg.Seed*7+2)
+	)
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := runClient(c, addrs[c%len(addrs)], ta.NodeID(c%len(addrs)), cfg, deadline, readRes, writeRes, &mu)
+			mu.Lock()
+			agg.Ops += res.Ops
+			agg.Reads += res.Reads
+			agg.Writes += res.Writes
+			agg.Errors += res.Errors
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	agg.ReadLat = readRes.Summary()
+	agg.WriteLat = writeRes.Summary()
+	mu.Unlock()
+	return agg
+}
+
+// runClient is one closed-loop client: invoke, wait for the response,
+// pace, repeat until the deadline.
+func runClient(id int, addr string, nodeID ta.NodeID, cfg LoadConfig, deadline time.Time, readRes, writeRes *stats.Reservoir, mu *sync.Mutex) LoadResult {
+	var res LoadResult
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		res.Errors++
+		return res
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	rng := rand.New(rand.NewSource(cfg.Seed*611953 + int64(id)))
+	var pace time.Duration
+	if cfg.Rate > 0 {
+		pace = time.Duration(float64(time.Second) / cfg.Rate)
+	}
+	wseq := 0
+	for time.Now().Before(deadline) {
+		opStart := time.Now()
+		req := wireReq{Op: register.ActRead}
+		if rng.Float64() < cfg.WriteRatio {
+			req = wireReq{Op: register.ActWrite, Val: register.Value{Writer: nodeID, Seq: id*1_000_000 + wseq}}
+			wseq++
+		}
+		if err := enc.Encode(req); err != nil {
+			res.Errors++
+			return res
+		}
+		var resp wireResp
+		if err := dec.Decode(&resp); err != nil {
+			res.Errors++
+			return res
+		}
+		lat, lerr := simtime.FromWall(time.Since(opStart))
+		res.Ops++
+		mu.Lock()
+		if req.Op == register.ActRead {
+			res.Reads++
+			if lerr == nil {
+				readRes.Add(lat)
+			}
+		} else {
+			res.Writes++
+			if lerr == nil {
+				writeRes.Add(lat)
+			}
+		}
+		mu.Unlock()
+		if pace > 0 {
+			if rest := pace - time.Since(opStart); rest > 0 {
+				time.Sleep(rest)
+			}
+		}
+	}
+	return res
+}

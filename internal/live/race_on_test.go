@@ -1,0 +1,10 @@
+//go:build race
+
+package live
+
+// raceScale stretches the live tests' scheduling-slack budget and client
+// think time under the race detector, whose instrumentation slows every
+// goroutine several-fold: the real-time windows the checker sees widen
+// accordingly, and the overlap bound must be re-established at the
+// slower pace.
+const raceScale = 4

@@ -1,0 +1,130 @@
+package live
+
+import (
+	"sync"
+	"time"
+
+	"psclock/internal/exec"
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+// recorder serializes the runtime's observable events into the exec.Sink
+// contract. The simulator gets the contract's ordering for free from its
+// single dispatch loop; here events originate on n node goroutines plus
+// the ingress path, so the recorder's mutex is the serialization point:
+// the real-time stamp is taken under the lock and the event enqueued
+// before it is released, which makes At non-decreasing and Seq strictly
+// increasing across the stream by construction. A single consumer
+// goroutine drains the queue and calls Observe/Flush, satisfying the
+// "never concurrent" clause while keeping sink work — the online
+// checker's frontier search can be bursty — off the node goroutines'
+// critical path. The queue applies backpressure only when monitoring
+// falls an entire buffer behind.
+//
+// Stamps are real elapsed time at the recorder, not node clock readings:
+// linearizability is a real-time property, and the external observer the
+// §6.1 conditions speak of sees invocations and responses when they cross
+// the runtime's boundary. Clock imprecision and timer service latency
+// shift those crossings by at most ε + ℓ, which is exactly the window
+// relaxation (linearize.Options.Widen) the monitoring configuration
+// grants.
+type recorder struct {
+	mu     sync.Mutex
+	epoch  time.Time
+	seq    int
+	last   simtime.Time
+	closed bool
+
+	ch   chan ta.Event
+	done chan struct{}
+
+	// sinks are touched only by the consumer goroutine after newRecorder
+	// returns: register.Monitor and linearize.Online are single-goroutine
+	// objects.
+	sinks []exec.Sink
+}
+
+// flushEvery is how many events pass between low-watermark flushes: often
+// enough to keep the online checkers' windows bounded, rarely enough to
+// stay off the hot path.
+const flushEvery = 128
+
+// recorderDepth is the event queue size: large enough to absorb checker
+// bursts without stalling nodes, small enough to bound memory.
+const recorderDepth = 1 << 16
+
+func newRecorder(epoch time.Time, sinks []exec.Sink) *recorder {
+	r := &recorder{
+		epoch: epoch,
+		sinks: sinks,
+		ch:    make(chan ta.Event, recorderDepth),
+		done:  make(chan struct{}),
+	}
+	go r.run()
+	return r
+}
+
+// record stamps the action with the current real time and enqueues it for
+// the sinks. The stamp is clamped monotone against the previous one:
+// time.Since is monotonic, so the clamp is a no-op in practice, but the
+// sink contract is a hard promise, not a property of the host clock.
+func (r *recorder) record(a ta.Action, src string) ta.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	at, err := simtime.TimeFromWall(time.Since(r.epoch))
+	if err != nil {
+		at = r.last
+	}
+	if at < r.last {
+		at = r.last
+	}
+	r.last = at
+	e := ta.Event{Action: a, At: at, Src: src, Seq: r.seq}
+	r.seq++
+	if !r.closed {
+		// Enqueued under the lock so queue order equals stamp order. The
+		// send blocks only when the consumer is recorderDepth events
+		// behind.
+		r.ch <- e
+	}
+	return e
+}
+
+// run is the consumer goroutine: it alone touches the sinks.
+func (r *recorder) run() {
+	defer close(r.done)
+	var last simtime.Time
+	sinceFlush := 0
+	for e := range r.ch {
+		for _, s := range r.sinks {
+			s.Observe(e)
+		}
+		last = e.At
+		sinceFlush++
+		if sinceFlush >= flushEvery {
+			sinceFlush = 0
+			for _, s := range r.sinks {
+				s.Flush(last)
+			}
+		}
+	}
+	// Final watermark: the channel is closed under the recorder lock, so
+	// no event with an earlier stamp can follow.
+	for _, s := range r.sinks {
+		s.Flush(last)
+	}
+}
+
+// flush stops the consumer and waits for it to drain every recorded event
+// and advance the sinks' low-watermark. Events recorded afterwards are
+// stamped but not observed. Called once at shutdown.
+func (r *recorder) flush() {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		close(r.ch)
+	}
+	r.mu.Unlock()
+	<-r.done
+}

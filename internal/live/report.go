@@ -1,0 +1,69 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Report is the machine-readable outcome of a pscserve run: the `live`
+// section of BENCH_results.json. It records what was configured, what was
+// measured (ε, timer lateness, delay bounds — the live counterparts of the
+// simulator's assumptions), the load generator's throughput and latency
+// percentiles, and the online linearizability verdict that gates the run.
+type Report struct {
+	Nodes     int    `json:"nodes"`
+	Clients   int    `json:"clients"`
+	Clock     string `json:"clock"`
+	Transport string `json:"transport"`
+	Seed      int64  `json:"seed"`
+
+	DurationMS float64 `json:"duration_ms"`
+	Ops        int     `json:"ops"`
+	Reads      int     `json:"reads"`
+	Writes     int     `json:"writes"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+
+	ReadP50US  float64 `json:"read_p50_us"`
+	ReadP99US  float64 `json:"read_p99_us"`
+	WriteP50US float64 `json:"write_p50_us"`
+	WriteP99US float64 `json:"write_p99_us"`
+
+	EpsConfigUS   float64 `json:"eps_config_us"`
+	EpsMeasuredUS float64 `json:"eps_measured_us"`
+	EllConfigUS   float64 `json:"ell_config_us"`
+	TimerLateUS   float64 `json:"timer_late_us"`
+	D1ConfigUS    float64 `json:"d1_config_us"`
+	D2ConfigUS    float64 `json:"d2_config_us"`
+	DelayMinUS    float64 `json:"delay_min_us"`
+	DelayMaxUS    float64 `json:"delay_max_us"`
+
+	Messages        int `json:"messages"`
+	Held            int `json:"held"`
+	DelayViolations int `json:"delay_violations"`
+
+	// Violations counts online linearizability check failures (sticky: 0
+	// or 1 per check); CheckStates is the online checker's search size.
+	Violations  int  `json:"violations"`
+	CheckStates int  `json:"check_states"`
+	Pass        bool `json:"pass"`
+}
+
+// MergeIntoBenchFile writes r as the "live" section of the JSON report at
+// path, preserving every other section (pscbench owns the rest of the
+// file). A missing or empty file yields a report with only the live
+// section.
+func MergeIntoBenchFile(path string, r *Report) error {
+	doc := map[string]any{}
+	if buf, err := os.ReadFile(path); err == nil && len(buf) > 0 {
+		if err := json.Unmarshal(buf, &doc); err != nil {
+			return fmt.Errorf("live: %s: %w", path, err)
+		}
+	}
+	doc["live"] = r
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

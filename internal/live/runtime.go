@@ -1,0 +1,466 @@
+package live
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"psclock/internal/clock"
+	"psclock/internal/core"
+	"psclock/internal/exec"
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+// Options configures a live runtime.
+type Options struct {
+	// N is the number of nodes; the graph is the complete directed graph
+	// including self-loops, matching the simulator's default (the register
+	// algorithms broadcast to themselves).
+	N int
+	// Bounds is the designed link delay interval [d1, d2]. The transport
+	// is loopback, so d2 is a budget, not a guarantee: deliveries are held
+	// until d1 (enforcement of the lower bound) and counted as violations
+	// past d2 (the upper bound can only be measured). Zero means [0, ∞).
+	Bounds simtime.Interval
+	// Ell is the timer-service budget ℓ: the runtime services timers with
+	// real goroutine wakeups, so a deadline may be observed up to
+	// scheduling latency late — the live analogue of the MMT boundmap
+	// [0, ℓ]. The measured maximum lateness is reported so monitoring can
+	// check the budget held. Zero means "don't care" (report-only).
+	Ell simtime.Duration
+	// Clocks supplies each node's clock model; defaults to perfect clocks.
+	// The runtime wraps each model in a ModelClock anchored at its epoch.
+	Clocks clock.Factory
+	// Transport moves frames; defaults to an in-process ChanTransport.
+	Transport Transport
+	// InboxDepth is each node's queue depth (≤ 0 selects the default).
+	InboxDepth int
+}
+
+// Measured is what the runtime observed over a run: the quantities the
+// simulator gets to assume and the live world has to measure.
+type Measured struct {
+	// Eps is the largest |clock − real| any node's clock served: the
+	// measured ε bound.
+	Eps simtime.Duration
+	// TimerLate is the largest timer service lateness observed: the
+	// measured ℓ.
+	TimerLate simtime.Duration
+	// DelayMin and DelayMax bound the observed per-message delays: the
+	// effective [d1, d2] of the live links.
+	DelayMin, DelayMax simtime.Duration
+	// DelayViolations counts messages delivered later than Bounds.Hi.
+	DelayViolations int
+	// Messages counts frames sent; Held counts deliveries the receive
+	// buffer R_ji,ε postponed because the tag was ahead of the local clock.
+	Messages, Held int
+}
+
+// Runtime hosts N copies of a core.Algorithm on wall-clock time: one
+// goroutine per node owning the algorithm instance, its clock, and its
+// timer queue (the same core.TimerQueue the simulator's engine drains, so
+// timers fire in the same (deadline, registration) order in both worlds).
+// Messages are tagged with the sender's clock and held at the receiver
+// until its clock reaches the tag — the send/receive buffers S_ij,ε and
+// R_ji,ε of Figure 2, realized on real time.
+type Runtime struct {
+	opts    Options
+	factory core.AlgorithmFactory
+
+	sinks    []exec.Sink
+	onOutput func(node ta.NodeID, name string, payload any)
+
+	epoch     time.Time
+	rec       *recorder
+	nodes     []*node
+	transport Transport
+	stop      chan struct{}
+	wg        sync.WaitGroup
+
+	mu       sync.Mutex
+	started  bool
+	stopped  bool
+	measured Measured
+
+	msgs       atomic.Int64
+	held       atomic.Int64
+	delayMin   atomic.Int64
+	delayMax   atomic.Int64
+	delayViols atomic.Int64
+	timerLate  atomic.Int64
+}
+
+// New validates the options and returns an unstarted runtime.
+func New(opts Options, f core.AlgorithmFactory) (*Runtime, error) {
+	if opts.N < 1 {
+		return nil, fmt.Errorf("live: need at least one node, got %d", opts.N)
+	}
+	if opts.Clocks == nil {
+		opts.Clocks = clock.PerfectFactory()
+	}
+	if opts.Transport == nil {
+		opts.Transport = NewChanTransport(0)
+	}
+	if opts.InboxDepth <= 0 {
+		opts.InboxDepth = 4096
+	}
+	if opts.Bounds == (simtime.Interval{}) {
+		opts.Bounds = simtime.Interval{Lo: 0, Hi: simtime.Forever}
+	}
+	rt := &Runtime{
+		opts:      opts,
+		factory:   f,
+		transport: opts.Transport,
+		stop:      make(chan struct{}),
+	}
+	rt.delayMin.Store(math.MaxInt64)
+	return rt, nil
+}
+
+// AddSink registers an exec.Sink over the runtime's observable event
+// stream (environment invocations and responses, with the message
+// interface hidden — the same projection the simulator's sinks see).
+// Must be called before Start.
+func (rt *Runtime) AddSink(s exec.Sink) { rt.sinks = append(rt.sinks, s) }
+
+// OnOutput registers a callback invoked after each environment response is
+// recorded, from the emitting node's goroutine. The callback must not
+// block and must not synchronously re-enter Invoke for the same node (hand
+// the response to another goroutine; see Server and LoadGen). Must be
+// called before Start.
+func (rt *Runtime) OnOutput(fn func(node ta.NodeID, name string, payload any)) {
+	rt.onOutput = fn
+}
+
+// Start anchors the epoch, builds the per-node clocks and algorithm
+// instances, and launches the node loops.
+func (rt *Runtime) Start() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.started {
+		return fmt.Errorf("live: runtime already started")
+	}
+	rt.started = true
+	rt.epoch = time.Now()
+	rt.rec = newRecorder(rt.epoch, rt.sinks)
+	rt.nodes = make([]*node, rt.opts.N)
+	for i := 0; i < rt.opts.N; i++ {
+		rt.nodes[i] = &node{
+			id:    ta.NodeID(i),
+			rt:    rt,
+			alg:   rt.factory(ta.NodeID(i), rt.opts.N),
+			clk:   NewModelClock(rt.opts.Clocks(i), rt.epoch),
+			inbox: make(chan nodeMsg, rt.opts.InboxDepth),
+		}
+	}
+	if err := rt.transport.Start(rt.deliverFrame); err != nil {
+		return fmt.Errorf("live: transport start: %w", err)
+	}
+	for _, n := range rt.nodes {
+		rt.wg.Add(1)
+		go n.loop()
+	}
+	return nil
+}
+
+// Invoke injects an environment invocation at the given node, recording it
+// at ingress — the instant the external observer of the §6.1 conditions
+// sees it. Safe for concurrent use.
+func (rt *Runtime) Invoke(nodeID ta.NodeID, name string, payload any) error {
+	if int(nodeID) < 0 || int(nodeID) >= len(rt.nodes) {
+		return fmt.Errorf("live: invoke at unknown node %v", nodeID)
+	}
+	select {
+	case <-rt.stop:
+		return fmt.Errorf("live: runtime stopped")
+	default:
+	}
+	rt.rec.record(ta.Action{
+		Name: name, Node: nodeID, Peer: ta.NoNode,
+		Kind: ta.KindInput, Payload: payload,
+	}, "env")
+	select {
+	case rt.nodes[nodeID].inbox <- nodeMsg{invName: name, invPayload: payload, inv: true}:
+		return nil
+	case <-rt.stop:
+		return fmt.Errorf("live: runtime stopped")
+	}
+}
+
+// Clock returns node i's live clock (for tests and reports).
+func (rt *Runtime) Clock(i int) Clock { return rt.nodes[i].clk }
+
+// Stop shuts the runtime down — node loops, then transport, then a final
+// sink flush — and returns the measured bounds. Idempotent.
+func (rt *Runtime) Stop() Measured {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if !rt.started || rt.stopped {
+		return rt.measured
+	}
+	rt.stopped = true
+	close(rt.stop)
+	rt.wg.Wait()
+	rt.transport.Close()
+	rt.rec.flush()
+
+	m := Measured{
+		TimerLate:       simtime.Duration(rt.timerLate.Load()),
+		DelayMax:        simtime.Duration(rt.delayMax.Load()),
+		DelayViolations: int(rt.delayViols.Load()),
+		Messages:        int(rt.msgs.Load()),
+		Held:            int(rt.held.Load()),
+	}
+	if lo := rt.delayMin.Load(); lo != math.MaxInt64 {
+		m.DelayMin = simtime.Duration(lo)
+	}
+	for _, n := range rt.nodes {
+		if b := n.clk.OffsetBound(); b > m.Eps {
+			m.Eps = b
+		}
+	}
+	rt.measured = m
+	return m
+}
+
+// elapsed returns real time since the epoch as a simulated instant.
+func (rt *Runtime) elapsed() simtime.Time {
+	t, err := simtime.TimeFromWall(time.Since(rt.epoch))
+	if err != nil {
+		return simtime.Zero
+	}
+	return t
+}
+
+// deliverFrame is the transport's delivery callback: enforce the designed
+// lower delay bound d1 (loopback is faster than any designed network), then
+// measure and enqueue. Safe for concurrent use.
+func (rt *Runtime) deliverFrame(f Frame) {
+	if lo := rt.opts.Bounds.Lo; lo > 0 {
+		if raw := rt.elapsed().Sub(f.SentReal); raw < lo {
+			if wait, err := simtime.ToWall(lo - raw); err == nil && wait > 0 {
+				time.AfterFunc(wait, func() { rt.enqueueFrame(f) })
+				return
+			}
+		}
+	}
+	rt.enqueueFrame(f)
+}
+
+// enqueueFrame records the delay the receiver actually experiences and
+// hands the frame to the destination's loop.
+func (rt *Runtime) enqueueFrame(f Frame) {
+	if int(f.To) < 0 || int(f.To) >= len(rt.nodes) {
+		return
+	}
+	d := rt.elapsed().Sub(f.SentReal)
+	atomicMin(&rt.delayMin, int64(d))
+	atomicMax(&rt.delayMax, int64(d))
+	if hi := rt.opts.Bounds.Hi; hi != simtime.Forever && d > hi {
+		rt.delayViols.Add(1)
+	}
+	select {
+	case rt.nodes[f.To].inbox <- nodeMsg{frame: f}:
+	case <-rt.stop:
+		// Shutdown: the receiver's loop has exited; the frame is dropped,
+		// which only a stopping run produces.
+	}
+}
+
+func atomicMin(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v >= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// nodeMsg is one inbox entry: a network frame or an environment invocation.
+type nodeMsg struct {
+	frame      Frame
+	inv        bool
+	invName    string
+	invPayload any
+}
+
+// heldFrame is the timer key the receive buffer R_ji,ε uses to postpone a
+// delivery until the local clock reaches the sender's tag. It is node-
+// internal: the loop intercepts it before OnTimer, so algorithm keys and
+// hold keys share the queue without colliding.
+type heldFrame struct{ f Frame }
+
+// node is one live node: algorithm, clock, timer queue, inbox, and the
+// core.Context the algorithm sees during callbacks. All fields are owned
+// by the node's goroutine after Start.
+type node struct {
+	id    ta.NodeID
+	rt    *Runtime
+	alg   core.Algorithm
+	clk   Clock
+	inbox chan nodeMsg
+
+	timers core.TimerQueue
+
+	// last keeps the algorithm's observed time monotone, exactly like the
+	// simulator engine's high-water mark: a timer serviced late still
+	// observes its scheduled deadline, but never earlier than a previously
+	// observed instant.
+	last simtime.Time
+	now  simtime.Time
+}
+
+var _ core.Context = (*node)(nil)
+
+func (n *node) loop() {
+	defer n.rt.wg.Done()
+	n.callback(n.clk.Now(), func() { n.alg.Start(n) })
+	for {
+		n.fireDue()
+		var timerC <-chan time.Time
+		var tm *time.Timer
+		if at, ok := n.timers.Next(); ok {
+			wait := n.clk.WaitUntil(at)
+			if wait <= 0 {
+				// Became due between fireDue and here; fire it.
+				continue
+			}
+			tm = time.NewTimer(wait)
+			timerC = tm.C
+		}
+		select {
+		case m := <-n.inbox:
+			n.handle(m)
+		case <-timerC:
+			// fireDue at the top of the loop services it.
+		case <-n.rt.stop:
+			if tm != nil {
+				tm.Stop()
+			}
+			return
+		}
+		if tm != nil {
+			tm.Stop()
+		}
+	}
+}
+
+// fireDue services, in (deadline, registration) order, every queue entry
+// whose deadline the local clock has reached. Callbacks observe Time()
+// equal to their scheduled deadline clamped monotone — the same semantics
+// as the simulator engine's advance (and Definition 5.1's catch-up): the
+// action happened at its scheduled clock value even when the goroutine
+// woke late, and the tags on any messages it sends must say so.
+func (n *node) fireDue() {
+	for {
+		at, ok := n.timers.Next()
+		if !ok {
+			return
+		}
+		nowClk := n.clk.Now()
+		if at.After(nowClk) {
+			return
+		}
+		entry := n.timers.Pop()
+		if late := nowClk.Sub(entry.At); late > 0 {
+			atomicMax(&n.rt.timerLate, int64(late))
+		}
+		if hf, ok := entry.Key.(heldFrame); ok {
+			n.callback(entry.At, func() { n.alg.OnMessage(n, hf.f.From, hf.f.Body) })
+			continue
+		}
+		n.callback(entry.At, func() { n.alg.OnTimer(n, entry.Key) })
+	}
+}
+
+func (n *node) handle(m nodeMsg) {
+	if m.inv {
+		n.callback(n.clk.Now(), func() { n.alg.OnInput(n, m.invName, m.invPayload) })
+		return
+	}
+	f := m.frame
+	c := n.clk.Now()
+	if f.SentClock.After(c) {
+		// Receive buffer R_ji,ε: the tag is ahead of the local clock; hold
+		// the delivery until the clock reaches it.
+		n.timers.Push(f.SentClock, heldFrame{f: f})
+		n.rt.held.Add(1)
+		return
+	}
+	n.callback(c, func() { n.alg.OnMessage(n, f.From, f.Body) })
+}
+
+// callback runs fn with the context's clock set to t clamped monotone.
+func (n *node) callback(t simtime.Time, fn func()) {
+	if t.Before(n.last) {
+		t = n.last
+	}
+	n.last = t
+	n.now = t
+	fn()
+}
+
+// core.Context implementation — valid only during callbacks, like the
+// simulator engine's.
+
+func (n *node) Time() simtime.Time { return n.now }
+func (n *node) ID() ta.NodeID      { return n.id }
+func (n *node) N() int             { return n.rt.opts.N }
+
+func (n *node) Neighbors() []ta.NodeID {
+	out := make([]ta.NodeID, n.rt.opts.N)
+	for i := range out {
+		out[i] = ta.NodeID(i)
+	}
+	return out
+}
+
+func (n *node) Send(to ta.NodeID, body any) {
+	if int(to) < 0 || int(to) >= n.rt.opts.N {
+		panic(fmt.Sprintf("live: node %v sent to %v with no edge e_{%v,%v} (§3.1 signature restriction)", n.id, to, n.id, to))
+	}
+	f := Frame{
+		From:      n.id,
+		To:        to,
+		SentClock: n.now,
+		SentReal:  n.rt.elapsed(),
+		Body:      body,
+	}
+	n.rt.msgs.Add(1)
+	// Send errors surface only at shutdown (closed transport) or under
+	// overload (full outbound queue); either way the message is lost,
+	// matching a crashed link — the monitor will say so if it matters.
+	_ = n.rt.transport.Send(f)
+}
+
+func (n *node) Broadcast(body any) {
+	for j := 0; j < n.rt.opts.N; j++ {
+		n.Send(ta.NodeID(j), body)
+	}
+}
+
+func (n *node) Output(name string, payload any) {
+	n.rt.rec.record(ta.Action{
+		Name: name, Node: n.id, Peer: ta.NoNode,
+		Kind: ta.KindOutput, Payload: payload,
+	}, fmt.Sprintf("live(%v)", n.id))
+	if n.rt.onOutput != nil {
+		n.rt.onOutput(n.id, name, payload)
+	}
+}
+
+func (n *node) SetTimer(at simtime.Time, key any) {
+	n.timers.Push(at, key)
+}

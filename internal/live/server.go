@@ -1,0 +1,181 @@
+package live
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"psclock/internal/register"
+	"psclock/internal/ta"
+)
+
+// wireReq is one client request to the register server.
+type wireReq struct {
+	// Op is register.ActRead or register.ActWrite.
+	Op  string
+	Val register.Value // the written value; ignored for reads
+}
+
+// wireResp is the server's answer: RETURN with the read value, or ACK.
+type wireResp struct {
+	Op  string
+	Val register.Value
+}
+
+// Server exposes the live register over TCP: one listener per node, a gob
+// stream of wireReq/wireResp per connection. A per-node token serializes
+// requests so every node sees at most one outstanding operation — the
+// alternation condition of §6.1, which the monitor checks and the online
+// checker's windows rely on. Multiple connections to one node are
+// accepted; their requests queue on the token.
+type Server struct {
+	rt    *Runtime
+	lns   []net.Listener
+	addrs []string
+	resp  []chan wireResp
+	token []chan struct{}
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewServer opens one loopback listener per node and registers the
+// response dispatch on rt. Must be called before rt.Start (it installs
+// the runtime's OnOutput hook).
+func NewServer(rt *Runtime) (*Server, error) {
+	n := rt.opts.N
+	s := &Server{
+		rt:    rt,
+		lns:   make([]net.Listener, n),
+		addrs: make([]string, n),
+		resp:  make([]chan wireResp, n),
+		token: make([]chan struct{}, n),
+		done:  make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("live: server listen for node %d: %w", i, err)
+		}
+		s.lns[i] = ln
+		s.addrs[i] = ln.Addr().String()
+		s.resp[i] = make(chan wireResp, 1)
+		s.token[i] = make(chan struct{}, 1)
+		s.token[i] <- struct{}{}
+	}
+	rt.OnOutput(s.dispatch)
+	return s, nil
+}
+
+// Addrs returns the per-node client-facing addresses.
+func (s *Server) Addrs() []string {
+	out := make([]string, len(s.addrs))
+	copy(out, s.addrs)
+	return out
+}
+
+// dispatch routes register responses to the waiting connection handler.
+// It runs on the emitting node's goroutine and must not block: the
+// response channel has capacity one and the node's token guarantees one
+// outstanding operation, so the buffered send always succeeds.
+func (s *Server) dispatch(nodeID ta.NodeID, name string, payload any) {
+	if name != register.ActReturn && name != register.ActAck {
+		return
+	}
+	r := wireResp{Op: name}
+	if v, ok := payload.(register.Value); ok {
+		r.Val = v
+	}
+	select {
+	case s.resp[nodeID] <- r:
+	default:
+		// No waiter (a direct Invoke bypassed the server); drop.
+	}
+}
+
+// Start begins accepting client connections. Call after rt.Start.
+func (s *Server) Start() {
+	for i, ln := range s.lns {
+		i, ln := i, ln
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				s.wg.Add(1)
+				go func() {
+					defer s.wg.Done()
+					defer conn.Close()
+					s.serve(ta.NodeID(i), conn)
+				}()
+			}
+		}()
+	}
+}
+
+// serve handles one client connection against one node.
+func (s *Server) serve(nodeID ta.NodeID, conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req wireReq
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		if req.Op != register.ActRead && req.Op != register.ActWrite {
+			return
+		}
+		select {
+		case <-s.token[nodeID]:
+		case <-s.done:
+			return
+		}
+		var payload any
+		if req.Op == register.ActWrite {
+			payload = req.Val
+		}
+		if err := s.rt.Invoke(nodeID, req.Op, payload); err != nil {
+			s.token[nodeID] <- struct{}{}
+			return
+		}
+		var resp wireResp
+		select {
+		case resp = <-s.resp[nodeID]:
+		case <-s.done:
+			s.token[nodeID] <- struct{}{}
+			return
+		}
+		s.token[nodeID] <- struct{}{}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting and unblocks every in-flight handler. Call before
+// rt.Stop so handlers are not left waiting on responses that will never
+// be recorded.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.done)
+	s.mu.Unlock()
+	for _, ln := range s.lns {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	s.wg.Wait()
+}

@@ -1,0 +1,227 @@
+package live
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"psclock/internal/ta"
+)
+
+// TCPTransport carries frames over loopback TCP: one listener per node,
+// lazily dialed full-mesh connections, and a length-prefixed gob wire
+// format (4-byte big-endian frame length, then the gob-encoded Frame).
+// Each frame is encoded with a fresh gob stream so frames are
+// self-contained on the wire; message bodies cross as interface values,
+// which is why the algorithm packages register their body types
+// (register/wire.go, detector/wire.go).
+//
+// Sends never block on the socket: each peer connection has a writer
+// goroutine fed by a buffered queue, so a node's callback returns
+// immediately and TCP backpressure cannot deadlock the node loops.
+type TCPTransport struct {
+	addrs []string
+	lns   []net.Listener
+
+	mu      sync.Mutex
+	peers   map[ta.NodeID]*tcpPeer
+	deliver func(Frame)
+	closed  bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type tcpPeer struct {
+	ch chan Frame
+}
+
+// tcpQueueDepth bounds each peer connection's outbound queue. Closed-loop
+// workloads keep at most a few frames per link in flight; the depth only
+// matters as a safety margin before Send starts reporting overload.
+const tcpQueueDepth = 4096
+
+var _ Transport = (*TCPTransport)(nil)
+
+// NewTCPTransport opens n loopback listeners on ephemeral ports, one per
+// node, and returns the transport. Addrs exposes the listen addresses.
+func NewTCPTransport(n int) (*TCPTransport, error) {
+	t := &TCPTransport{
+		addrs: make([]string, n),
+		lns:   make([]net.Listener, n),
+		peers: make(map[ta.NodeID]*tcpPeer, n),
+		done:  make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("live: listen for node %d: %w", i, err)
+		}
+		t.lns[i] = ln
+		t.addrs[i] = ln.Addr().String()
+	}
+	return t, nil
+}
+
+// Addrs returns the per-node listen addresses.
+func (t *TCPTransport) Addrs() []string {
+	out := make([]string, len(t.addrs))
+	copy(out, t.addrs)
+	return out
+}
+
+// Start implements Transport: begin accepting inbound connections and
+// decoding frames to the delivery callback.
+func (t *TCPTransport) Start(deliver func(Frame)) error {
+	t.mu.Lock()
+	t.deliver = deliver
+	t.mu.Unlock()
+	for _, ln := range t.lns {
+		ln := ln
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return // listener closed
+				}
+				t.wg.Add(1)
+				go func() {
+					defer t.wg.Done()
+					defer conn.Close()
+					t.readLoop(conn, deliver)
+				}()
+			}
+		}()
+	}
+	return nil
+}
+
+// readLoop decodes length-prefixed frames off one connection until EOF or
+// shutdown.
+func (t *TCPTransport) readLoop(conn net.Conn, deliver func(Frame)) {
+	var hdr [4]byte
+	buf := make([]byte, 0, 512)
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > 1<<24 {
+			return // corrupt length; frames are small
+		}
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		var f Frame
+		if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&f); err != nil {
+			return
+		}
+		select {
+		case <-t.done:
+			return
+		default:
+		}
+		deliver(f)
+	}
+}
+
+// Send implements Transport: enqueue the frame on the destination's writer.
+func (t *TCPTransport) Send(f Frame) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("live: send on closed transport")
+	}
+	p, ok := t.peers[f.To]
+	if !ok {
+		if int(f.To) < 0 || int(f.To) >= len(t.addrs) {
+			t.mu.Unlock()
+			return fmt.Errorf("live: send to unknown node %v", f.To)
+		}
+		p = &tcpPeer{ch: make(chan Frame, tcpQueueDepth)}
+		t.peers[f.To] = p
+		addr := t.addrs[f.To]
+		t.wg.Add(1)
+		go t.writeLoop(p, addr)
+	}
+	t.mu.Unlock()
+	select {
+	case p.ch <- f:
+		return nil
+	case <-t.done:
+		return fmt.Errorf("live: send on closing transport")
+	default:
+		return fmt.Errorf("live: outbound queue to node %v full", f.To)
+	}
+}
+
+// writeLoop dials the peer and encodes queued frames until shutdown.
+func (t *TCPTransport) writeLoop(p *tcpPeer, addr string) {
+	defer t.wg.Done()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		// Drain so senders keep making progress; every frame is lost,
+		// which shutdown and only shutdown should produce.
+		for {
+			select {
+			case <-p.ch:
+			case <-t.done:
+				return
+			}
+		}
+	}
+	defer conn.Close()
+	var buf bytes.Buffer
+	var hdr [4]byte
+	for {
+		select {
+		case f := <-p.ch:
+			buf.Reset()
+			if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+				continue
+			}
+			binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+			if _, err := conn.Write(hdr[:]); err != nil {
+				return
+			}
+			if _, err := conn.Write(buf.Bytes()); err != nil {
+				return
+			}
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	close(t.done)
+	t.mu.Unlock()
+	for _, ln := range t.lns {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	t.wg.Wait()
+	return nil
+}
+
+// Name implements Transport.
+func (t *TCPTransport) Name() string { return "tcp" }

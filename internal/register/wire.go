@@ -1,0 +1,12 @@
+package register
+
+import "encoding/gob"
+
+// The live runtime's TCP transport gob-encodes message bodies as interface
+// values, which requires the concrete types to be registered. updateMsg is
+// unexported but its fields are exported, which is all gob needs; the
+// registered name keys on the package path, so it stays stable.
+func init() {
+	gob.Register(updateMsg{})
+	gob.Register(Value{})
+}

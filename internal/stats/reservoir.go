@@ -1,0 +1,51 @@
+package stats
+
+import (
+	"math/rand"
+
+	"psclock/internal/simtime"
+)
+
+// Reservoir is a seeded uniform reservoir sampler (Vitter's Algorithm R)
+// over durations: order statistics for unboundedly long runs in O(k)
+// memory. The live load generator uses it for latency percentiles — a
+// multi-hour pscserve run must not retain one duration per operation.
+// Not safe for concurrent use; callers serialize.
+type Reservoir struct {
+	sample []simtime.Duration
+	k      int
+	n      int
+	rng    *rand.Rand
+}
+
+// NewReservoir returns a reservoir keeping a uniform sample of size k
+// (k ≥ 1), seeded deterministically.
+func NewReservoir(k int, seed int64) *Reservoir {
+	if k < 1 {
+		k = 1
+	}
+	return &Reservoir{sample: make([]simtime.Duration, 0, k), k: k, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add folds one duration into the sample.
+func (r *Reservoir) Add(d simtime.Duration) {
+	r.n++
+	if len(r.sample) < r.k {
+		r.sample = append(r.sample, d)
+		return
+	}
+	if j := r.rng.Intn(r.n); j < r.k {
+		r.sample[j] = d
+	}
+}
+
+// N returns how many durations have been observed overall.
+func (r *Reservoir) N() int { return r.n }
+
+// Summary summarizes the sample; N reports the total observation count,
+// and the order statistics are estimates once N exceeds the sample size.
+func (r *Reservoir) Summary() Summary {
+	s := Summarize(r.sample)
+	s.N = r.n
+	return s
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"testing"
+
+	"psclock/internal/simtime"
+)
+
+func TestReservoirBelowCapacityIsExact(t *testing.T) {
+	r := NewReservoir(16, 1)
+	for i := 1; i <= 10; i++ {
+		r.Add(simtime.Duration(i) * simtime.Millisecond)
+	}
+	s := r.Summary()
+	if s.N != 10 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Min != simtime.Millisecond || s.Max != 10*simtime.Millisecond {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	// Summarize uses nearest-rank rounding: index int(0.5*9 + 0.5) = 5.
+	if s.P50 != 6*simtime.Millisecond {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+}
+
+func TestReservoirBoundedAndDeterministic(t *testing.T) {
+	const k, n = 64, 10_000
+	a, b := NewReservoir(k, 7), NewReservoir(k, 7)
+	for i := 0; i < n; i++ {
+		d := simtime.Duration(i) * simtime.Microsecond
+		a.Add(d)
+		b.Add(d)
+	}
+	if a.N() != n {
+		t.Fatalf("N = %d", a.N())
+	}
+	if len(a.sample) != k {
+		t.Fatalf("sample grew to %d, want %d", len(a.sample), k)
+	}
+	sa, sb := a.Summary(), b.Summary()
+	if sa != sb {
+		t.Fatalf("same seed, different summaries: %v vs %v", sa, sb)
+	}
+	if sa.N != n {
+		t.Fatalf("summary N = %d, want total %d", sa.N, n)
+	}
+	// A uniform sample of 0..10ms should have a median within a few ms of
+	// the true one; this is a sanity bound, not a statistical test.
+	mid := 5 * simtime.Millisecond
+	if sa.P50 < mid/2 || sa.P50 > mid*3/2 {
+		t.Fatalf("p50 = %v implausible for uniform 0..10ms", sa.P50)
+	}
+}
+
+func TestReservoirDegenerateK(t *testing.T) {
+	r := NewReservoir(0, 1)
+	r.Add(simtime.Millisecond)
+	r.Add(2 * simtime.Millisecond)
+	if r.N() != 2 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if len(r.sample) != 1 {
+		t.Fatalf("k<1 not clamped: %d", len(r.sample))
+	}
+}
