@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 tier2 bench microbench json compare stream-bench live-smoke live-bench
+.PHONY: all build test tier1 tier2 bench microbench json compare stream-bench stream-shard-bench live-smoke live-bench
 
 all: tier1
 
@@ -21,21 +21,29 @@ tier2:
 	$(GO) test -race ./...
 
 # Regenerate BENCH_results.json: per-experiment wall time, pass/fail,
-# E10's executor ops/sec and memory metrics, and the long-horizon
-# streaming pipeline section (-stream).
+# E10's executor ops/sec and memory metrics, the long-horizon streaming
+# pipeline section (-stream), and the checker-throughput sub-sections
+# (sequential vs 4-way sharded vs ε-approximate verification).
 json:
-	$(GO) run ./cmd/pscbench -json -stream
+	$(GO) run ./cmd/pscbench -json -stream -checkshards 4 -approx
 
 # Regression gate: rerun all experiments and diff wall time, ops/sec, and
 # memory (peak heap, allocs/op — gated upward) against the committed
 # BENCH_results.json; exits nonzero past 20% in the regressing direction.
 compare:
-	$(GO) run ./cmd/pscbench -compare BENCH_results.json -stream
+	$(GO) run ./cmd/pscbench -compare BENCH_results.json -stream -checkshards 4 -approx
 
 # Long-horizon streaming pipeline measurement alone: 10^6 operations
 # verified online in O(window) memory, peak heap and allocs/op printed.
 stream-bench:
 	$(GO) run ./cmd/pscbench -stream -run E10
+
+# Checker-throughput comparison: capture one multi-register command
+# stream, replay it through the sequential, 4-way sharded, and
+# ε-approximate checkers, gating verdict equality always and the 4x
+# speedup whenever GOMAXPROCS and the op count make it meaningful.
+stream-shard-bench:
+	$(GO) run ./cmd/pscbench -stream -checkshards 4 -approx -run E10
 
 # Experiment-level benchmarks (E1–E16 plus substrate micro-benchmarks).
 bench:

@@ -155,12 +155,17 @@ func regressed(k string, old, cur, tol float64) bool {
 
 // compareStream diffs the -stream sections of two reports: streaming peak
 // heap or allocs/op growing beyond tol is a regression — the memory
-// profile is the whole point of the streaming pipeline. Reports without
-// matching sections only warn, like mismatched settings.
+// profile is the whole point of the streaming pipeline. A baseline
+// section the candidate run dropped is a regression (a silently vanished
+// section is indistinguishable from a gate that stopped running); a
+// section only the candidate has is merely new coverage.
 func compareStream(old, cur jsonReport, tol float64) []string {
 	if old.Stream == nil || cur.Stream == nil {
-		if old.Stream != nil || cur.Stream != nil {
-			fmt.Fprintln(os.Stderr, "pscbench: warning: only one report has a -stream section; streaming memory deltas not compared")
+		if old.Stream != nil {
+			return []string{"stream: baseline has a -stream section but the new report omits it (run with -stream to compare)"}
+		}
+		if cur.Stream != nil {
+			fmt.Fprintln(os.Stderr, "pscbench: note: -stream section is new in this report; no baseline to compare")
 		}
 		return nil
 	}
@@ -182,6 +187,48 @@ func compareStream(old, cur jsonReport, tol float64) []string {
 	row("ops_per_sec", o.OpsPerSec, n.OpsPerSec, false)
 	row("peak_heap_bytes", o.PeakHeapBytes, n.PeakHeapBytes, true)
 	row("allocs_per_op", o.AllocsPerOp, n.AllocsPerOp, true)
+	regressions = append(regressions, compareStreamCheck("check_seq", o.CheckSeq, n.CheckSeq, tol)...)
+	regressions = append(regressions, compareStreamCheck("check_sharded", o.CheckSharded, n.CheckSharded, tol)...)
+	regressions = append(regressions, compareStreamCheck("check_approx", o.CheckApprox, n.CheckApprox, tol)...)
+	return regressions
+}
+
+// compareStreamCheck diffs one checker-throughput sub-section: ops/s
+// gates downward, peak heap upward, and a sub-section that stopped
+// passing — or vanished from the candidate while the baseline has it — is
+// a regression. Sub-sections from different configurations (shard count,
+// ε, register count, op count) only warn: the delta would measure the
+// configuration change.
+func compareStreamCheck(name string, o, n *jsonStreamCheck, tol float64) []string {
+	if o == nil || n == nil {
+		if o != nil {
+			return []string{fmt.Sprintf("stream %s: baseline has this sub-section but the new report omits it", name)}
+		}
+		if n != nil {
+			fmt.Fprintf(os.Stderr, "pscbench: note: stream %s sub-section is new in this report; no baseline to compare\n", name)
+		}
+		return nil
+	}
+	if o.Shards != n.Shards || o.ApproxEpsUS != n.ApproxEpsUS || o.Registers != n.Registers || o.Ops != n.Ops {
+		fmt.Fprintf(os.Stderr, "pscbench: warning: stream %s sub-sections ran different configurations (%d shards/ε=%.0fus/%d regs/%d ops vs %d/%.0f/%d/%d); deltas not compared\n",
+			name, o.Shards, o.ApproxEpsUS, o.Registers, o.Ops, n.Shards, n.ApproxEpsUS, n.Registers, n.Ops)
+		return nil
+	}
+	var regressions []string
+	row := func(metric string, ov, nv float64, gate bool) {
+		mark := ""
+		if gate && ov > 0 && regressed(metric, ov, nv, tol) {
+			mark = "  REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("stream %s %s: %.0f -> %.0f (%+.0f%%, tolerance %.0f%%)", name, metric, ov, nv, pct(ov, nv), tol*100))
+		}
+		fmt.Printf("%-5s %-28s %10.0f %10.0f %+7.0f%%%s\n", "strm", name+"."+metric, ov, nv, pct(ov, nv), mark)
+	}
+	row("ops_per_sec", o.OpsPerSec, n.OpsPerSec, true)
+	row("peak_heap_bytes", o.PeakHeapBytes, n.PeakHeapBytes, true)
+	if o.Pass && !n.Pass {
+		regressions = append(regressions, fmt.Sprintf("stream %s: previously passed its gates, new run did not", name))
+	}
 	return regressions
 }
 
@@ -191,11 +238,17 @@ func compareStream(old, cur jsonReport, tol float64) []string {
 // passing its online check is always a regression. Sections from
 // different configurations (topology, clock or transport adversary, or
 // load shape) only warn, like mismatched settings: the delta would
-// measure the configuration change.
+// measure the configuration change. A missing candidate section is only
+// a note here, unlike the stream sub-sections: pscbench cannot produce
+// live results itself (pscserve -json refreshes them), so every compare
+// run would otherwise fail.
 func compareLive(old, cur jsonReport, tol float64) []string {
 	if old.Live == nil || cur.Live == nil {
-		if old.Live != nil || cur.Live != nil {
-			fmt.Fprintln(os.Stderr, "pscbench: warning: only one report has a live section; live deltas not compared")
+		if old.Live != nil {
+			fmt.Fprintln(os.Stderr, "pscbench: note: baseline has a live section; this run has none to compare (pscserve -json refreshes it)")
+		}
+		if cur.Live != nil {
+			fmt.Fprintln(os.Stderr, "pscbench: note: live section is new in this report; no baseline to compare")
 		}
 		return nil
 	}

@@ -13,6 +13,8 @@
 //	pscbench -shards 4          # sharded conservative-parallel executors
 //	pscbench -stream            # long-horizon streaming pipeline measurement
 //	pscbench -streamops 1000000 # operation count for -stream
+//	pscbench -checkshards 4     # sharded parallel verification (experiments + -stream)
+//	pscbench -approx            # also measure the ε-approximate checker in -stream
 //	pscbench -cpuprofile cpu.pb # write a CPU profile of the run
 //	pscbench -memprofile mem.pb # write a heap profile at exit
 //
@@ -61,6 +63,7 @@ type jsonResult struct {
 type jsonReport struct {
 	Parallelism int          `json:"parallelism"`
 	Shards      int          `json:"shards"`
+	CheckShards int          `json:"check_shards,omitempty"`
 	Dense       bool         `json:"dense"`
 	GOMAXPROCS  int          `json:"gomaxprocs"`
 	TotalWallMS float64      `json:"total_wall_ms"`
@@ -95,6 +98,33 @@ type jsonStream struct {
 	ProjectedRetainedHeapBytes float64 `json:"projected_retained_heap_bytes"`
 	// HeapRatio = projected retained heap over streaming peak heap.
 	HeapRatio float64 `json:"heap_ratio"`
+
+	// The checker-throughput sub-sections (-checkshards / -approx): a
+	// multi-register command stream captured once, replayed through each
+	// checker variant so the ops/s ratios are checker speedups, not
+	// executor artifacts. CheckSeq is the sequential inline baseline,
+	// CheckSharded the worker-pool fan-out, CheckApprox the ε-approximate
+	// mode (on the same shard count as CheckSharded).
+	CheckSeq     *jsonStreamCheck `json:"check_seq,omitempty"`
+	CheckSharded *jsonStreamCheck `json:"check_sharded,omitempty"`
+	CheckApprox  *jsonStreamCheck `json:"check_approx,omitempty"`
+}
+
+// jsonStreamCheck is one replayed checker-variant measurement.
+type jsonStreamCheck struct {
+	Shards        int     `json:"shards"`
+	ApproxEpsUS   float64 `json:"approx_eps_us,omitempty"`
+	Registers     int     `json:"registers"`
+	Ops           int     `json:"ops"`
+	WallMS        float64 `json:"wall_ms"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	PeakHeapBytes float64 `json:"peak_heap_bytes"`
+	States        int     `json:"states"`
+	Pruned        int     `json:"pruned,omitempty"`
+	Verdict       string  `json:"verdict"`
+	// SpeedupVsSeq is OpsPerSec over CheckSeq's; 0 for CheckSeq itself.
+	SpeedupVsSeq float64 `json:"speedup_vs_seq,omitempty"`
+	Pass         bool    `json:"pass"`
 }
 
 func main() {
@@ -115,6 +145,8 @@ func run(args []string) int {
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file after the experiment runs")
 	stream := fs.Bool("stream", false, "after the experiments, run the long-horizon streaming pipeline measurement and record peak heap and allocs/op")
 	streamOps := fs.Int("streamops", 1_000_000, "operation count for the -stream measurement")
+	checkShards := fs.Int("checkshards", 0, "sharded-verification worker count (<2: sequential); experiments gain a sharded verdict-parity twin per checker, -stream gains checker-throughput sub-sections")
+	approx := fs.Bool("approx", false, "with -stream, also measure the ε-approximate checker variant")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -124,6 +156,9 @@ func run(args []string) int {
 	}
 	if *shards > 1 {
 		defer core.SetDefaultShards(core.SetDefaultShards(*shards))
+	}
+	if *checkShards > 1 {
+		defer experiments.SetCheckShards(experiments.SetCheckShards(*checkShards))
 	}
 
 	// Load the baseline up front: -json overwrites BENCH_results.json, and
@@ -181,6 +216,7 @@ func run(args []string) int {
 	report := jsonReport{
 		Parallelism: experiments.Parallelism(),
 		Shards:      core.DefaultShards(),
+		CheckShards: experiments.CheckShards(),
 		Dense:       *dense,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 	}
@@ -204,7 +240,7 @@ func run(args []string) int {
 		})
 	}
 	if *stream {
-		js, err := runStream(*streamOps)
+		js, err := runStream(*streamOps, *checkShards, *approx)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pscbench: -stream: %v\n", err)
 			return 1
@@ -212,6 +248,11 @@ func run(args []string) int {
 		report.Stream = js
 		if !js.Pass {
 			failed++
+		}
+		for _, sub := range []*jsonStreamCheck{js.CheckSeq, js.CheckSharded, js.CheckApprox} {
+			if sub != nil && !sub.Pass {
+				failed++
+			}
 		}
 	}
 	report.TotalWallMS = float64(time.Since(start).Microseconds()) / 1000

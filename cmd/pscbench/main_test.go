@@ -228,4 +228,48 @@ func TestCompareLive(t *testing.T) {
 	if regs := compareLive(jsonReport{}, mk(1000, true), 0.2); len(regs) != 0 {
 		t.Errorf("missing baseline section compared: %v", regs)
 	}
+	// A live baseline with no candidate is a note, never a regression:
+	// pscbench cannot produce live results, so every compare run omits it.
+	if regs := compareLive(mk(1000, true), jsonReport{}, 0.2); len(regs) != 0 {
+		t.Errorf("missing candidate live section gated: %v", regs)
+	}
+}
+
+// TestCompareStreamOmission pins the vanished-section gates: a baseline
+// -stream section (or checker sub-section) the candidate run dropped is a
+// regression — a silently missing section is indistinguishable from a
+// gate that stopped running — while candidate-only sections are new
+// coverage, and mismatched sub-section configurations warn instead of
+// diffing.
+func TestCompareStreamOmission(t *testing.T) {
+	withStream := jsonReport{Stream: &jsonStream{Ops: 1000, OpsPerSec: 50000, Pass: true}}
+	if regs := compareStream(withStream, jsonReport{}, 0.2); len(regs) != 1 {
+		t.Errorf("dropped -stream section: got %v, want one regression", regs)
+	}
+	if regs := compareStream(jsonReport{}, withStream, 0.2); len(regs) != 0 {
+		t.Errorf("new -stream section gated: %v", regs)
+	}
+	chk := &jsonStreamCheck{Shards: 4, Registers: 4, Ops: 1000, OpsPerSec: 9000, Verdict: "linearizable", Pass: true}
+	if regs := compareStreamCheck("check_sharded", chk, nil, 0.2); len(regs) != 1 {
+		t.Errorf("dropped checker sub-section: got %v, want one regression", regs)
+	}
+	if regs := compareStreamCheck("check_sharded", nil, chk, 0.2); len(regs) != 0 {
+		t.Errorf("new checker sub-section gated: %v", regs)
+	}
+	slower := *chk
+	slower.OpsPerSec = 4000
+	if regs := compareStreamCheck("check_sharded", chk, &slower, 0.2); len(regs) != 1 {
+		t.Errorf("checker throughput drop: got %v, want one regression", regs)
+	}
+	failing := *chk
+	failing.Pass = false
+	if regs := compareStreamCheck("check_sharded", chk, &failing, 0.2); len(regs) != 1 {
+		t.Errorf("checker pass->fail flip: got %v, want one regression", regs)
+	}
+	otherCfg := *chk
+	otherCfg.Shards = 8
+	otherCfg.OpsPerSec = 1
+	if regs := compareStreamCheck("check_sharded", chk, &otherCfg, 0.2); len(regs) != 0 {
+		t.Errorf("cross-configuration sub-sections compared: %v", regs)
+	}
 }

@@ -2,8 +2,10 @@ package main
 
 import (
 	"fmt"
+	"runtime"
 
 	"psclock/internal/experiments"
+	"psclock/internal/simtime"
 )
 
 // retainedBaselineCap bounds the retained-pipeline baseline run: retention
@@ -12,10 +14,31 @@ import (
 // size and its peak heap is projected linearly to the streaming scale.
 const retainedBaselineCap = 20_000
 
+// approxEps is the pruning band of the -approx checker variant: orderings
+// distinguishable only within this uncertainty of a settling deadline are
+// skipped. Set to the workload's upper message-delay bound d₂ (3ms) —
+// the scale at which operation windows overlap — so the band absorbs the
+// window-scale interleavings the exact search spends its states on, while
+// value dependencies (reads of the still-current value) are still placed
+// exactly. Smaller bands prune less and cost more; at this one the
+// workload's verdict stays definitely-linearizable at ~an order of
+// magnitude fewer search states.
+const approxEps = 3 * simtime.Millisecond
+
+// checkGateMinOps is the operation floor below which the sub-section
+// speed gates stay off: CI smokes at a few thousand ops measure startup,
+// not throughput.
+const checkGateMinOps = 200_000
+
 // runStream executes the -stream measurement: the long-horizon workload
 // through the streaming pipeline (retention off, online checker, O(window)
-// memory), then the retained baseline, and prints the comparison.
-func runStream(ops int) (*jsonStream, error) {
+// memory), then the retained baseline, and prints the comparison. With
+// checkShards ≥ 2 (or approx), it also measures checker-only throughput:
+// capture a multi-register run's checker command stream once, replay it
+// through the sequential, sharded, and ε-approximate variants, and gate
+// verdict equality always, speedups only where they are meaningful
+// (GOMAXPROCS ≥ 4 and at least checkGateMinOps operations).
+func runStream(ops, checkShards int, approx bool) (*jsonStream, error) {
 	fmt.Printf("=== stream: long-horizon streaming pipeline (%d ops) ===\n", ops)
 	sr, err := experiments.StreamRun(ops, false)
 	if err != nil {
@@ -57,5 +80,121 @@ func runStream(ops int) (*jsonStream, error) {
 	} else {
 		fmt.Println("RESULT: PASS")
 	}
+	if checkShards >= 2 || approx {
+		if err := runCheckVariants(js, ops, checkShards, approx); err != nil {
+			return nil, err
+		}
+	}
 	return js, nil
+}
+
+// runCheckVariants captures the checker command stream and fills the
+// check_seq / check_sharded / check_approx sub-sections.
+func runCheckVariants(js *jsonStream, ops, checkShards int, approx bool) error {
+	registers := checkShards
+	if registers < 2 {
+		registers = 4
+	}
+	fmt.Printf("=== stream: checker throughput (%d ops, %d registers, %d shards) ===\n", ops, registers, checkShards)
+	cmds, err := experiments.CaptureVerifyCmds(ops, registers)
+	if err != nil {
+		return err
+	}
+	gateSpeed := runtime.GOMAXPROCS(0) >= 4 && ops >= checkGateMinOps
+	if !gateSpeed {
+		fmt.Printf("(speed gates off: GOMAXPROCS=%d, ops=%d — need >=4 and >=%d; verdict equality still gated)\n",
+			runtime.GOMAXPROCS(0), ops, checkGateMinOps)
+	}
+	seq := experiments.VerifyThroughput(cmds, 0, 0)
+	js.CheckSeq = toStreamCheck(seq, registers, 0)
+	js.CheckSeq.Pass = seq.OK
+	printCheck("seq", js.CheckSeq, seq.Reason)
+	if checkShards >= 2 {
+		sh := experiments.VerifyThroughput(cmds, checkShards, 0)
+		js.CheckSharded = toStreamCheck(sh, registers, seq.OpsPerSec)
+		js.CheckSharded.Pass = sh.OK == seq.OK && sh.Reason == seq.Reason &&
+			sh.States == seq.States && sh.Pruned == seq.Pruned
+		if !js.CheckSharded.Pass {
+			fmt.Printf("FAIL: sharded verdict {%v %q states=%d} != sequential {%v %q states=%d}\n",
+				sh.OK, sh.Reason, sh.States, seq.OK, seq.Reason, seq.States)
+		}
+		if gateSpeed && js.CheckSharded.SpeedupVsSeq < 4 {
+			js.CheckSharded.Pass = false
+			fmt.Printf("FAIL: sharded speedup %.2fx < 4x sequential\n", js.CheckSharded.SpeedupVsSeq)
+		}
+		printCheck("sharded", js.CheckSharded, sh.Reason)
+	}
+	if approx {
+		ashards := checkShards
+		if ashards < 2 {
+			ashards = 0
+		}
+		ap := experiments.VerifyThroughput(cmds, ashards, approxEps)
+		js.CheckApprox = toStreamCheck(ap, registers, seq.OpsPerSec)
+		// Soundness: on a stream the exact checker accepts, the approximate
+		// one must answer linearizable or ε-uncertain, never a definite no;
+		// on a stream the exact checker rejects, it must not claim a
+		// witness (an approximate OK names a concrete order, so it can
+		// never contradict an exhaustive failure).
+		if seq.OK {
+			js.CheckApprox.Pass = ap.OK || ap.Pruned > 0
+		} else {
+			js.CheckApprox.Pass = !ap.OK
+		}
+		if !js.CheckApprox.Pass {
+			fmt.Printf("FAIL: approximate verdict %s contradicts exact %s\n", ap.Verdict, seq.Verdict)
+		}
+		if gateSpeed && js.CheckSharded != nil && js.CheckApprox.OpsPerSec <= js.CheckSharded.OpsPerSec {
+			js.CheckApprox.Pass = false
+			fmt.Printf("FAIL: approximate %.0f ops/s not faster than exact-sharded %.0f ops/s\n",
+				js.CheckApprox.OpsPerSec, js.CheckSharded.OpsPerSec)
+		}
+		printCheck("approx", js.CheckApprox, ap.Reason)
+	}
+	return nil
+}
+
+// toStreamCheck converts a VerifyReport into its JSON form.
+func toStreamCheck(r experiments.VerifyReport, registers int, seqOpsPerSec float64) *jsonStreamCheck {
+	c := &jsonStreamCheck{
+		Shards:        r.Shards,
+		ApproxEpsUS:   float64(r.ApproxEps) / float64(simtime.Microsecond),
+		Registers:     registers,
+		Ops:           r.Ops,
+		WallMS:        r.WallMS,
+		OpsPerSec:     r.OpsPerSec,
+		PeakHeapBytes: float64(r.PeakHeapBytes),
+		States:        r.States,
+		Pruned:        r.Pruned,
+		Verdict:       r.Verdict,
+	}
+	if seqOpsPerSec > 0 {
+		c.SpeedupVsSeq = r.OpsPerSec / seqOpsPerSec
+	}
+	return c
+}
+
+// printCheck renders one checker-variant row.
+func printCheck(name string, c *jsonStreamCheck, reason string) {
+	speed := ""
+	if c.SpeedupVsSeq > 0 {
+		speed = fmt.Sprintf(", %.2fx vs seq", c.SpeedupVsSeq)
+	}
+	pruned := ""
+	if c.Pruned > 0 {
+		pruned = fmt.Sprintf(", pruned %d", c.Pruned)
+	}
+	fmt.Printf("check %-8s %d ops in %.0f ms (%.0f ops/s%s), peak heap %.1f KiB, verdict %s (states %d%s): %s\n",
+		name+":", c.Ops, c.WallMS, c.OpsPerSec, speed, c.PeakHeapBytes/(1<<10), c.Verdict, c.States, pruned, passMark(c.Pass))
+	if !c.Pass && reason != "" {
+		fmt.Printf("  reason: %s\n", reason)
+	}
+}
+
+// passMark renders a sub-section gate outcome.
+func passMark(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
 }

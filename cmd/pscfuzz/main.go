@@ -10,6 +10,7 @@
 //	pscfuzz -trials 200 -seed 1
 //	pscfuzz -trials 50 -mutate    # sanity: fuzz the broken L variant, expect violations
 //	pscfuzz -trials 50 -shards 4  # differential: sharded vs sequential execution
+//	pscfuzz -trials 50 -checkshards 4  # differential: sharded vs sequential verification
 package main
 
 import (
@@ -44,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "campaign seed")
 	mutate := fs.Bool("mutate", false, "fuzz the broken variant (plain L in the clock model); violations are then expected")
 	shards := fs.Int("shards", 0, "run each trial again under sharded conservative-parallel execution with this many shards and require an identical history (<2: off)")
+	checkShards := fs.Int("checkshards", 0, "replay each trial's history through the sharded checker with this many workers and require a verdict byte-identical to the sequential Online oracle (<2: off)")
 	verbose := fs.Bool("v", false, "print each trial's configuration")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -65,6 +67,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if msg := diffSharded(cfgSeed, *mutate, *shards, ops, res); msg != "" {
 				fmt.Fprintf(stdout, "DIVERGENCE in trial %d: %s\n  %s\n", trial, desc, msg)
 				fmt.Fprintf(stdout, "replay: pscfuzz -trials 1 -seed %d -shards %d\n", cfgSeed, *shards)
+				return 2
+			}
+		}
+		if *checkShards > 1 {
+			if msg := diffCheckSharded(ops, *checkShards, res); msg != "" {
+				fmt.Fprintf(stdout, "CHECKER DIVERGENCE in trial %d: %s\n  %s\n", trial, desc, msg)
+				fmt.Fprintf(stdout, "replay: pscfuzz -trials 1 -seed %d -checkshards %d\n", cfgSeed, *checkShards)
 				return 2
 			}
 		}
@@ -91,12 +100,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *shards > 1 {
+	switch {
+	case *shards > 1 && *checkShards > 1:
+		fmt.Fprintf(stdout, "%d trials, 0 violations, %d-sharded histories and %d-sharded checker verdicts identical\n", *trials, *shards, *checkShards)
+	case *shards > 1:
 		fmt.Fprintf(stdout, "%d trials, 0 violations, sequential and %d-sharded histories identical\n", *trials, *shards)
-	} else {
+	case *checkShards > 1:
+		fmt.Fprintf(stdout, "%d trials, 0 violations, sequential and %d-sharded checker verdicts identical\n", *trials, *checkShards)
+	default:
 		fmt.Fprintf(stdout, "%d trials, 0 violations\n", *trials)
 	}
 	return 0
+}
+
+// diffCheckSharded replays the trial's history through the sequential
+// Online and the sharded checker with an identical command stream —
+// Begin/Add in history order, a safe Advance watermark (the minimum
+// invocation still ahead) every few operations to exercise the flush
+// broadcast — and requires the sharded Result to be byte-identical to the
+// sequential one, which in turn must equal the batch checker's. Returns
+// "" when all three agree.
+func diffCheckSharded(ops []linearize.Op, checkShards int, batch linearize.Result) string {
+	suffixMinInv := make([]simtime.Time, len(ops)+1)
+	suffixMinInv[len(ops)] = simtime.Never
+	for i := len(ops) - 1; i >= 0; i-- {
+		suffixMinInv[i] = suffixMinInv[i+1]
+		if ops[i].Inv < suffixMinInv[i] {
+			suffixMinInv[i] = ops[i].Inv
+		}
+	}
+	opt := linearize.Options{Initial: register.Initial.String()}
+	seq := linearize.NewOnline(opt)
+	sh := linearize.NewSharded(linearize.ShardedOptions{Check: opt, Shards: checkShards})
+	for i, op := range ops {
+		seq.Begin(op.Node, op.Inv)
+		sh.Begin("", op.Node, op.Inv)
+		seq.Add(op)
+		sh.Add("", op)
+		if i%4 == 3 {
+			seq.Advance(suffixMinInv[i+1])
+			sh.Advance(suffixMinInv[i+1])
+		}
+	}
+	seqRes, shRes := seq.Finish(), sh.Finish()
+	if shRes != seqRes {
+		return fmt.Sprintf("sharded checker %+v != sequential online %+v", shRes, seqRes)
+	}
+	if seqRes != batch {
+		return fmt.Sprintf("online checker %+v != batch %+v", seqRes, batch)
+	}
+	return ""
 }
 
 // diffSharded reruns the trial under sharded execution and compares the

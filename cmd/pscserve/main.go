@@ -58,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	transport := fs.String("transport", "tcp", "inter-node transport: tcp or chan")
 	seed := fs.Int64("seed", 1, "load generator and jitter seed")
 	ringN := fs.Int("ring", 64, "post-mortem event tail retained for violation reports")
+	checkShards := fs.Int("checkshards", 0, "fan the online checks out across this many worker goroutines (<2: inline on the event consumer)")
 	jsonOut := fs.Bool("json", false, "merge the report into the live section of BENCH_results.json")
 	verbose := fs.Bool("v", false, "verbose: print configuration and per-check verdicts")
 	if err := fs.Parse(args); err != nil {
@@ -140,13 +141,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	mon := register.NewMonitor()
-	mon.AddCheck("live", linearize.Options{
+	// With -checkshards, the frontier automata run on a worker pool and
+	// the event consumer only routes operations — same verdicts, less
+	// work on the recorder's critical path.
+	addCheck := func(name string, opt linearize.Options) {
+		if *checkShards > 1 {
+			mon.AddShardedCheck(name, opt, *checkShards)
+		} else {
+			mon.AddCheck(name, opt)
+		}
+	}
+	addCheck("live", linearize.Options{
 		Initial:      register.Initial.String(),
 		Widen:        eps + slack,
 		AssumeUnique: true,
 		MaxStates:    32 << 20,
 	})
-	mon.AddCheck("strict", linearize.Options{
+	addCheck("strict", linearize.Options{
 		Initial:      register.Initial.String(),
 		AssumeUnique: true,
 	})
@@ -254,6 +265,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 		Violations:  violations,
 		CheckStates: liveRes.States,
+		CheckShards: max(*checkShards, 0),
 		Pass:        violations == 0 && res.Errors == 0,
 	}
 

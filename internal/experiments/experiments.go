@@ -27,6 +27,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"psclock/internal/channel"
 	"psclock/internal/clock"
@@ -114,6 +115,25 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
+// checkShards is the process-global sharded-verification fan-out: when
+// ≥ 2, every experiment that attaches a streaming monitor also attaches a
+// sharded twin of each checker, and streamParity requires the sharded
+// verdict to equal the batch oracle byte-for-byte — the acceptance
+// criterion "verdict equality on every experiment". Zero (the default)
+// runs the sequential checkers only.
+var checkShards atomic.Int64
+
+// SetCheckShards sets the process-global sharded-verification fan-out and
+// returns the previous value. Harness entry points (pscbench
+// -checkshards) call it before running experiments.
+func SetCheckShards(n int) int { return int(checkShards.Swap(int64(n))) }
+
+// CheckShards returns the process-global sharded-verification fan-out.
+func CheckShards() int { return int(checkShards.Load()) }
+
+// shardedName names the sharded twin of a streaming check.
+func shardedName(name string) string { return name + "@sharded" }
+
 // Shared workload/runner plumbing.
 
 const (
@@ -192,6 +212,11 @@ func run(spec runSpec) (runOut, error) {
 		for _, sc := range spec.stream {
 			mon.AddCheck(sc.name, sc.opt)
 		}
+		if cs := CheckShards(); cs >= 2 {
+			for _, sc := range spec.stream {
+				mon.AddShardedCheck(shardedName(sc.name), sc.opt, cs)
+			}
+		}
 		net.Sys.AddSink(mon)
 	}
 	for _, sk := range spec.sinks {
@@ -260,6 +285,11 @@ func streamParity(out runOut) []string {
 		batch := linearize.Check(out.ops, sc.opt)
 		if got := out.mon.Verdict(sc.name); got != batch {
 			fails = append(fails, fmt.Sprintf("streaming %q verdict %+v != batch %+v", sc.name, got, batch))
+		}
+		if cs := CheckShards(); cs >= 2 {
+			if got := out.mon.Verdict(shardedName(sc.name)); got != batch {
+				fails = append(fails, fmt.Sprintf("sharded(%d) %q verdict %+v != batch %+v", cs, sc.name, got, batch))
+			}
 		}
 	}
 	reads, writes := register.Latencies(out.ops)

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"psclock/internal/core"
+	"psclock/internal/linearize"
+	"psclock/internal/register"
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+	"psclock/internal/workload"
+)
+
+// Checker-throughput measurement (the `pscbench -checkshards/-approx`
+// stream sub-sections). A single executor run cannot separate checker
+// cost from executor cost, so the bench runs in two phases: capture a
+// multi-register execution's checker command stream once (the exact
+// Begin/Add/Advance sequence the monitor would issue), then replay the
+// identical stream through each checker variant — sequential inline,
+// sharded, ε-approximate — timing only the replay. Same inputs by
+// construction, so the ops/s ratios are checker speedups.
+
+// VerifyGroupSize is the number of nodes serving each register in the
+// capture workload: each group of 3 consecutive nodes runs algorithm L
+// over its own register, disconnected from every other group.
+const VerifyGroupSize = 3
+
+// VerifyKey names the register a node serves in the capture workload.
+func VerifyKey(n ta.NodeID) string { return fmt.Sprintf("r%d", int(n)/VerifyGroupSize) }
+
+// verifyOptions is the per-register checker configuration of the verify
+// bench, matching StreamRun's streaming checker.
+func verifyOptions(approxEps simtime.Duration) linearize.Options {
+	return linearize.Options{
+		Initial:      register.Initial.String(),
+		AssumeUnique: true,
+		MaxStates:    1 << 30,
+		ApproxEps:    approxEps,
+	}
+}
+
+// CaptureVerifyCmds runs a multi-register workload (registers disjoint
+// groups of VerifyGroupSize nodes, algorithm L in the timed model, one
+// closed-loop client per node, ~totalOps operations in total) and returns
+// the checker command stream its monitor produced. Node IDs are global,
+// so written values stay unique across groups (§3) and every group's
+// history starts from register.Initial.
+func CaptureVerifyCmds(totalOps, registers int) ([]linearize.Cmd, error) {
+	if registers < 1 {
+		registers = 1
+	}
+	n := registers * VerifyGroupSize
+	perClient := (totalOps + n - 1) / n
+	bounds := simtime.NewInterval(1*ms, 3*ms)
+	p := register.Params{C: 500 * us, Delta: 10 * us, D2: bounds.Hi, Epsilon: 0}
+	net := core.BuildTimed(core.Config{
+		N:      n,
+		Bounds: bounds,
+		Seed:   4242,
+		// Groups of VerifyGroupSize consecutive nodes, complete within a
+		// group, disconnected across groups: independent registers.
+		Topology: func(from, to int) bool { return from/VerifyGroupSize == to/VerifyGroupSize },
+	}, register.Factory(register.NewL, p))
+	net.Sys.KeepTrace = false
+	rec := &linearize.Recorder{}
+	mon := register.NewMonitor()
+	mon.SetKeyFunc(VerifyKey)
+	mon.AddChecker("capture", rec)
+	net.Sys.AddSink(mon)
+	clients := workload.Attach(net, workload.Config{
+		Ops:        perClient,
+		Think:      simtime.NewInterval(0, 1*ms),
+		WriteRatio: 0.4,
+		Seed:       77,
+		Stagger:    300 * us,
+	})
+	allDone := func() bool {
+		for _, c := range clients {
+			if c.Done != perClient {
+				return false
+			}
+		}
+		return true
+	}
+	horizon := simtime.Time(simtime.Duration(perClient)*5*ms + simtime.Second)
+	for net.Sys.Now() < horizon && !allDone() {
+		if err := net.Sys.Run(net.Sys.Now().Add(50 * ms)); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := net.Sys.RunQuiet(net.Sys.Now().Add(50 * ms)); err != nil {
+		return nil, err
+	}
+	if err := mon.Err(); err != nil {
+		return nil, err
+	}
+	if !allDone() {
+		done := 0
+		for _, c := range clients {
+			done += c.Done
+		}
+		return nil, fmt.Errorf("experiments: verify capture completed %d/%d ops within the horizon", done, n*perClient)
+	}
+	mon.Finish()
+	return rec.Cmds, nil
+}
+
+// VerifyReport is one replayed checker-variant measurement.
+type VerifyReport struct {
+	// Shards is the worker-pool size replayed (< 2 means sequential
+	// inline); ApproxEps is the ε-approximate band (0 means exact).
+	Shards    int
+	ApproxEps simtime.Duration
+	// Ops is the number of completed operations in the replayed stream.
+	Ops int
+	// WallMS / OpsPerSec time the replay alone.
+	WallMS    float64
+	OpsPerSec float64
+	// PeakHeapBytes is the live-heap growth over the replay (forced-GC
+	// baseline and reading, so the captured command buffer cancels out).
+	PeakHeapBytes uint64
+	// OK/Reason/Verdict/States/Pruned echo the merged checker result;
+	// Verdict is the three-valued classification string.
+	OK      bool
+	Reason  string
+	Verdict string
+	States  int
+	Pruned  int
+}
+
+// VerifyThroughput replays a captured command stream through a checker
+// variant and measures it. shards < 2 is the sequential baseline; all
+// variants on the same stream return comparable (and for exact variants,
+// identical) verdicts.
+func VerifyThroughput(cmds []linearize.Cmd, shards int, approxEps simtime.Duration) VerifyReport {
+	ops := 0
+	for i := range cmds {
+		if cmds[i].Kind == linearize.CmdAdd {
+			ops++
+		}
+	}
+	c := linearize.NewSharded(linearize.ShardedOptions{Check: verifyOptions(approxEps), Shards: shards})
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	res := linearize.Replay(cmds, c)
+	wall := time.Since(start)
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	rep := VerifyReport{
+		Shards:    shards,
+		ApproxEps: approxEps,
+		Ops:       ops,
+		WallMS:    float64(wall.Microseconds()) / 1000,
+		OK:        res.OK,
+		Reason:    res.Reason,
+		Verdict:   res.Verdict().String(),
+		States:    res.States,
+		Pruned:    res.Pruned,
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		rep.OpsPerSec = float64(ops) / secs
+	}
+	if m1.HeapAlloc > m0.HeapAlloc {
+		rep.PeakHeapBytes = m1.HeapAlloc - m0.HeapAlloc
+	}
+	return rep
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestVerifyCaptureReplayParity captures a small multi-register stream
+// and checks the replay invariants the bench relies on: the sharded
+// replay's merged verdict equals the sequential replay's byte-for-byte,
+// and the ε-approximate replay is sound (an OK names a real witness; a
+// failure after pruning is only ε-uncertain).
+func TestVerifyCaptureReplayParity(t *testing.T) {
+	cmds, err := CaptureVerifyCmds(600, 2)
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	if len(cmds) == 0 {
+		t.Fatal("capture: empty command stream")
+	}
+	seq := VerifyThroughput(cmds, 0, 0)
+	if !seq.OK {
+		t.Fatalf("sequential replay rejected the captured run: %s", seq.Reason)
+	}
+	if seq.Ops < 600 {
+		t.Fatalf("sequential replay saw %d ops, want >= 600", seq.Ops)
+	}
+	for _, shards := range []int{2, 4} {
+		sh := VerifyThroughput(cmds, shards, 0)
+		if sh.OK != seq.OK || sh.Reason != seq.Reason || sh.States != seq.States || sh.Pruned != seq.Pruned {
+			t.Errorf("sharded(%d) replay {%v %q states=%d pruned=%d} != sequential {%v %q states=%d pruned=%d}",
+				shards, sh.OK, sh.Reason, sh.States, sh.Pruned, seq.OK, seq.Reason, seq.States, seq.Pruned)
+		}
+	}
+	approx := VerifyThroughput(cmds, 2, 100*us)
+	if approx.OK {
+		if !seq.OK {
+			t.Errorf("approximate replay accepted a stream the exact checker rejects")
+		}
+	} else if approx.Pruned == 0 {
+		t.Errorf("approximate replay failed without pruning but exact accepts: %s", approx.Reason)
+	}
+	if approx.Verdict == "" {
+		t.Error("approximate replay reported no verdict string")
+	}
+}

@@ -97,6 +97,17 @@ type Options struct {
 	// for workloads that guarantee uniqueness by construction (§3), e.g.
 	// the long-horizon streaming runs.
 	AssumeUnique bool
+	// ApproxEps enables the ε-approximate mode (after Bonakdarpour et al.,
+	// "Approximate Distributed Monitoring under Partial Synchrony", arXiv
+	// 2408.05033): orderings whose only distinction lies inside this band —
+	// an operation that could precede a settling deadline only because its
+	// window opens within ApproxEps of that deadline — are pruned instead
+	// of searched. Pruning never fabricates a witness, so OK still means a
+	// real linearization order was found; a failure reached after any prune
+	// is only ε-uncertain. Result.Verdict() reports the three-valued
+	// outcome. Zero (the default) is the exact checker. Larger values prune
+	// more: the precision/cost knob.
+	ApproxEps simtime.Duration
 }
 
 // Result reports the outcome of a check.
@@ -107,6 +118,59 @@ type Result struct {
 	Reason string
 	// States counts search states explored, for diagnostics.
 	States int
+	// Pruned counts candidate orderings the ε-approximate mode skipped;
+	// always zero for the exact checker (Options.ApproxEps == 0). A found
+	// witness is real regardless of Pruned, but a failure with Pruned > 0
+	// might have been rescued by a pruned ordering — see Verdict.
+	Pruned int
+}
+
+// Verdict is the three-valued outcome of an ε-approximate check.
+type Verdict int
+
+// The three verdicts. The exact checker (ApproxEps == 0) only ever yields
+// the first two.
+const (
+	// Linearizable: a concrete linearization order was found; the history
+	// is definitely linearizable (sound even under pruning — pruning only
+	// removes candidate orders, never invents one).
+	Linearizable Verdict = iota
+	// NotLinearizable: the search failed and nothing was pruned, so the
+	// exhaustive search failed: definitely not linearizable.
+	NotLinearizable
+	// EpsUncertain: the search failed, but orderings inside the ε band
+	// were pruned along the way; one of them might have succeeded. The
+	// history is not linearizable at the monitor's timing precision, but
+	// could be under a sub-ε perturbation.
+	EpsUncertain
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Linearizable:
+		return "linearizable"
+	case NotLinearizable:
+		return "not-linearizable"
+	case EpsUncertain:
+		return "eps-uncertain"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Verdict classifies the result three-valued: definitely linearizable,
+// definitely not, or ε-uncertain (failed, but only after the approximate
+// mode pruned candidate orderings that might have succeeded).
+func (r Result) Verdict() Verdict {
+	switch {
+	case r.OK:
+		return Linearizable
+	case r.Pruned > 0:
+		return EpsUncertain
+	default:
+		return NotLinearizable
+	}
 }
 
 // Check decides whether the history is linearizable under the options. It

@@ -81,6 +81,7 @@ type Online struct {
 	open     map[ta.NodeID][]simtime.Time
 	nextID   int
 	states   int
+	pruned   int
 
 	failed     bool
 	failReason string
@@ -293,9 +294,9 @@ func (o *Online) Finish() Result {
 		o.drain(0, true)
 	}
 	if o.failed {
-		o.final = Result{OK: false, Reason: o.failReason, States: o.states}
+		o.final = Result{OK: false, Reason: o.failReason, States: o.states, Pruned: o.pruned}
 	} else {
-		o.final = Result{OK: true, States: o.states}
+		o.final = Result{OK: true, States: o.states, Pruned: o.pruned}
 	}
 	o.window, o.frontier, o.open, o.writers, o.observed = nil, nil, nil, nil, nil
 	return o.final
@@ -367,6 +368,9 @@ func (o *Online) drain(bound simtime.Time, all bool) {
 // sequences that linearize it now. The next frontier is the deduplicated
 // union; empty means no linearization order exists.
 func (o *Online) stage(di int) {
+	if o.opt.ApproxEps > 0 && o.stageApprox(di) {
+		return
+	}
 	target := &o.window[di]
 	nf := frontierBuilder{idx: make(map[string]int)}
 	memo := make(map[string]bool)
@@ -388,6 +392,92 @@ func (o *Online) stage(di int) {
 		o.failed = true
 		o.failReason = "no valid linearization order exists"
 	}
+}
+
+// stageApprox is the ε-approximate fast path for a settling deadline. It
+// applies when the frontier is a single state and every operation that
+// could precede the target opens only inside the ApproxEps band below the
+// target's deadline — concurrency below the monitor's timing precision.
+// It then commits greedily with no memo, frontier builder, or dfs:
+//
+//   - in-band reads of the state's current value are linearized ahead of
+//     the target in ascending-lo order, which loses no witnesses (a read
+//     of the current value can always be exchanged earlier: it observes
+//     the same value there and tightens no other operation's window);
+//   - in-band writes are *pruned*: orders placing them ahead of the
+//     target are abandoned unexplored. In-band reads of other values
+//     could only precede the target via one of those writes, so the
+//     write's prune covers them.
+//
+// Reports whether the stage was handled; false falls back to the exact
+// search. Soundness: the surviving state is a real placement, so a final
+// OK names a concrete witness order; every prune is counted, so a later
+// failure reports ε-uncertain instead of a definite violation.
+func (o *Online) stageApprox(di int) bool {
+	if len(o.frontier) != 1 {
+		return false
+	}
+	s := o.frontier[0]
+	target := &o.window[di]
+	if p := indexOfID(s.early, target.id); p >= 0 {
+		// Already linearized ahead of its deadline: discard from the early
+		// set — exact, no search needed.
+		rest := make([]int, 0, len(s.early)-1)
+		rest = append(rest, s.early[:p]...)
+		rest = append(rest, s.early[p+1:]...)
+		o.frontier[0].early = rest
+		return true
+	}
+	band := target.hi.Add(-o.opt.ApproxEps)
+	skipped := 0
+	var pre []int // window indexes of in-band reads of s.last
+	for i := range o.window {
+		x := &o.window[i]
+		if x.closed || x.id == target.id || x.lo > target.hi || indexOfID(s.early, x.id) >= 0 {
+			continue
+		}
+		if x.pending && !o.finishing {
+			continue // fate unresolved until Finish, never explorable here
+		}
+		if x.lo <= band {
+			return false // opens outside the ε band: its order is searchable
+		}
+		if x.kind == Read && x.value == s.last {
+			pre = append(pre, i)
+		} else if x.kind == Write {
+			skipped++
+		}
+	}
+	sort.Slice(pre, func(a, b int) bool { return o.window[pre[a]].lo < o.window[pre[b]].lo })
+	ns := s
+	for _, i := range pre {
+		var ok bool
+		if ns, ok = o.place(ns, &o.window[i]); !ok {
+			return false // greedy placement fails; let the exact stage decide
+		}
+	}
+	var ok bool
+	if ns, ok = o.place(ns, target); !ok || o.strands(ns, target.id) {
+		return false
+	}
+	if len(pre) > 0 {
+		early := make([]int, 0, len(s.early)+len(pre))
+		early = append(early, s.early...)
+		for _, i := range pre {
+			early = append(early, o.window[i].id)
+		}
+		sort.Ints(early)
+		ns.early = early
+	}
+	o.states++
+	if o.states > o.opt.MaxStates {
+		o.failed = true
+		o.failReason = fmt.Sprintf("linearize: state budget (%d) exhausted", o.opt.MaxStates)
+		return true
+	}
+	o.pruned += skipped
+	o.frontier[0] = ns
+	return true
 }
 
 // commit explores linearizing zero or more still-open operations and then

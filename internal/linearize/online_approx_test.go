@@ -1,0 +1,125 @@
+package linearize
+
+import (
+	"math/rand"
+	"testing"
+
+	"psclock/internal/simtime"
+)
+
+// TestApproxSoundness is the three-valued-verdict property of the
+// ε-approximate mode, checked against the exact engine on randomized
+// histories:
+//
+//   - an approximate OK names a concrete witness order, so the exact
+//     checker must accept too;
+//   - an approximate failure with Pruned == 0 skipped nothing, so the
+//     exact checker must reject too (together: Pruned == 0 means the OK
+//     bit matches exactly);
+//   - Result.Verdict must classify accordingly — a failure is only
+//     allowed to soften to ε-uncertain when the band actually pruned.
+//
+// MaxStates is left at the default: a trial where the budgets diverge
+// would make OK-bit comparisons meaningless.
+func TestApproxSoundness(t *testing.T) {
+	r := rand.New(rand.NewSource(1234))
+	pruningTrials := 0
+	for trial := 0; trial < 800; trial++ {
+		seq := completionOrder(randAlternating(r))
+		opt := randOnlineOptions(r)
+		opt.MaxStates = 0
+		if opt.AssumeUnique && validateHistory(seq, opt.Initial) != nil {
+			opt.AssumeUnique = false
+		}
+		exact := Check(seq, opt)
+		for _, eps := range []simtime.Duration{1, 5, 40} {
+			aopt := opt
+			aopt.ApproxEps = eps
+			ap := Check(seq, aopt)
+			if ap.Pruned > 0 {
+				pruningTrials++
+			}
+			if ap.OK && !exact.OK {
+				t.Fatalf("trial %d ε=%d: approx claims a witness, exact refutes: %+v vs %+v\nopts: %+v\n%v",
+					trial, eps, ap, exact, opt, seq)
+			}
+			if !ap.OK && ap.Pruned == 0 && exact.OK {
+				t.Fatalf("trial %d ε=%d: approx answers a definite no with nothing pruned on a linearizable history: %+v\nopts: %+v\n%v",
+					trial, eps, ap, opt, seq)
+			}
+			v := ap.Verdict()
+			switch {
+			case ap.OK && v != Linearizable:
+				t.Fatalf("trial %d ε=%d: OK result classified %v", trial, eps, v)
+			case !ap.OK && ap.Pruned > 0 && v != EpsUncertain:
+				t.Fatalf("trial %d ε=%d: pruned failure classified %v, want %v", trial, eps, v, EpsUncertain)
+			case !ap.OK && ap.Pruned == 0 && v != NotLinearizable:
+				t.Fatalf("trial %d ε=%d: unpruned failure classified %v, want %v", trial, eps, v, NotLinearizable)
+			}
+		}
+	}
+	// The property is vacuous if the fast path never engaged.
+	if pruningTrials == 0 {
+		t.Fatal("no trial ever pruned: the ε band never covered any concurrency, fast path untested")
+	}
+}
+
+// TestApproxExactWhenEpsZero pins that ApproxEps = 0 is byte-for-byte the
+// exact checker — the approximate machinery must be completely inert.
+func TestApproxExactWhenEpsZero(t *testing.T) {
+	r := rand.New(rand.NewSource(555))
+	for trial := 0; trial < 300; trial++ {
+		seq := completionOrder(randAlternating(r))
+		opt := randOnlineOptions(r)
+		if opt.AssumeUnique && validateHistory(seq, opt.Initial) != nil {
+			opt.AssumeUnique = false
+		}
+		aopt := opt
+		aopt.ApproxEps = 0
+		if got, want := Check(seq, aopt), Check(seq, opt); got != want {
+			t.Fatalf("trial %d: ε=0 result %+v != exact %+v", trial, got, want)
+		}
+	}
+}
+
+// TestApproxPrunesInBandWrites pins the fast path on a constructed
+// history: with the band covering the whole run, an in-band concurrent
+// write is skipped (counted in Pruned) while an in-band read of the
+// current value is still placed exactly, keeping the verdict a true OK.
+func TestApproxPrunesInBandWrites(t *testing.T) {
+	seq := completionOrder([]Op{
+		{Node: 0, Kind: Write, Value: "w0", Inv: 0, Res: 10},
+		{Node: 1, Kind: Write, Value: "w1", Inv: 5, Res: 40},
+		{Node: 2, Kind: Read, Value: "w0", Inv: 12, Res: 14},
+	})
+	opt := Options{Initial: "v0", ApproxEps: 1000}
+	ap := Check(seq, opt)
+	if !ap.OK {
+		t.Fatalf("linearizable history rejected under ε: %+v", ap)
+	}
+	if ap.Pruned == 0 {
+		t.Fatalf("in-band concurrent write was not pruned: %+v", ap)
+	}
+	exact := Check(seq, Options{Initial: "v0"})
+	if !exact.OK {
+		t.Fatalf("fixture not linearizable under the exact checker: %+v", exact)
+	}
+	if ap.States >= exact.States {
+		t.Fatalf("fast path explored %d states, exact only %d — pruning saved nothing", ap.States, exact.States)
+	}
+}
+
+// TestVerdictString pins the report vocabulary the bench and fuzz
+// differentials grep for.
+func TestVerdictString(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		Linearizable:    "linearizable",
+		NotLinearizable: "not-linearizable",
+		EpsUncertain:    "eps-uncertain",
+		Verdict(99):     "verdict(99)",
+	} {
+		if got := v.String(); got != want {
+			t.Fatalf("Verdict(%d).String() = %q, want %q", v, got, want)
+		}
+	}
+}

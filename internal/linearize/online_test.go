@@ -244,3 +244,104 @@ func TestOnlineGC(t *testing.T) {
 		t.Fatalf("states %d exceed linear bound", r.States)
 	}
 }
+
+// TestOnlineFlushExactBoundary pins the GC boundary: an operation whose
+// deadline falls EXACTLY on the Advance watermark must not settle at that
+// flush. Advance(w) promises only that no future invocation starts before
+// w — an invocation at exactly w still produces a window overlapping a
+// deadline at w, so the drain predicate is strictly hi < bound.
+func TestOnlineFlushExactBoundary(t *testing.T) {
+	o := NewOnline(Options{Initial: "v0"})
+	o.Begin(0, 10)
+	o.Add(Op{Node: 0, Kind: Write, Value: "w0", Inv: 10, Res: 20})
+	o.Advance(20) // bound == hi: must hold the op
+	if len(o.window) != 1 {
+		t.Fatalf("op with hi == Advance bound settled early: window %d, want 1", len(o.window))
+	}
+	// A later invocation at exactly the old bound is still admissible and
+	// must be orderable against the held op.
+	o.Begin(1, 20)
+	o.Add(Op{Node: 1, Kind: Read, Value: "w0", Inv: 20, Res: 25})
+	o.Advance(26) // now strictly past both deadlines: everything settles
+	if len(o.window) != 0 {
+		t.Fatalf("window not drained past both deadlines: %d entries", len(o.window))
+	}
+	if r := o.Finish(); !r.OK {
+		t.Fatalf("boundary stream rejected: %+v", r)
+	}
+}
+
+// TestOnlineZeroWidthWindow pins instantaneous operations (Inv == Res):
+// they are legal single-point windows, settle one tick past their instant,
+// and fail with the batch checker's exact text when wrong.
+func TestOnlineZeroWidthWindow(t *testing.T) {
+	seq := []Op{
+		{Node: 0, Kind: Write, Value: "w0", Inv: 10, Res: 10},
+		{Node: 1, Kind: Read, Value: "w0", Inv: 12, Res: 12},
+	}
+	o := NewOnline(Options{Initial: "v0"})
+	for _, op := range seq {
+		o.Begin(op.Node, op.Inv)
+		o.Add(op)
+	}
+	o.Advance(12) // the read's single point IS the bound: both ops held? no —
+	// the write (hi 10 < 12) settles, the read (hi 12) is exactly at it.
+	if len(o.window) != 1 {
+		t.Fatalf("after Advance(12): window %d entries, want 1 (only the read held)", len(o.window))
+	}
+	o.Advance(13)
+	if len(o.window) != 0 {
+		t.Fatalf("zero-width read never settled: window %d entries", len(o.window))
+	}
+	if got, want := o.Finish(), Check(seq, Options{Initial: "v0"}); got != want {
+		t.Fatalf("online %+v != batch %+v", got, want)
+	}
+
+	// A zero-width read of a never-written value must fail with the
+	// sequential engine's verdict, Advance slicing notwithstanding.
+	bad := []Op{{Node: 0, Kind: Read, Value: "ghost", Inv: 5, Res: 5}}
+	o2 := NewOnline(Options{Initial: "v0"})
+	o2.Begin(0, 5)
+	o2.Add(bad[0])
+	o2.Advance(6)
+	if got, want := o2.Finish(), Check(bad, Options{Initial: "v0"}); got != want {
+		t.Fatalf("zero-width failure: online %+v != batch %+v", got, want)
+	}
+}
+
+// TestOnlineStraddlingFlushBounds pins an operation spanning several
+// consecutive flush bounds: neighbours settle and leave the window around
+// it, it survives every intermediate flush, and the final Result still
+// matches the batch checker.
+func TestOnlineStraddlingFlushBounds(t *testing.T) {
+	seq := []Op{
+		{Node: 0, Kind: Write, Value: "w0", Inv: 10, Res: 30}, // alive across the flushes at 20 and 25
+		{Node: 1, Kind: Read, Value: "v0", Inv: 12, Res: 14},  // settles at the first flush
+		{Node: 2, Kind: Read, Value: "w0", Inv: 42, Res: 44},  // arrives after the write settled
+	}
+	o := NewOnline(Options{Initial: "v0"})
+	o.Begin(0, 10)
+	o.Add(seq[0])
+	o.Begin(1, 12)
+	o.Add(seq[1])
+	o.Advance(20) // first bound: the read (hi 14) settles, the write straddles
+	if len(o.window) != 1 {
+		t.Fatalf("after first flush: window %d entries, want 1 (the straddling write)", len(o.window))
+	}
+	o.Advance(25) // second bound, still inside [10,30]: the write must survive
+	if len(o.window) != 1 {
+		t.Fatalf("after second flush inside the write's window: window %d entries, want 1", len(o.window))
+	}
+	o.Advance(40) // past the deadline: the write settles
+	if len(o.window) != 0 {
+		t.Fatalf("after third flush: window %d entries, want 0", len(o.window))
+	}
+	o.Begin(2, 42)
+	o.Add(seq[2])
+	if got, want := o.Finish(), Check(seq, Options{Initial: "v0"}); got != want {
+		t.Fatalf("online %+v != batch %+v", got, want)
+	}
+	if r := o.Finish(); !r.OK {
+		t.Fatalf("straddling stream rejected: %+v", r)
+	}
+}

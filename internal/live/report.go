@@ -44,8 +44,11 @@ type Report struct {
 
 	// Violations counts online linearizability check failures (sticky: 0
 	// or 1 per check); CheckStates is the online checker's search size.
+	// CheckShards is the sharded-verification worker count the run used
+	// (0: checkers ran inline on the event consumer).
 	Violations  int  `json:"violations"`
 	CheckStates int  `json:"check_states"`
+	CheckShards int  `json:"check_shards,omitempty"`
 	Pass        bool `json:"pass"`
 }
 

@@ -29,6 +29,7 @@ import (
 // the operations still open when the run ends.
 type Monitor struct {
 	checks []monCheck
+	keyOf  func(ta.NodeID) string
 	open   map[ta.NodeID]monOpen
 	err    error
 
@@ -41,7 +42,7 @@ type Monitor struct {
 
 type monCheck struct {
 	name string
-	o    *linearize.Online
+	c    linearize.Checker
 }
 
 type monOpen struct {
@@ -62,9 +63,41 @@ func NewMonitor() *Monitor {
 
 // AddCheck registers a named online checker over the monitored operation
 // stream. Must be called before any event is observed, so the checker
-// sees the stream from its start.
+// sees the stream from its start. The checker runs inline on the
+// observing goroutine; AddShardedCheck moves it to a worker pool.
 func (m *Monitor) AddCheck(name string, opt linearize.Options) {
-	m.checks = append(m.checks, monCheck{name: name, o: linearize.NewOnline(opt)})
+	m.AddChecker(name, linearize.NewSharded(linearize.ShardedOptions{Check: opt}))
+}
+
+// AddShardedCheck registers a named checker fanned out across shards
+// worker goroutines (below 2: inline, equivalent to AddCheck). The
+// verdict is deterministic and equal to the inline checker's; only the
+// observing goroutine's share of the work changes.
+func (m *Monitor) AddShardedCheck(name string, opt linearize.Options, shards int) {
+	m.AddChecker(name, linearize.NewSharded(linearize.ShardedOptions{Check: opt, Shards: shards}))
+}
+
+// AddChecker registers an arbitrary keyed checker (e.g. a Recorder
+// capturing the command stream). Must be called before any event is
+// observed. The monitor always drives Finish on every registered
+// checker, so sharded checkers' workers are reliably terminated.
+func (m *Monitor) AddChecker(name string, c linearize.Checker) {
+	m.checks = append(m.checks, monCheck{name: name, c: c})
+}
+
+// SetKeyFunc sets the register-routing key function: the key under which
+// a node's operations are checked. All nodes sharing a key form one
+// register history, checked for linearizability independently of every
+// other key — the multi-register fan-out. Unset (or nil) means a single
+// anonymous register, the single-register monitor semantics.
+func (m *Monitor) SetKeyFunc(fn func(ta.NodeID) string) { m.keyOf = fn }
+
+// key resolves a node's routing key.
+func (m *Monitor) key(n ta.NodeID) string {
+	if m.keyOf == nil {
+		return ""
+	}
+	return m.keyOf(n)
 }
 
 // Observe implements exec.Sink, mirroring History's alternation state
@@ -100,8 +133,9 @@ func (m *Monitor) Observe(e ta.Event) {
 			op.Value = v.String()
 		}
 		m.open[a.Node] = monOpen{op: op, set: true}
+		key := m.key(a.Node)
 		for _, c := range m.checks {
-			c.o.Begin(a.Node, e.At)
+			c.c.Begin(key, a.Node, e.At)
 		}
 	case ActReturn, ActAck:
 		if a.Kind == ta.KindInternal {
@@ -134,8 +168,9 @@ func (m *Monitor) Observe(e ta.Event) {
 		} else {
 			m.Writes.Add(d)
 		}
+		key := m.key(a.Node)
 		for _, c := range m.checks {
-			c.o.Add(cur.op)
+			c.c.Add(key, cur.op)
 		}
 		m.open[a.Node] = monOpen{}
 	}
@@ -149,7 +184,7 @@ func (m *Monitor) Flush(bound simtime.Time) {
 		return
 	}
 	for _, c := range m.checks {
-		c.o.Advance(bound)
+		c.c.Advance(bound)
 	}
 }
 
@@ -176,13 +211,14 @@ func (m *Monitor) Finish() {
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 	for _, n := range nodes {
 		op := m.open[n].op
+		key := m.key(n)
 		for _, c := range m.checks {
-			c.o.Add(op)
+			c.c.Add(key, op)
 		}
 		m.open[n] = monOpen{}
 	}
 	for _, c := range m.checks {
-		m.results[c.name] = c.o.Finish()
+		m.results[c.name] = c.c.Finish()
 	}
 }
 
