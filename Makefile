@@ -22,16 +22,19 @@ tier2:
 
 # Regenerate BENCH_results.json: per-experiment wall time, pass/fail,
 # E10's executor ops/sec and memory metrics, the long-horizon streaming
-# pipeline section (-stream), and the checker-throughput sub-sections
-# (sequential vs 4-way sharded vs ε-approximate verification).
+# pipeline section (-stream), the checker-throughput sub-sections
+# (sequential vs 4-way sharded vs ε-approximate verification), and the
+# sharded executor's GOMAXPROCS × shards scaling curve (-shardsweep).
 json:
-	$(GO) run ./cmd/pscbench -json -stream -checkshards 4 -approx
+	$(GO) run ./cmd/pscbench -json -stream -checkshards 4 -approx -shardsweep
 
 # Regression gate: rerun all experiments and diff wall time, ops/sec, and
 # memory (peak heap, allocs/op — gated upward) against the committed
-# BENCH_results.json; exits nonzero past 20% in the regressing direction.
+# BENCH_results.json; exits nonzero past 20% in the regressing direction,
+# or when a scaling-curve cell that beat sequential in the baseline
+# drops below 1.0×.
 compare:
-	$(GO) run ./cmd/pscbench -compare BENCH_results.json -stream -checkshards 4 -approx
+	$(GO) run ./cmd/pscbench -compare BENCH_results.json -stream -checkshards 4 -approx -shardsweep
 
 # Long-horizon streaming pipeline measurement alone: 10^6 operations
 # verified online in O(window) memory, peak heap and allocs/op printed.

@@ -114,6 +114,7 @@ func compareReports(old, cur jsonReport, tol float64) []string {
 	}
 	regressions = append(regressions, compareStream(old, cur, tol)...)
 	regressions = append(regressions, compareLive(old, cur, tol)...)
+	regressions = append(regressions, compareShardScaling(old, cur)...)
 	fmt.Printf("total wall: %.0f ms -> %.0f ms (%+.0f%%)\n", old.TotalWallMS, cur.TotalWallMS, pct(old.TotalWallMS, cur.TotalWallMS))
 	return regressions
 }
@@ -170,6 +171,7 @@ func compareStream(old, cur jsonReport, tol float64) []string {
 		return nil
 	}
 	o, n := old.Stream, cur.Stream
+	warnSectionProcs("stream", o.GOMAXPROCS, n.GOMAXPROCS)
 	if o.Ops != n.Ops {
 		fmt.Fprintf(os.Stderr, "pscbench: warning: -stream sections measure different op counts (%d vs %d); streaming memory deltas not compared\n", o.Ops, n.Ops)
 		return nil
@@ -253,6 +255,7 @@ func compareLive(old, cur jsonReport, tol float64) []string {
 		return nil
 	}
 	o, n := old.Live, cur.Live
+	warnSectionProcs("live", o.GOMAXPROCS, n.GOMAXPROCS)
 	if o.Nodes != n.Nodes || o.Clients != n.Clients || o.Clock != n.Clock || o.Transport != n.Transport {
 		fmt.Fprintf(os.Stderr, "pscbench: warning: live sections ran different configurations (%d nodes/%d clients/%s/%s vs %d/%d/%s/%s); live deltas not compared\n",
 			o.Nodes, o.Clients, o.Clock, o.Transport, n.Nodes, n.Clients, n.Clock, n.Transport)
@@ -275,6 +278,68 @@ func compareLive(old, cur jsonReport, tol float64) []string {
 	row("write_p99_us", o.WriteP99US, n.WriteP99US, false)
 	if o.Pass && !n.Pass {
 		regressions = append(regressions, "live: previous run passed its online check, new run did not")
+	}
+	return regressions
+}
+
+// warnSectionProcs warns when a section's recorded GOMAXPROCS differs
+// between reports: per-section throughput deltas would measure the
+// parallelism change. Sections written before the field existed record 0
+// and are skipped — there is nothing to compare against.
+func warnSectionProcs(section string, o, n int) {
+	if o != 0 && n != 0 && o != n {
+		fmt.Fprintf(os.Stderr, "pscbench: warning: %s sections ran under different GOMAXPROCS (%d vs %d) — throughput deltas reflect the parallelism change\n", section, o, n)
+	}
+}
+
+// compareShardScaling diffs the -shardsweep sections. The scaling curve's
+// absolute ops/s are too host-sensitive to gate; what gates is the shape:
+// a cell that beat sequential in the baseline (speedup ≥ 1.0×) falling
+// below 1.0× is a regression — the adaptive-horizon executor's contract
+// is that wins, once won, stay won. Cells are matched by their full
+// configuration (model, n, shards, procs); a baseline section the
+// candidate run dropped is a regression, as with the stream section.
+func compareShardScaling(old, cur jsonReport) []string {
+	if old.ShardScaling == nil || cur.ShardScaling == nil {
+		if old.ShardScaling != nil {
+			return []string{"shard_scaling: baseline has a -shardsweep section but the new report omits it (run with -shardsweep to compare)"}
+		}
+		if cur.ShardScaling != nil {
+			fmt.Fprintln(os.Stderr, "pscbench: note: shard_scaling section is new in this report; no baseline to compare")
+		}
+		return nil
+	}
+	o, n := old.ShardScaling, cur.ShardScaling
+	warnSectionProcs("shard_scaling", o.GOMAXPROCS, n.GOMAXPROCS)
+	if o.NumCPU != n.NumCPU {
+		fmt.Fprintf(os.Stderr, "pscbench: warning: shard_scaling sections measured on different core counts (%d vs %d CPU); speedup deltas reflect the host change\n", o.NumCPU, n.NumCPU)
+	}
+	type cellKey struct {
+		model            string
+		n, shards, procs int
+	}
+	byKey := make(map[cellKey]float64, len(o.Cells))
+	for _, c := range o.Cells {
+		byKey[cellKey{c.Model, c.N, c.Shards, c.Procs}] = c.SpeedupVsSeq
+	}
+	var regressions []string
+	for _, c := range n.Cells {
+		os_, ok := byKey[cellKey{c.Model, c.N, c.Shards, c.Procs}]
+		if !ok {
+			continue
+		}
+		mark := ""
+		if os_ >= 1.0 && c.SpeedupVsSeq < 1.0 {
+			mark = "  REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("shard_scaling %s n=%d shards=%d procs=%d: speedup %.2fx -> %.2fx (previously beat sequential, now does not)",
+					c.Model, c.N, c.Shards, c.Procs, os_, c.SpeedupVsSeq))
+		}
+		fmt.Printf("%-5s %-28s %9.2fx %9.2fx %+7.0f%%%s\n", "shrd",
+			fmt.Sprintf("%s.s%d.p%d speedup", c.Model, c.Shards, c.Procs), os_, c.SpeedupVsSeq, pct(os_, c.SpeedupVsSeq), mark)
+	}
+	if o.Pass && !n.Pass {
+		regressions = append(regressions, "shard_scaling: previously passed its win gate, new run did not")
 	}
 	return regressions
 }

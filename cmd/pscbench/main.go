@@ -15,6 +15,7 @@
 //	pscbench -streamops 1000000 # operation count for -stream
 //	pscbench -checkshards 4     # sharded parallel verification (experiments + -stream)
 //	pscbench -approx            # also measure the ε-approximate checker in -stream
+//	pscbench -shardsweep        # GOMAXPROCS × shards scaling curve of the sharded executor
 //	pscbench -cpuprofile cpu.pb # write a CPU profile of the run
 //	pscbench -memprofile mem.pb # write a heap profile at exit
 //
@@ -61,18 +62,21 @@ type jsonResult struct {
 // flag a diff between reports produced under different configurations
 // before anyone reads meaning into its deltas.
 type jsonReport struct {
-	Parallelism int          `json:"parallelism"`
-	Shards      int          `json:"shards"`
-	CheckShards int          `json:"check_shards,omitempty"`
-	Dense       bool         `json:"dense"`
-	GOMAXPROCS  int          `json:"gomaxprocs"`
-	TotalWallMS float64      `json:"total_wall_ms"`
-	Stream      *jsonStream  `json:"stream,omitempty"`
+	Parallelism int         `json:"parallelism"`
+	Shards      int         `json:"shards"`
+	CheckShards int         `json:"check_shards,omitempty"`
+	Dense       bool        `json:"dense"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	TotalWallMS float64     `json:"total_wall_ms"`
+	Stream      *jsonStream `json:"stream,omitempty"`
 	// Live is the pscserve wall-clock section; pscbench never produces
 	// it, but carries an existing one forward when rewriting the file so
 	// the two tools co-own BENCH_results.json.
-	Live        *live.Report `json:"live,omitempty"`
-	Experiments []jsonResult `json:"experiments"`
+	Live *live.Report `json:"live,omitempty"`
+	// ShardScaling is the -shardsweep section: the sharded executor's
+	// GOMAXPROCS × shards scaling curve (see shardsweep.go).
+	ShardScaling *jsonShardScaling `json:"shard_scaling,omitempty"`
+	Experiments  []jsonResult      `json:"experiments"`
 }
 
 // jsonStream records the -stream measurement: the long-horizon workload
@@ -83,7 +87,11 @@ type jsonReport struct {
 // with the run, which is the comparison the streaming pipeline exists to
 // win.
 type jsonStream struct {
-	Ops           int     `json:"ops"`
+	Ops int `json:"ops"`
+	// GOMAXPROCS is recorded per section: a section measured under a
+	// different parallelism than the baseline's is an apples-to-oranges
+	// throughput comparison even when the top-level settings match.
+	GOMAXPROCS    int     `json:"gomaxprocs,omitempty"`
 	Pass          bool    `json:"pass"`
 	WallMS        float64 `json:"wall_ms"`
 	OpsPerSec     float64 `json:"ops_per_sec"`
@@ -147,6 +155,7 @@ func run(args []string) int {
 	streamOps := fs.Int("streamops", 1_000_000, "operation count for the -stream measurement")
 	checkShards := fs.Int("checkshards", 0, "sharded-verification worker count (<2: sequential); experiments gain a sharded verdict-parity twin per checker, -stream gains checker-throughput sub-sections")
 	approx := fs.Bool("approx", false, "with -stream, also measure the ε-approximate checker variant")
+	shardSweep := fs.Bool("shardsweep", false, "after the experiments, measure the sharded executor's GOMAXPROCS × shards scaling curve")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -253,6 +262,12 @@ func run(args []string) int {
 			if sub != nil && !sub.Pass {
 				failed++
 			}
+		}
+	}
+	if *shardSweep {
+		report.ShardScaling = runShardSweep()
+		if !report.ShardScaling.Pass {
+			failed++
 		}
 	}
 	report.TotalWallMS = float64(time.Since(start).Microseconds()) / 1000

@@ -150,7 +150,7 @@ func TestCompareGatesMemoryGrowth(t *testing.T) {
 		t.Errorf("vanished memory metric not flagged: code = %d, want 1", code)
 	}
 	writeReport(t, base, jsonReport{
-		Stream: &jsonStream{Ops: 3000, PeakHeapBytes: 1, AllocsPerOp: 0.0001},
+		Stream:      &jsonStream{Ops: 3000, PeakHeapBytes: 1, AllocsPerOp: 0.0001},
 		Experiments: []jsonResult{{ID: "E1", WallMS: 60_000}},
 	})
 	if code := run([]string{"-compare", base, "-stream", "-streamops", "3000", "-run", "E1"}); code != 1 {

@@ -54,6 +54,7 @@ func runStream(ops, checkShards int, approx bool) (*jsonStream, error) {
 	}
 	js := &jsonStream{
 		Ops:           sr.Ops,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Pass:          sr.OK,
 		WallMS:        sr.WallMS,
 		OpsPerSec:     sr.OpsPerSec,

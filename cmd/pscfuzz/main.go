@@ -11,6 +11,7 @@
 //	pscfuzz -trials 50 -mutate    # sanity: fuzz the broken L variant, expect violations
 //	pscfuzz -trials 50 -shards 4  # differential: sharded vs sequential execution
 //	pscfuzz -trials 50 -checkshards 4  # differential: sharded vs sequential verification
+//	pscfuzz -trials 50 -shards 4 -edgespread  # per-edge d1 spreads (adaptive-horizon planner)
 package main
 
 import (
@@ -46,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	mutate := fs.Bool("mutate", false, "fuzz the broken variant (plain L in the clock model); violations are then expected")
 	shards := fs.Int("shards", 0, "run each trial again under sharded conservative-parallel execution with this many shards and require an identical history (<2: off)")
 	checkShards := fs.Int("checkshards", 0, "replay each trial's history through the sharded checker with this many workers and require a verdict byte-identical to the sequential Online oracle (<2: off)")
+	edgeSpread := fs.Bool("edgespread", false, "draw an independent delay interval per directed edge (within the trial's global [d1,d2]), exercising the per-edge d1 lookahead planner of sharded execution")
 	verbose := fs.Bool("v", false, "print each trial's configuration")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -54,7 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	violations := 0
 	for trial := 0; trial < *trials; trial++ {
 		cfgSeed := *seed*1_000_000_007 + int64(trial)
-		desc, ops, err := oneTrial(cfgSeed, *mutate, 0)
+		desc, ops, err := oneTrial(cfgSeed, *mutate, 0, *edgeSpread)
 		if err != nil {
 			fmt.Fprintf(stderr, "pscfuzz: trial %d (%s): %v\n", trial, desc, err)
 			return 2
@@ -64,7 +66,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		res := linearize.CheckLinearizable(ops, register.Initial.String())
 		if *shards > 1 {
-			if msg := diffSharded(cfgSeed, *mutate, *shards, ops, res); msg != "" {
+			if msg := diffSharded(cfgSeed, *mutate, *shards, *edgeSpread, ops, res); msg != "" {
 				fmt.Fprintf(stdout, "DIVERGENCE in trial %d: %s\n  %s\n", trial, desc, msg)
 				fmt.Fprintf(stdout, "replay: pscfuzz -trials 1 -seed %d -shards %d\n", cfgSeed, *shards)
 				return 2
@@ -157,8 +159,8 @@ func diffCheckSharded(ops []linearize.Op, checkShards int, batch linearize.Resul
 // The conservative-parallel executor promises determinism — identical
 // traces, not merely equivalent ones — so any diff is a bug in the
 // d1-lookahead machinery. Returns "" when the runs agree.
-func diffSharded(seed int64, mutate bool, shards int, seqOps []linearize.Op, seqRes linearize.Result) string {
-	_, ops, err := oneTrial(seed, mutate, shards)
+func diffSharded(seed int64, mutate bool, shards int, edgeSpread bool, seqOps []linearize.Op, seqRes linearize.Result) string {
+	_, ops, err := oneTrial(seed, mutate, shards, edgeSpread)
 	if err != nil {
 		return fmt.Sprintf("sharded run failed: %v", err)
 	}
@@ -178,7 +180,10 @@ func diffSharded(seed int64, mutate bool, shards int, seqOps []linearize.Op, seq
 
 // oneTrial draws and runs one configuration; shards > 1 selects the
 // conservative-parallel executor (negative and 0..1 run sequentially).
-func oneTrial(seed int64, mutate bool, shards int) (string, []linearize.Op, error) {
+// edgeSpread replaces the uniform delay bounds with an independent
+// interval per directed edge, each nested inside the global [d1, d2] so
+// the register's D2 wait budget stays an upper bound on every delivery.
+func oneTrial(seed int64, mutate bool, shards int, edgeSpread bool) (string, []linearize.Op, error) {
 	r := rand.New(rand.NewSource(seed))
 	n := 2 + r.Intn(4)
 	d1 := simtime.Duration(r.Int63n(int64(2 * ms)))
@@ -234,13 +239,34 @@ func oneTrial(seed int64, mutate bool, shards int) (string, []linearize.Op, erro
 			cname = "spread"
 		}
 	}
-	desc := fmt.Sprintf("alg=%s n=%d d=[%v,%v] ε=%v c=%v clocks=%s delays=%s seed=%d",
-		algName, n, d1, d2, eps, cKnob, cname, dname, seed)
+	edgeDesc := ""
+	var edgeBounds func(from, to int) simtime.Interval
+	if edgeSpread {
+		// An independent interval per directed edge, drawn from a seed
+		// derived only from (campaign seed, from, to) so the sequential and
+		// sharded runs of the same trial see identical per-edge bounds. The
+		// lower bound stays strictly positive (sharding needs a nonzero
+		// cross-shard lookahead) and the upper stays within the global d2.
+		minLo := 20 * us
+		if d1 > minLo {
+			minLo = d1
+		}
+		base := seed * 7_919
+		edgeBounds = func(from, to int) simtime.Interval {
+			er := rand.New(rand.NewSource(base + int64(from)*1_000 + int64(to)))
+			lo := minLo + simtime.Duration(er.Int63n(int64(d2-minLo)+1))
+			hi := lo + simtime.Duration(er.Int63n(int64(d2-lo)+1))
+			return simtime.NewInterval(lo, hi)
+		}
+		edgeDesc = " edges=spread"
+	}
+	desc := fmt.Sprintf("alg=%s n=%d d=[%v,%v]%s ε=%v c=%v clocks=%s delays=%s seed=%d",
+		algName, n, d1, d2, edgeDesc, eps, cKnob, cname, dname, seed)
 
 	if shards < 2 {
 		shards = -1 // pin sequential even if a process-global default is set
 	}
-	cfg := core.Config{N: n, Bounds: bounds, Seed: seed, Clocks: cf, NewDelay: df, FIFO: r.Intn(2) == 0, Shards: shards}
+	cfg := core.Config{N: n, Bounds: bounds, EdgeBounds: edgeBounds, Seed: seed, Clocks: cf, NewDelay: df, FIFO: r.Intn(2) == 0, Shards: shards}
 	net := core.BuildClocked(cfg, factory)
 	clients := workload.Attach(net, workload.Config{
 		Ops:        8 + r.Intn(10),
@@ -251,6 +277,11 @@ func oneTrial(seed int64, mutate bool, shards int) (string, []linearize.Op, erro
 	})
 	if _, err := net.Sys.RunQuiet(simtime.Time(120 * simtime.Second)); err != nil {
 		return desc, nil, err
+	}
+	if shards > 1 && edgeSpread && !net.Sys.Sharded() {
+		// Every per-edge lower bound is strictly positive under edgeSpread,
+		// so a fallback means the differential would be vacuous.
+		return desc, nil, fmt.Errorf("sharding fell back (%s); the -edgespread differential did not run", net.Sys.ShardFallbackReason())
 	}
 	for _, c := range clients {
 		if c.Done == 0 {

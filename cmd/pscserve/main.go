@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"psclock/internal/clock"
@@ -233,11 +234,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	report := &live.Report{
-		Nodes:     *nodes,
-		Clients:   *clients,
-		Clock:     *clockName,
-		Transport: tname(tr),
-		Seed:      *seed,
+		Nodes:      *nodes,
+		Clients:    *clients,
+		Clock:      *clockName,
+		Transport:  tname(tr),
+		Seed:       *seed,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 
 		DurationMS: float64(wall.Microseconds()) / 1e3,
 		Ops:        res.Ops,

@@ -51,6 +51,12 @@ type Config struct {
 	N int
 	// Bounds is the link delay interval [d1, d2] of every edge.
 	Bounds simtime.Interval
+	// EdgeBounds, when non-nil, overrides Bounds per directed edge, so
+	// heterogeneous links (§2.3 allows each channel its own [d1, d2]) can
+	// be modelled. The shard planner exploits the spread: each cross-shard
+	// lane pair's lookahead is the minimum d1 over the edges that actually
+	// cross it, not the global minimum.
+	EdgeBounds func(from, to int) simtime.Interval
 	// Seed derives all per-component seeds.
 	Seed int64
 	// NewDelay builds the delay policy for each edge (a fresh instance per
@@ -81,13 +87,14 @@ type Config struct {
 	Topology func(from, to int) bool
 
 	// Shards requests conservative-parallel sharded execution
-	// (exec.System.SetShards): nodes are partitioned into contiguous
-	// blocks, each node's tick source and clients join its shard, and every
-	// channel is pinned to its receiver's shard, so the minimum cross-shard
-	// link delay d1 becomes the executor's lookahead. Zero uses the
-	// process-global default (SetDefaultShards); negative forces sequential
-	// execution regardless of the default; values above N are clamped to N.
-	// Seeded runs produce identical observable traces either way.
+	// (exec.System.SetShardsPlanned): nodes are partitioned into contiguous
+	// blocks balanced by interest density, each node's tick source and
+	// clients join its shard, and every channel is pinned to its receiver's
+	// shard, so each ordered shard pair's lookahead is the minimum d1 over
+	// the links that actually cross it. Zero uses the process-global
+	// default (SetDefaultShards); negative forces sequential execution
+	// regardless of the default; values above N are clamped to N. Seeded
+	// runs produce identical observable traces either way.
 	Shards int
 }
 
@@ -105,6 +112,14 @@ func (cfg Config) shardCount() int {
 		n = cfg.N
 	}
 	return n
+}
+
+// edgeBounds resolves the delay interval of edge (i, j).
+func (cfg Config) edgeBounds(i, j int) simtime.Interval {
+	if cfg.EdgeBounds != nil {
+		return cfg.EdgeBounds(i, j)
+	}
+	return cfg.Bounds
 }
 
 func (cfg Config) hasEdge(i, j int) bool {
@@ -163,19 +178,74 @@ type Net struct {
 	shardOf   map[string]int
 }
 
+// balancedBlocks cuts the node line 0..n-1 into s contiguous blocks of
+// near-equal total weight, keeping every block non-empty, and returns the
+// node→block assignment. With uniform weights it reproduces the classic
+// i*s/n partition.
+func balancedBlocks(weight []int, s int) []int {
+	n := len(weight)
+	total := 0
+	for _, w := range weight {
+		total += w
+	}
+	out := make([]int, n)
+	b, acc := 0, 0
+	for i := 0; i < n; i++ {
+		out[i] = b
+		acc += weight[i]
+		// Advance to the next block once this one holds its proportional
+		// share of the weight — or when the nodes left are only just enough
+		// to keep the remaining blocks non-empty.
+		if b < s-1 && (acc*s >= (b+1)*total || n-i-1 == s-b-1) {
+			b++
+		}
+	}
+	return out
+}
+
+// shardWeights estimates each node's event density for the partition
+// balancer: the node automaton itself, its tick source (the dominant heap
+// churn in the MMT model, even coalesced), and each of its incoming
+// channels contribute scheduler load to whichever shard hosts the node.
+func (net *Net) shardWeights() []int {
+	weight := make([]int, net.N)
+	for i := range weight {
+		weight[i] = 1
+	}
+	for range net.Ticks {
+		// Tick sources exist for every node or none; count them uniformly.
+		for i := range weight {
+			weight[i]++
+		}
+		break
+	}
+	for _, e := range net.Edges {
+		weight[int(e.To())]++
+	}
+	return weight
+}
+
 // applySharding partitions the built components into cfg.shardCount()
-// contiguous node blocks and hands the executor the assignment along with
-// the minimum cross-shard link delay as lookahead. Same-instant causality
-// stays shard-local by construction: a node reacts instantly only to its
-// own tick source, its own clients, and deliveries from its incoming
-// channels — all pinned to its shard — while a channel merely schedules a
-// future arrival (≥ d1 later) when its sender's shard writes to it.
+// contiguous node blocks — balanced by interest density (nodes, tick
+// sources, and incoming channels all generate scheduler load for their
+// shard) — and hands the executor a per-lane-pair lookahead plan: entry
+// (j, k) is the minimum d1 over the edges whose sender sits in shard j and
+// receiver in shard k, saturating Never for pairs no edge crosses, so
+// distant lanes run ahead on their own slack instead of the global
+// minimum. Same-instant causality stays shard-local by construction: a
+// node reacts instantly only to its own tick source, its own clients, and
+// deliveries from its incoming channels — all pinned to its shard — while
+// a channel merely schedules a future arrival (≥ its d1 later) when its
+// sender's shard writes to it; each channel's d1 is also declared as its
+// minimum effect delay, which caps how far a lane must throttle its
+// guarantees for mail it has buffered but not yet handed over.
 func (net *Net) applySharding(cfg Config) {
 	s := cfg.shardCount()
 	if s < 2 {
 		return
 	}
-	shard := func(i int) int { return i * s / net.N }
+	nodeShard := balancedBlocks(net.shardWeights(), s)
+	shard := func(i int) int { return nodeShard[i] }
 	m := make(map[string]int, 2*net.N+len(net.Edges))
 	for i, n := range net.Timed {
 		m[n.Name()] = shard(i)
@@ -189,26 +259,36 @@ func (net *Net) applySharding(cfg Config) {
 	for i, t := range net.Ticks {
 		m[t.Name()] = shard(i)
 	}
-	lookahead := simtime.Duration(simtime.Never)
-	for _, e := range net.Edges {
-		recv := shard(int(e.To()))
-		m[e.Name()] = recv
-		if shard(int(e.From())) != recv {
-			if lo := e.Bounds().Lo; lo < lookahead {
-				lookahead = lo
+	la := make([][]simtime.Duration, s)
+	for j := range la {
+		la[j] = make([]simtime.Duration, s)
+		for k := range la[j] {
+			if j != k {
+				la[j][k] = simtime.Duration(simtime.Never)
 			}
 		}
 	}
-	net.nodeShard = make([]int, net.N)
-	for i := range net.nodeShard {
-		net.nodeShard[i] = shard(i)
+	edgeD1 := make(map[string]simtime.Duration, len(net.Edges))
+	for _, e := range net.Edges {
+		recv := shard(int(e.To()))
+		m[e.Name()] = recv
+		edgeD1[e.Name()] = e.Bounds().Lo
+		if from := shard(int(e.From())); from != recv {
+			if lo := e.Bounds().Lo; lo < la[from][recv] {
+				la[from][recv] = lo
+			}
+		}
 	}
+	net.nodeShard = nodeShard
 	net.shardOf = m
-	net.Sys.SetShards(s, lookahead, func(name string) int {
+	net.Sys.SetShardsPlanned(s, func(name string) int {
 		if sh, ok := net.shardOf[name]; ok {
 			return sh
 		}
 		return -1
+	}, exec.ShardPlan{
+		Lookahead: la,
+		MinDelay:  func(name string) simtime.Duration { return edgeD1[name] },
 	})
 }
 
@@ -284,7 +364,7 @@ func BuildTimed(cfg Config, f AlgorithmFactory) *Net {
 			if !cfg.hasEdge(i, j) {
 				continue
 			}
-			e := channel.New(ta.NodeID(i), ta.NodeID(j), cfg.Bounds, cfg.NewDelay(), edgeSeed(cfg.Seed, i, j, cfg.N))
+			e := channel.New(ta.NodeID(i), ta.NodeID(j), cfg.edgeBounds(i, j), cfg.NewDelay(), edgeSeed(cfg.Seed, i, j, cfg.N))
 			e.FIFO = cfg.FIFO
 			s.Add(e)
 			s.ConnectHeader(e.Matches, e)
@@ -320,7 +400,7 @@ func BuildClocked(cfg Config, f AlgorithmFactory) *Net {
 			if !cfg.hasEdge(i, j) {
 				continue
 			}
-			e := channel.NewClock(ta.NodeID(i), ta.NodeID(j), cfg.Bounds, cfg.NewDelay(), edgeSeed(cfg.Seed, i, j, cfg.N))
+			e := channel.NewClock(ta.NodeID(i), ta.NodeID(j), cfg.edgeBounds(i, j), cfg.NewDelay(), edgeSeed(cfg.Seed, i, j, cfg.N))
 			e.FIFO = cfg.FIFO
 			s.Add(e)
 			s.ConnectHeader(e.Matches, e)
@@ -369,7 +449,7 @@ func BuildMMT(cfg Config, f AlgorithmFactory) *Net {
 			if !cfg.hasEdge(i, j) {
 				continue
 			}
-			e := channel.NewClock(ta.NodeID(i), ta.NodeID(j), cfg.Bounds, cfg.NewDelay(), edgeSeed(cfg.Seed, i, j, cfg.N))
+			e := channel.NewClock(ta.NodeID(i), ta.NodeID(j), cfg.edgeBounds(i, j), cfg.NewDelay(), edgeSeed(cfg.Seed, i, j, cfg.N))
 			e.FIFO = cfg.FIFO
 			s.Add(e)
 			s.ConnectHeader(e.Matches, e)

@@ -61,10 +61,13 @@ type coalEntry struct {
 // fast-out in coalesce; the sweep re-asserts per popped entry.
 func (s *System) rebuildCoal() {
 	s.coal = s.coal[:0]
+	s.coalOf = s.coalOf[:0]
 	for i, c := range s.comps {
-		if cc, ok := c.(ta.Coalescable); ok {
+		cc, _ := c.(ta.Coalescable)
+		if cc != nil {
 			s.coal = append(s.coal, coalEntry{idx: int32(i), c: cc})
 		}
+		s.coalOf = append(s.coalOf, cc)
 	}
 }
 

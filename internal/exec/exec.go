@@ -22,9 +22,12 @@
 //     to the next observable event, collapsing runs of unobservable TICK
 //     and idle-step deadlines (ta.Coalescable) into arithmetic jumps, and
 //   - an optional sharded mode (shard.go) partitions the components into
-//     lanes that advance concurrently through bounded-lag windows sized
-//     by the minimum cross-shard link delay d1, with cross-shard actions
-//     buffered into mailboxes and merged at a barrier in canonical order.
+//     lanes that advance concurrently under adaptive per-lane horizons:
+//     each lane publishes a conservative bound on its next observable
+//     action (earliest deadline widened by NextInterest, plus incoming
+//     per-edge d1 guarantees), cross-shard actions are buffered into
+//     mailboxes, and lanes run ahead independently until a horizon binds;
+//     barriers deliver the mail and merge events in canonical order.
 //
 // All preserve the dispatch order of the original linear executor (kept
 // in linear.go as a differential reference): deterministic seeds produce
@@ -37,6 +40,7 @@ package exec
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"psclock/internal/simtime"
 	"psclock/internal/ta"
@@ -94,22 +98,45 @@ type lane struct {
 
 	sched     sched
 	ffScratch []int32
+	hzScratch []int32
+
+	// hCache memoizes laneHorizon between schedule mutations: every state
+	// change that can move a deadline or an interest horizon funnels
+	// through poll, which clears hValid. Lane-local, so no synchronization.
+	hCache simtime.Time
+	hValid bool
+
+	// idle marks a lane whose last pass made no progress under window
+	// lastW: rerunning it is futile until its window grows (guarantees are
+	// monotone, so equality means unchanged) or its schedule mutates (poll
+	// clears the flag). Cleared wholesale when the run bound changes.
+	idle  bool
+	lastW simtime.Time
 
 	chainDepth int
 	scratch    [][]ta.Action
 	routes     map[routeKey][]int32
 
 	// Sharded-round buffers (unused on the root lane). events holds the
-	// lane's recorded events of the current round in canonical lane-local
-	// order; evCount counts events when nothing records them (the
-	// KeepTrace-off, no-watcher fast path); mail holds cross-shard
-	// deliveries awaiting the barrier. round and firing stamp each
-	// buffered event with its merge key (see shard.go).
-	events  []laneEvent
-	evCount int
-	mail    []mailEntry
-	round   int32
-	firing  int32
+	// lane's recorded events in canonical lane-local order, consumed from
+	// evHead by the bounded barrier merge (the settled prefix is emitted,
+	// the tail carried over); evCount counts events when nothing records
+	// them (the KeepTrace-off, no-watcher fast path); mail holds
+	// cross-shard deliveries awaiting the barrier, with mailMin tracking
+	// per destination shard the earliest instant any buffered delivery
+	// could make its destination act (the sender's published guarantee may
+	// not exceed it). round and firing stamp each buffered event with its
+	// merge key, and frontier is the high-water bound of the lane's
+	// executed region — every local deadline strictly before it has fired
+	// (see shard.go).
+	events   []laneEvent
+	evHead   int
+	evCount  int
+	mail     []mailEntry
+	mailMin  []simtime.Time
+	round    int32
+	firing   int32
+	frontier simtime.Time
 }
 
 func (ln *lane) fail(err error) {
@@ -151,16 +178,31 @@ type System struct {
 	dense bool
 
 	// coal indexes the registered components that implement
-	// ta.Coalescable.
-	coal []coalEntry
+	// ta.Coalescable; coalOf maps every component index to its Coalescable
+	// view (nil when the component does not implement it), so hot paths
+	// skip the repeated type assertion.
+	coal   []coalEntry
+	coalOf []ta.Coalescable
 
 	// Sharded-mode state; see shard.go. shardCfg is the requested
-	// configuration, lanes/compShard/lookahead the active partition once
-	// initShards accepts it, and shardReason records why it did not.
+	// configuration; lanes/compShard/laMat the active partition once
+	// initShards accepts it, with laMat the per-lane-pair lookahead matrix
+	// and minLA its minimum off-diagonal entry; gmat is the flattened
+	// atomic guarantee matrix G[j][k] (no effect from lane j reaches lane
+	// k before G[j][k]); subDelay is each subscription's minimum effect
+	// delay, used to bound buffered mail; shardReason records why a
+	// requested partition was not activated.
 	shardCfg    *shardConfig
 	lanes       []*lane
 	compShard   []int32
-	lookahead   simtime.Duration
+	laMat       [][]simtime.Duration
+	minLA       simtime.Duration
+	gmat        []atomic.Int64
+	subDelay    []simtime.Duration
+	hScratch    []simtime.Time
+	passProg    atomic.Bool
+	active      atomic.Int32
+	passSpin    bool
 	shardOn     bool
 	shardReason string
 
@@ -196,9 +238,11 @@ func (s *System) Add(a ta.Automaton) ta.Automaton {
 			s.fail(fmt.Errorf("exec: Add(%s) after sharded execution started", a.Name()))
 			return a
 		}
-		if cc, ok := a.(ta.Coalescable); ok {
+		cc, _ := a.(ta.Coalescable)
+		if cc != nil {
 			s.coal = append(s.coal, coalEntry{idx: int32(idx), c: cc})
 		}
+		s.coalOf = append(s.coalOf, cc)
 		if !s.linear {
 			// Late registration: size the scheduler and pick up the
 			// newcomer's deadline immediately.
@@ -481,6 +525,13 @@ func (s *System) deliverTo(ln *lane, subIdx int32, a ta.Action, src string) {
 	sub := &s.subs[subIdx]
 	if ln.shard >= 0 && s.compShard[sub.dstIdx] != ln.shard {
 		ln.mail = append(ln.mail, mailEntry{sub: subIdx, a: a, at: ln.now, src: src})
+		// The destination cannot act on this delivery before at + the
+		// subscription's minimum effect delay; the lane's published
+		// guarantee to that shard must not promise past it.
+		d := s.compShard[sub.dstIdx]
+		if p := ln.now.Add(s.subDelay[subIdx]); p.Before(ln.mailMin[d]) {
+			ln.mailMin[d] = p
+		}
 		return
 	}
 	outs := sub.dst.Deliver(ln.now, a)

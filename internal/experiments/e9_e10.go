@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"psclock/internal/channel"
@@ -11,7 +12,6 @@ import (
 	"psclock/internal/simtime"
 	"psclock/internal/stats"
 	"psclock/internal/ta"
-	"psclock/internal/workload"
 )
 
 // causalProbe is a minimal algorithm that checks Lamport's condition — a
@@ -258,9 +258,6 @@ const e10Trials = 3
 // the cell stops after e10CellBudget of wall time, reporting whatever
 // operation and event counts the executor sustained in the box.
 func E10Throughput() Result {
-	bounds := simtime.NewInterval(1*ms, 3*ms)
-	eps := 200 * us
-	delta := 10 * us
 	tb := stats.NewTable("model", "n", "shards", "ops", "events", "wall ms", "ops/s", "events/s")
 	var fails []string
 	metrics := make(map[string]float64)
@@ -272,99 +269,17 @@ func E10Throughput() Result {
 	// sharded label, so it is a cell failure instead). suffix distinguishes
 	// the metric keys of sharded cells.
 	cell := func(model string, n, shards int, suffix string) {
-		p := register.Params{C: 200 * us, Delta: delta, D2: bounds.Hi + 2*eps + 24*100*us, Epsilon: eps}
-		ell := simtime.Duration(0)
-		if model == "mmt" {
-			ell = 100 * us
-		}
-		cfg := core.Config{
-			N: n, Bounds: bounds, Seed: 1100, Clocks: clock.DriftFactory(eps, 7), Ell: ell,
-			Shards: shards,
-		}
-		var net *core.Net
-		switch model {
-		case "timed":
-			net = core.BuildTimed(cfg, register.Factory(register.NewS, p))
-		case "clock":
-			net = core.BuildClocked(cfg, register.Factory(register.NewS, p))
-		case "mmt":
-			net = core.BuildMMT(cfg, register.Factory(register.NewS, p))
-			for _, mn := range net.MMT {
-				mn.RecordStamps = false
-			}
-		}
-		if model == "clock" {
-			for _, cn := range net.Clocked {
-				cn.RecordStamps = false
-			}
-		}
-		net.Sys.KeepTrace = false
-		events := 0
-		net.Sys.Watch(func(ta.Event) { events++ })
-		clients := workload.Attach(net, workload.Config{
-			Ops:        1 << 30, // effectively unbounded; the wall budget stops the cell
-			Think:      simtime.NewInterval(0, 2*ms),
-			WriteRatio: 0.4,
-			Seed:       12,
-		})
-		// Advance simulated time in slices until the budget is spent:
-		// the wall clock is only consulted between slices, so the slice
-		// width bounds how far a cell can overshoot. The same system
-		// runs through every trial window; counters are deltas per
-		// window and the fastest window wins.
-		const slice = simtime.Time(50 * ms)
-		horizon := simtime.Time(0)
-		countDone := func() int {
-			done := 0
-			for _, c := range clients {
-				done += c.Done
-			}
-			return done
-		}
-		var runErr error
-		var bestOps, bestEvents float64
-		totalDone := 0
-		var totalWall time.Duration
-		for trial := 0; trial < e10Trials && runErr == nil; trial++ {
-			done0, events0 := countDone(), events
-			start := time.Now()
-			for time.Since(start) < e10CellBudget/e10Trials {
-				horizon = horizon.Add(simtime.Duration(slice))
-				if runErr = net.Sys.Run(horizon); runErr != nil {
-					break
-				}
-			}
-			wall := time.Since(start)
-			totalWall += wall
-			secs := wall.Seconds()
-			if secs <= 0 {
-				secs = 1e-9
-			}
-			totalDone = countDone()
-			if ops := float64(totalDone-done0) / secs; ops > bestOps {
-				bestOps = ops
-				bestEvents = float64(events-events0) / secs
-			}
-		}
-		if runErr != nil {
-			fails = append(fails, fmt.Sprintf("%s n=%d%s: %v", model, n, suffix, runErr))
+		r := ThroughputCell(CellSpec{Model: model, N: n, Shards: shards, Budget: e10CellBudget, Trials: e10Trials})
+		if r.Err != "" {
+			fails = append(fails, fmt.Sprintf("%s n=%d%s: %s", model, n, suffix, r.Err))
 			return
 		}
-		if shards > 1 && !net.Sys.Sharded() {
-			fails = append(fails, fmt.Sprintf("%s n=%d%s: sharded execution did not engage (%s)",
-				model, n, suffix, net.Sys.ShardFallbackReason()))
-			return
-		}
-		if totalDone == 0 {
-			fails = append(fails, fmt.Sprintf("%s n=%d%s: no operation completed within the %v budget", model, n, suffix, e10CellBudget))
-			return
-		}
-		tb.AddRow(model, fmt.Sprint(n), fmt.Sprint(net.Sys.ShardCount()), fmt.Sprint(totalDone), fmt.Sprint(events),
-			fmt.Sprintf("%.1f", float64(totalWall.Microseconds())/1000),
-			fmt.Sprintf("%.0f", bestOps),
-			fmt.Sprintf("%.0f", bestEvents))
-		metrics[fmt.Sprintf("ops_per_sec_%s_n%d%s", model, n, suffix)] = bestOps
-		metrics[fmt.Sprintf("events_per_sec_%s_n%d%s", model, n, suffix)] = bestEvents
+		tb.AddRow(model, fmt.Sprint(n), fmt.Sprint(r.ShardCount), fmt.Sprint(r.Ops), fmt.Sprint(r.Events),
+			fmt.Sprintf("%.1f", r.WallMS),
+			fmt.Sprintf("%.0f", r.OpsPerSec),
+			fmt.Sprintf("%.0f", r.EventsPerSec))
+		metrics[fmt.Sprintf("ops_per_sec_%s_n%d%s", model, n, suffix)] = r.OpsPerSec
+		metrics[fmt.Sprintf("events_per_sec_%s_n%d%s", model, n, suffix)] = r.EventsPerSec
 	}
 	// Rows stay sequential on purpose: each times its own wall clock, and
 	// concurrent rows would steal cycles from each other's measurement.
@@ -383,11 +298,31 @@ func E10Throughput() Result {
 	for _, model := range []string{"timed", "clock", "mmt"} {
 		cell(model, 8, shards, "_sharded")
 	}
+	// Scaling curve: the adaptive-horizon sharded executor across
+	// GOMAXPROCS × shard counts at the largest size, each cell's speedup
+	// relative to a sequential baseline measured in the same sweep. Only
+	// procs values the machine can actually host run — oversubscribed
+	// cells would mislabel timeslicing as scaling.
+	var procs []int
+	for _, p := range []int{1, 2, 4} {
+		if p <= runtime.NumCPU() || p == 1 {
+			procs = append(procs, p)
+		}
+	}
+	curve, curveFails := ShardScaling(8, []int{2, 4, 8}, procs, e10CellBudget, e10Trials)
+	fails = append(fails, curveFails...)
+	ct := stats.NewTable("model", "n", "shards", "procs", "ops/s", "seq ops/s", "speedup", "win")
+	for _, c := range curve {
+		ct.AddRow(c.Model, fmt.Sprint(c.N), fmt.Sprint(c.Shards), fmt.Sprint(c.Procs),
+			fmt.Sprintf("%.0f", c.OpsPerSec), fmt.Sprintf("%.0f", c.SeqOpsPerSec),
+			fmt.Sprintf("%.2fx", c.SpeedupVsSeq), checkMark(c.Win))
+		metrics[fmt.Sprintf("speedup_%s_n%d_s%d_p%d", c.Model, c.N, c.Shards, c.Procs)] = c.SpeedupVsSeq
+	}
 	// Pipeline comparison: the same workload checked streaming (online
 	// checker over the event-sink pipeline, no retention) and retained
 	// (trace + batch check), with memory columns.
 	pipeOut, pipeFails := e10Pipelines(metrics)
 	fails = append(fails, pipeFails...)
 	return Result{ID: "E10", Title: "executor throughput by model and size (time-boxed cells)",
-		Output: tb.String() + "\n" + pipeOut, Failures: fails, Metrics: metrics}
+		Output: tb.String() + "\n" + ct.String() + "\n" + pipeOut, Failures: fails, Metrics: metrics}
 }

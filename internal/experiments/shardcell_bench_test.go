@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"psclock/internal/clock"
+	"psclock/internal/core"
+	"psclock/internal/register"
+	"psclock/internal/simtime"
+	"psclock/internal/workload"
+)
+
+// benchCell drives one closed-loop register workload for the benchmark
+// duration; it is the profiling harness for the sharded executor cells.
+func benchCell(b *testing.B, model string, n, shards int) {
+	bounds := simtime.NewInterval(1*ms, 3*ms)
+	eps := 200 * us
+	p := register.Params{C: 200 * us, Delta: 10 * us, D2: bounds.Hi + 2*eps + 24*100*us, Epsilon: eps}
+	ell := simtime.Duration(0)
+	if model == "mmt" {
+		ell = 100 * us
+	}
+	cfg := core.Config{N: n, Bounds: bounds, Seed: 1100, Clocks: clock.DriftFactory(eps, 7), Ell: ell, Shards: shards}
+	var net *core.Net
+	switch model {
+	case "timed":
+		net = core.BuildTimed(cfg, register.Factory(register.NewS, p))
+	case "clock":
+		net = core.BuildClocked(cfg, register.Factory(register.NewS, p))
+		for _, cn := range net.Clocked {
+			cn.RecordStamps = false
+		}
+	case "mmt":
+		net = core.BuildMMT(cfg, register.Factory(register.NewS, p))
+		for _, mn := range net.MMT {
+			mn.RecordStamps = false
+		}
+	}
+	net.Sys.KeepTrace = false
+	clients := workload.Attach(net, workload.Config{
+		Ops: 1 << 30, Think: simtime.NewInterval(0, 2*ms), WriteRatio: 0.4, Seed: 12,
+	})
+	const slice = simtime.Duration(50 * ms)
+	horizon := simtime.Time(slice)
+	if err := net.Sys.Run(horizon); err != nil {
+		b.Fatal(err)
+	}
+	if shards > 1 && !net.Sys.Sharded() {
+		b.Fatalf("sharding fell back: %s", net.Sys.ShardFallbackReason())
+	}
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		horizon = horizon.Add(slice)
+		if err := net.Sys.Run(horizon); err != nil {
+			b.Fatal(err)
+		}
+	}
+	wall := time.Since(start).Seconds()
+	done := 0
+	for _, c := range clients {
+		done += c.Done
+	}
+	if wall > 0 {
+		b.ReportMetric(float64(done)/wall, "ops/s")
+	}
+}
+
+func BenchmarkCellTimedSeq(b *testing.B)    { benchCell(b, "timed", 8, -1) }
+func BenchmarkCellTimedShard4(b *testing.B) { benchCell(b, "timed", 8, 4) }
+func BenchmarkCellClockSeq(b *testing.B)    { benchCell(b, "clock", 8, -1) }
+func BenchmarkCellClockShard4(b *testing.B) { benchCell(b, "clock", 8, 4) }
+func BenchmarkCellMMTSeq(b *testing.B)      { benchCell(b, "mmt", 8, -1) }
+func BenchmarkCellMMTShard4(b *testing.B)   { benchCell(b, "mmt", 8, 4) }

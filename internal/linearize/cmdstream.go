@@ -61,6 +61,20 @@ func (r *Recorder) Finish() Result { return Result{OK: true} }
 
 // Replay drives c with the recorded stream and returns its Finish result.
 func Replay(cmds []Cmd, c Checker) Result {
+	return ReplaySampled(cmds, c, 0, nil)
+}
+
+// ReplaySampled is Replay with a mid-stream observation hook: sample runs
+// after every stride commands and once more after the last command,
+// before Finish. Finish is where checkers release their in-flight state,
+// so an after-the-fact measurement of a replay sees an empty heap; the
+// hook is the only place the replay's peak liveness is observable.
+// stride < 1 or a nil sample disables sampling.
+func ReplaySampled(cmds []Cmd, c Checker, stride int, sample func()) Result {
+	if sample == nil {
+		stride = 0
+	}
+	next := stride
 	for i := range cmds {
 		m := &cmds[i]
 		switch m.Kind {
@@ -71,6 +85,13 @@ func Replay(cmds []Cmd, c Checker) Result {
 		case CmdAdvance:
 			c.Advance(m.Time)
 		}
+		if stride > 0 && i+1 == next {
+			sample()
+			next += stride
+		}
+	}
+	if sample != nil {
+		sample()
 	}
 	return c.Finish()
 }

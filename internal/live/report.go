@@ -17,6 +17,10 @@ type Report struct {
 	Clock     string `json:"clock"`
 	Transport string `json:"transport"`
 	Seed      int64  `json:"seed"`
+	// GOMAXPROCS is recorded per section: the live runtime's throughput
+	// depends on the parallelism it ran under, independently of whatever
+	// setting later pscbench runs record at the top level.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 
 	DurationMS float64 `json:"duration_ms"`
 	Ops        int     `json:"ops"`
