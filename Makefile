@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 tier2 bench microbench json compare stream-bench stream-shard-bench live-smoke live-bench
+.PHONY: all build test tier1 tier2 bench microbench json compare stream-bench stream-shard-bench live-smoke live-bench live-pipe-smoke live-pipe-bench
 
 all: tier1
 
@@ -63,8 +63,28 @@ microbench:
 live-smoke:
 	$(GO) run ./cmd/pscserve -duration 2s -rate 120 -clock jitter -slack 3ms -v
 
-# Longer live run that records throughput, latency percentiles, and the
-# measured ε/delay bounds into the live section of BENCH_results.json
-# (compared by `make compare` via pscbench -compare).
+# Pipelined high-throughput smoke: open-loop load across 32 register
+# instances with sharded verification, requiring zero violations, zero
+# recorder drops, and a conservative completed-ops floor (the headline
+# run does ~24k ops/s on one idle core; the floor tolerates a slow,
+# shared CI host). CI runs this time-boxed.
+live-pipe-smoke:
+	$(GO) run ./cmd/pscserve -duration 3s -pipeline 8 -registers 32 -clients 4 -rate 1500 \
+		-clock jitter -slack 5ms -checkshards 4 -gogc 1000 -minops 9000
+
+# Closed-loop latency baseline: one op in flight per client, recorded as
+# the live_closed section of BENCH_results.json (compared by
+# `make compare` via pscbench -compare). This is the seed run's shape:
+# per-op latency with no pipelining to hide it.
 live-bench:
-	$(GO) run ./cmd/pscserve -duration 8s -rate 200 -clock jitter -slack 2ms -seed 1 -json
+	$(GO) run ./cmd/pscserve -duration 8s -rate 200 -clock jitter -slack 2ms -seed 1 \
+		-json -jsonsection live_closed
+
+# Pipelined throughput headline: the live section of BENCH_results.json.
+# Open-loop load (6 clients × 16 in flight) over 64 register instances on
+# one TCP connection per node pair, every operation verified online by
+# the exact sharded checker — ops_per_sec gates downward in
+# `make compare`, recorder drops gate at zero.
+live-pipe-bench:
+	$(GO) run ./cmd/pscserve -duration 8s -pipeline 16 -registers 64 -clients 6 -rate 4000 \
+		-clock jitter -slack 5ms -checkshards 4 -gogc 1000 -seed 1 -json -jsonsection live

@@ -6,6 +6,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"psclock/internal/live"
 )
 
 // minCompareWallMS is the floor below which wall-time deltas are noise:
@@ -245,20 +247,31 @@ func compareStreamCheck(name string, o, n *jsonStreamCheck, tol float64) []strin
 // live results itself (pscserve -json refreshes them), so every compare
 // run would otherwise fail.
 func compareLive(old, cur jsonReport, tol float64) []string {
-	if old.Live == nil || cur.Live == nil {
-		if old.Live != nil {
-			fmt.Fprintln(os.Stderr, "pscbench: note: baseline has a live section; this run has none to compare (pscserve -json refreshes it)")
+	var regressions []string
+	regressions = append(regressions, compareLiveSection("live", old.Live, cur.Live, tol)...)
+	regressions = append(regressions, compareLiveSection("live_closed", old.LiveClosed, cur.LiveClosed, tol)...)
+	return regressions
+}
+
+// compareLiveSection diffs one pscserve section (the pipelined "live"
+// headline or the closed-loop "live_closed" baseline) under compareLive's
+// rules.
+func compareLiveSection(section string, o, n *live.Report, tol float64) []string {
+	if o == nil || n == nil {
+		if o != nil {
+			fmt.Fprintf(os.Stderr, "pscbench: note: baseline has a %s section; this run has none to compare (pscserve -json refreshes it)\n", section)
 		}
-		if cur.Live != nil {
-			fmt.Fprintln(os.Stderr, "pscbench: note: live section is new in this report; no baseline to compare")
+		if n != nil {
+			fmt.Fprintf(os.Stderr, "pscbench: note: %s section is new in this report; no baseline to compare\n", section)
 		}
 		return nil
 	}
-	o, n := old.Live, cur.Live
-	warnSectionProcs("live", o.GOMAXPROCS, n.GOMAXPROCS)
-	if o.Nodes != n.Nodes || o.Clients != n.Clients || o.Clock != n.Clock || o.Transport != n.Transport {
-		fmt.Fprintf(os.Stderr, "pscbench: warning: live sections ran different configurations (%d nodes/%d clients/%s/%s vs %d/%d/%s/%s); live deltas not compared\n",
-			o.Nodes, o.Clients, o.Clock, o.Transport, n.Nodes, n.Clients, n.Clock, n.Transport)
+	warnSectionProcs(section, o.GOMAXPROCS, n.GOMAXPROCS)
+	if o.Nodes != n.Nodes || o.Clients != n.Clients || o.Clock != n.Clock || o.Transport != n.Transport ||
+		o.Registers != n.Registers || o.Pipeline != n.Pipeline {
+		fmt.Fprintf(os.Stderr, "pscbench: warning: %s sections ran different configurations (%d nodes/%d clients/%dr/%dp/%s/%s vs %d/%d/%dr/%dp/%s/%s); deltas not compared\n",
+			section, o.Nodes, o.Clients, o.Registers, o.Pipeline, o.Clock, o.Transport,
+			n.Nodes, n.Clients, n.Registers, n.Pipeline, n.Clock, n.Transport)
 		return nil
 	}
 	var regressions []string
@@ -267,9 +280,9 @@ func compareLive(old, cur jsonReport, tol float64) []string {
 		if gate && ov > 0 && regressed(name, ov, nv, tol) {
 			mark = "  REGRESSION"
 			regressions = append(regressions,
-				fmt.Sprintf("live %s: %.0f -> %.0f (%+.0f%%, tolerance %.0f%%)", name, ov, nv, pct(ov, nv), tol*100))
+				fmt.Sprintf("%s %s: %.0f -> %.0f (%+.0f%%, tolerance %.0f%%)", section, name, ov, nv, pct(ov, nv), tol*100))
 		}
-		fmt.Printf("%-5s %-28s %10.0f %10.0f %+7.0f%%%s\n", "live", name, ov, nv, pct(ov, nv), mark)
+		fmt.Printf("%-11s %-28s %10.0f %10.0f %+7.0f%%%s\n", section, name, ov, nv, pct(ov, nv), mark)
 	}
 	row("ops_per_sec", o.OpsPerSec, n.OpsPerSec, true)
 	row("read_p50_us", o.ReadP50US, n.ReadP50US, false)
@@ -277,7 +290,10 @@ func compareLive(old, cur jsonReport, tol float64) []string {
 	row("write_p50_us", o.WriteP50US, n.WriteP50US, false)
 	row("write_p99_us", o.WriteP99US, n.WriteP99US, false)
 	if o.Pass && !n.Pass {
-		regressions = append(regressions, "live: previous run passed its online check, new run did not")
+		regressions = append(regressions, section+": previous run passed its online check, new run did not")
+	}
+	if o.RecorderDrops == 0 && n.RecorderDrops > 0 {
+		regressions = append(regressions, fmt.Sprintf("%s: recorder dropped %d events (baseline dropped none)", section, n.RecorderDrops))
 	}
 	return regressions
 }

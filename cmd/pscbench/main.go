@@ -69,10 +69,13 @@ type jsonReport struct {
 	GOMAXPROCS  int         `json:"gomaxprocs"`
 	TotalWallMS float64     `json:"total_wall_ms"`
 	Stream      *jsonStream `json:"stream,omitempty"`
-	// Live is the pscserve wall-clock section; pscbench never produces
-	// it, but carries an existing one forward when rewriting the file so
-	// the two tools co-own BENCH_results.json.
-	Live *live.Report `json:"live,omitempty"`
+	// Live is the pscserve wall-clock section (the pipelined headline
+	// run); LiveClosed is its closed-loop one-op-in-flight latency
+	// baseline. pscbench never produces either, but carries existing ones
+	// forward when rewriting the file so the two tools co-own
+	// BENCH_results.json.
+	Live       *live.Report `json:"live,omitempty"`
+	LiveClosed *live.Report `json:"live_closed,omitempty"`
 	// ShardScaling is the -shardsweep section: the sharded executor's
 	// GOMAXPROCS × shards scaling curve (see shardsweep.go).
 	ShardScaling *jsonShardScaling `json:"shard_scaling,omitempty"`
@@ -292,6 +295,7 @@ func run(args []string) int {
 		// drop.
 		if prev, err := loadReport(benchFile); err == nil {
 			report.Live = prev.Live
+			report.LiveClosed = prev.LiveClosed
 		}
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

@@ -108,6 +108,13 @@ type Options struct {
 	// outcome. Zero (the default) is the exact checker. Larger values prune
 	// more: the precision/cost knob.
 	ApproxEps simtime.Duration
+	// Yield, when non-nil, is called between settled deadlines inside a
+	// drain. Live monitors sharing a core with the system under test set
+	// it to runtime.Gosched so a verification burst cannot monopolize the
+	// scheduler for tens of milliseconds and turn checker lag into
+	// measured timer/delay violations; batch checking leaves it nil. The
+	// hook has no effect on the verdict.
+	Yield func()
 }
 
 // Result reports the outcome of a check.

@@ -1,10 +1,9 @@
 package linearize
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
-	"strconv"
-	"strings"
 
 	"psclock/internal/simtime"
 	"psclock/internal/ta"
@@ -82,6 +81,7 @@ type Online struct {
 	nextID   int
 	states   int
 	pruned   int
+	keyBuf   []byte // scratch for the per-stage memo key
 
 	failed     bool
 	failReason string
@@ -351,6 +351,9 @@ func (o *Online) drain(bound simtime.Time, all bool) {
 	for _, di := range due {
 		if !o.failed {
 			o.stage(di)
+			if o.opt.Yield != nil {
+				o.opt.Yield()
+			}
 		}
 		o.window[di].closed = true
 	}
@@ -490,11 +493,66 @@ func (o *Online) commit(s olState, target *olIv, nf *frontierBuilder, memo map[s
 		o.failReason = fmt.Sprintf("linearize: state budget (%d) exhausted", o.opt.MaxStates)
 		return
 	}
-	key := stateKey(s)
-	if memo[key] {
+	// A single hard stage can explore millions of states; the between-
+	// stage yield in drain never runs inside it, so burst-capping needs a
+	// yield on the state counter as well.
+	if o.opt.Yield != nil && o.states&0xff == 0 {
+		o.opt.Yield()
+	}
+	// string(o.keyBuf) in the map index does not allocate (compiler-
+	// recognized idiom); only a first visit pays for the key copy. The
+	// scratch is safe across the recursion below: the key is consumed
+	// before commit re-enters.
+	o.keyBuf = appendStateKey(o.keyBuf[:0], s)
+	if memo[string(o.keyBuf)] {
 		return
 	}
-	memo[key] = true
+	memo[string(o.keyBuf)] = true
+	// Dominated-branch elimination: an open read of the state's current
+	// value never needs its own branch. In every witness extending s it is
+	// linearized before the next write (that is where it observes s.last),
+	// and when the target is a read the placed-now and placed-later orders
+	// converge on the same state — the reads change neither the value nor
+	// any later placement's feasibility (their lo is at most target.hi,
+	// which every still-open window reaches past). Committing them all
+	// greedily in ascending-lo order therefore loses no witnesses, and it
+	// removes the 2^reads branching that made hot-key windows under
+	// pipelined load exhaust the state budget.
+	var greedy []int
+	for i := range o.window {
+		x := &o.window[i]
+		if x.closed || x.id == target.id || x.lo > target.hi {
+			continue
+		}
+		if x.pending && !o.finishing {
+			continue
+		}
+		if x.kind != Read || x.value != s.last {
+			continue
+		}
+		if indexOfID(s.early, x.id) >= 0 {
+			continue
+		}
+		greedy = append(greedy, i)
+	}
+	if len(greedy) > 0 {
+		sort.Slice(greedy, func(a, b int) bool { return o.window[greedy[a]].lo < o.window[greedy[b]].lo })
+		ns := s
+		early := make([]int, len(s.early), len(s.early)+len(greedy))
+		copy(early, s.early)
+		for _, i := range greedy {
+			var ok bool
+			if ns, ok = o.place(ns, &o.window[i]); !ok {
+				// ℓ only grows along any extension, so a read unplaceable
+				// here is unplaceable in every extension: dead state.
+				return
+			}
+			early = append(early, o.window[i].id)
+		}
+		sort.Ints(early)
+		ns.early = early
+		s = ns
+	}
 	if ns, ok := o.place(s, target); ok && !o.strands(ns, target.id) {
 		nf.emit(ns)
 	}
@@ -575,28 +633,30 @@ func (o *Online) strands(ns olState, exclude int) bool {
 
 // frontierBuilder accumulates emitted states, merging duplicates by
 // (early, last) with the dominating (minimum) ℓ, and yields them in a
-// canonical order.
+// canonical order. Keys use the same injective varint encoding as the
+// memo (minus ℓ, which deduplication folds): emit sits on the stage hot
+// path, and decimal key formatting showed up in live-monitoring profiles.
 type frontierBuilder struct {
-	idx  map[string]int
-	keys []string
-	out  []olState
+	idx    map[string]int
+	keys   []string
+	out    []olState
+	keyBuf []byte
 }
 
 func (b *frontierBuilder) emit(s olState) {
-	var k strings.Builder
+	k := binary.AppendUvarint(b.keyBuf[:0], uint64(len(s.early)))
 	for _, id := range s.early {
-		k.WriteString(strconv.Itoa(id))
-		k.WriteByte(',')
+		k = binary.AppendUvarint(k, uint64(id))
 	}
-	k.WriteByte('|')
-	k.WriteString(s.last)
-	key := k.String()
-	if i, ok := b.idx[key]; ok {
+	k = append(k, s.last...)
+	b.keyBuf = k
+	if i, ok := b.idx[string(k)]; ok {
 		if s.ell < b.out[i].ell {
 			b.out[i].ell = s.ell
 		}
 		return
 	}
+	key := string(k)
 	b.idx[key] = len(b.out)
 	b.keys = append(b.keys, key)
 	b.out = append(b.out, s)
@@ -616,21 +676,21 @@ func (s byKey) Swap(i, j int) {
 	s.b.out[i], s.b.out[j] = s.b.out[j], s.b.out[i]
 }
 
-// stateKey renders a state for the per-stage memo. Unlike frontier
+// appendStateKey renders a state for the per-stage memo. Unlike frontier
 // deduplication, the memo must distinguish ℓ values: a later-visited state
-// with a smaller ℓ has strictly more continuations.
-func stateKey(s olState) string {
-	var b strings.Builder
-	b.Grow(16 + 4*len(s.early) + len(s.last))
+// with a smaller ℓ has strictly more continuations. The encoding is a
+// count-prefixed varint sequence (injective: every field before the
+// variable-length value string is self-delimiting) rather than decimal
+// text — memo-key construction sits on the commit hot path, and decimal
+// formatting of large ids dominated live-monitoring CPU profiles.
+func appendStateKey(dst []byte, s olState) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s.early)))
 	for _, id := range s.early {
-		b.WriteString(strconv.Itoa(id))
-		b.WriteByte(',')
+		dst = binary.AppendUvarint(dst, uint64(id))
 	}
-	b.WriteByte('|')
-	b.WriteString(s.last)
-	b.WriteByte('|')
-	b.WriteString(strconv.FormatInt(int64(s.ell), 10))
-	return b.String()
+	dst = binary.AppendVarint(dst, int64(s.ell))
+	dst = append(dst, s.last...)
+	return dst
 }
 
 // indexOfID finds id in the ascending slice, or -1.

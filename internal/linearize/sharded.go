@@ -1,6 +1,7 @@
 package linearize
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -114,6 +115,14 @@ func NewSharded(opt ShardedOptions) *Sharded {
 		failKid: -1,
 	}
 	if opt.Shards >= 2 {
+		// Workers share the scheduler with whatever produced the stream —
+		// in live monitoring, the system under test itself. Yielding
+		// between settled deadlines keeps any one drain from monopolizing
+		// a core; the inline mode runs on the caller's goroutine, where
+		// pacing is the caller's business.
+		if s.opt.Check.Yield == nil {
+			s.opt.Check.Yield = runtime.Gosched
+		}
 		s.shards = make([]*shard, opt.Shards)
 		for i := range s.shards {
 			sh := &shard{ring: newSPSCRing(opt.Queue)}

@@ -83,7 +83,7 @@ func driveRegister(t *testing.T, tr Transport, cf clock.Factory, nodes, totalOps
 	for i := range resp {
 		resp[i] = make(chan struct{}, 1)
 	}
-	rt.OnOutput(func(n ta.NodeID, name string, _ any) {
+	rt.OnOutput(func(n ta.NodeID, _ int, name string, _ any) {
 		if name == register.ActReturn || name == register.ActAck {
 			select {
 			case resp[n] <- struct{}{}:

@@ -1,10 +1,11 @@
 package live
 
 import (
-	"encoding/gob"
+	"bufio"
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"psclock/internal/register"
@@ -13,8 +14,10 @@ import (
 	"psclock/internal/ta"
 )
 
-// LoadConfig describes the closed-loop client population pscserve runs
-// against the live register.
+// LoadConfig describes the client population pscserve runs against the
+// live registers: closed-loop single-op-in-flight clients (Pipeline ≤ 1,
+// the original generator) or open-loop pipelined clients that keep up to
+// Pipeline operations in flight across zipf-distributed registers.
 type LoadConfig struct {
 	// Clients is the number of concurrent clients; client i drives node
 	// i mod nodes.
@@ -22,12 +25,28 @@ type LoadConfig struct {
 	// Duration bounds the run in wall time.
 	Duration time.Duration
 	// Rate caps each client at this many operations per second (0 = as
-	// fast as the closed loop allows). The cap is a pacing floor between
-	// invocations, so the loop stays closed: no client ever has more than
-	// one operation outstanding.
+	// fast as the loop allows). Closed-loop clients pace between
+	// invocations, so no client ever has more than one operation
+	// outstanding. Pipelined clients pace on an absolute open-loop
+	// schedule: an op is issued at its scheduled instant whether or not
+	// earlier ops have completed, up to the Pipeline bound.
 	Rate float64
 	// WriteRatio is the probability an operation is a WRITE.
 	WriteRatio float64
+	// Pipeline is the per-client bound on operations in flight. ≤ 1
+	// selects the closed-loop client; K > 1 selects the pipelined client,
+	// whose throughput scales as in-flight ops / per-op latency instead
+	// of 1 / per-op latency.
+	Pipeline int
+	// Registers is the number of register instances the server hosts
+	// (defaults to 1). Pipelined clients spread operations across them.
+	Registers int
+	// ZipfS and ZipfV shape the zipfian register-selection distribution
+	// (P(k) ∝ 1/(v+k)^s). S ≤ 1 selects uniform; V defaults to
+	// Registers/2, which flattens the head so the hottest register stays
+	// under its per-key alternation throughput ceiling (≈ nodes /
+	// per-op latency).
+	ZipfS, ZipfV float64
 	// Seed derives per-client rngs; written values are unique per
 	// execution (writer = client's node, per-client sequence), satisfying
 	// the §3 uniqueness assumption.
@@ -41,17 +60,28 @@ type LoadResult struct {
 	// seeded reservoir sample (percentiles over the full run in bounded
 	// memory).
 	ReadLat, WriteLat stats.Summary
+	// PerReg counts completed operations per register instance (nil for
+	// single-register runs).
+	PerReg []int
+	// Depth samples the pipelined clients' in-flight occupancy at each
+	// issue instant; Depth.Mean() is the effective pipeline depth, the
+	// concurrency term in ops/s ≈ depth × clients / latency.
+	Depth stats.IntStream
 	// Errors counts client-side failures (dial, encode, decode); a clean
 	// run has zero.
 	Errors int
 }
 
-// RunLoad drives the register server at addrs with closed-loop clients
-// until the duration elapses, then waits for outstanding operations to
-// complete. Each client owns one TCP connection.
+// RunLoad drives the register server at addrs until the duration elapses,
+// then waits for outstanding operations to complete. Each client owns one
+// TCP connection; all its in-flight requests multiplex that connection
+// tagged with correlation IDs.
 func RunLoad(addrs []string, cfg LoadConfig) LoadResult {
 	if cfg.Clients <= 0 {
 		cfg.Clients = len(addrs)
+	}
+	if cfg.Registers <= 0 {
+		cfg.Registers = 1
 	}
 	var (
 		mu       sync.Mutex
@@ -59,6 +89,7 @@ func RunLoad(addrs []string, cfg LoadConfig) LoadResult {
 		readRes  = stats.NewReservoir(4096, cfg.Seed*7+1)
 		writeRes = stats.NewReservoir(4096, cfg.Seed*7+2)
 	)
+	agg.PerReg = make([]int, cfg.Registers)
 	deadline := time.Now().Add(cfg.Duration)
 	var wg sync.WaitGroup
 	for c := 0; c < cfg.Clients; c++ {
@@ -66,12 +97,21 @@ func RunLoad(addrs []string, cfg LoadConfig) LoadResult {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res := runClient(c, addrs[c%len(addrs)], ta.NodeID(c%len(addrs)), cfg, deadline, readRes, writeRes, &mu)
+			var res LoadResult
+			if cfg.Pipeline > 1 {
+				res = runPipelined(c, addrs[c%len(addrs)], ta.NodeID(c%len(addrs)), cfg, deadline, readRes, writeRes, &mu)
+			} else {
+				res = runClient(c, addrs[c%len(addrs)], ta.NodeID(c%len(addrs)), cfg, deadline, readRes, writeRes, &mu)
+			}
 			mu.Lock()
 			agg.Ops += res.Ops
 			agg.Reads += res.Reads
 			agg.Writes += res.Writes
 			agg.Errors += res.Errors
+			for r, k := range res.PerReg {
+				agg.PerReg[r] += k
+			}
+			agg.Depth.Merge(res.Depth)
 			mu.Unlock()
 		}()
 	}
@@ -80,6 +120,9 @@ func RunLoad(addrs []string, cfg LoadConfig) LoadResult {
 	agg.ReadLat = readRes.Summary()
 	agg.WriteLat = writeRes.Summary()
 	mu.Unlock()
+	if cfg.Registers == 1 {
+		agg.PerReg = nil
+	}
 	return agg
 }
 
@@ -93,8 +136,8 @@ func runClient(id int, addr string, nodeID ta.NodeID, cfg LoadConfig, deadline t
 		return res
 	}
 	defer conn.Close()
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
+	br := bufio.NewReaderSize(conn, 4096)
+	var sbuf []byte
 	rng := rand.New(rand.NewSource(cfg.Seed*611953 + int64(id)))
 	var pace time.Duration
 	if cfg.Rate > 0 {
@@ -108,12 +151,12 @@ func runClient(id int, addr string, nodeID ta.NodeID, cfg LoadConfig, deadline t
 			req = wireReq{Op: register.ActWrite, Val: register.Value{Writer: nodeID, Seq: id*1_000_000 + wseq}}
 			wseq++
 		}
-		if err := enc.Encode(req); err != nil {
+		sbuf = appendWireReq(sbuf[:0], req)
+		if _, err := conn.Write(sbuf); err != nil {
 			res.Errors++
 			return res
 		}
-		var resp wireResp
-		if err := dec.Decode(&resp); err != nil {
+		if _, err := readWireResp(br); err != nil {
 			res.Errors++
 			return res
 		}
@@ -138,5 +181,222 @@ func runClient(id int, addr string, nodeID ta.NodeID, cfg LoadConfig, deadline t
 			}
 		}
 	}
+	return res
+}
+
+// pendingOp is one issued-but-unanswered pipelined request.
+type pendingOp struct {
+	start time.Time
+	write bool
+	reg   int
+}
+
+// runPipelined is one open-loop pipelined client: a sender that issues
+// requests on an absolute schedule (or as fast as the pipeline bound
+// allows) across zipf-selected registers, and a receiver that matches
+// responses by correlation ID. Throughput comes from overlap: with K ops
+// in flight at mean latency L the client completes ≈ K/L ops per second,
+// while each individual port still sees at most one outstanding op (the
+// server's alternation discipline).
+func runPipelined(id int, addr string, nodeID ta.NodeID, cfg LoadConfig, deadline time.Time, readRes, writeRes *stats.Reservoir, mu *sync.Mutex) LoadResult {
+	var res LoadResult
+	res.PerReg = make([]int, cfg.Registers)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		res.Errors++
+		return res
+	}
+	defer conn.Close()
+
+	var (
+		pmu     sync.Mutex
+		pending = make(map[uint64]pendingOp, cfg.Pipeline)
+		sent    atomic.Int64
+		done    = make(chan struct{}) // sender finished; sent is final
+		rdead   = make(chan struct{}) // receiver exited (error path)
+		recvErr atomic.Int64
+		sem     = make(chan struct{}, cfg.Pipeline)
+	)
+
+	// Receiver: match responses to pending ops, record latencies.
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		defer close(rdead)
+		br := bufio.NewReaderSize(conn, 16<<10)
+		received := int64(0)
+		for {
+			resp, err := readWireResp(br)
+			if err != nil {
+				// The sender unblocks this decode with an expired read
+				// deadline once the drain is complete; any other failure
+				// is a real error.
+				select {
+				case <-done:
+					if received >= sent.Load() {
+						return
+					}
+				default:
+				}
+				recvErr.Add(1)
+				return
+			}
+			received++
+			pmu.Lock()
+			op, ok := pending[resp.ID]
+			if ok {
+				delete(pending, resp.ID)
+			}
+			pmu.Unlock()
+			// Every response answers one sent request; free its slot.
+			select {
+			case <-sem:
+			default:
+			}
+			if !ok {
+				continue
+			}
+			lat, lerr := simtime.FromWall(time.Since(op.start))
+			res.Ops++
+			res.PerReg[op.reg]++
+			mu.Lock()
+			if op.write {
+				res.Writes++
+				if lerr == nil {
+					writeRes.Add(lat)
+				}
+			} else {
+				res.Reads++
+				if lerr == nil {
+					readRes.Add(lat)
+				}
+			}
+			mu.Unlock()
+			select {
+			case <-done:
+				if received >= sent.Load() {
+					return
+				}
+			default:
+			}
+		}
+	}()
+
+	// Sender: issue on schedule up to the pipeline bound. Requests buffer
+	// in bw and flush only when the sender is about to block (pipeline
+	// full, pacing sleep, or shutdown), so a burst of issues costs one
+	// write syscall; the flush-before-block ordering makes the buffer
+	// deadlock-free — nothing ever waits on a request still sitting in it.
+	bw := bufio.NewWriterSize(conn, 16<<10)
+	var sbuf []byte
+	rng := rand.New(rand.NewSource(cfg.Seed*611953 + int64(id)))
+	var zipf *rand.Zipf
+	if cfg.Registers > 1 && cfg.ZipfS > 1 {
+		v := cfg.ZipfV
+		if v < 1 {
+			v = float64(cfg.Registers) / 2
+			if v < 1 {
+				v = 1
+			}
+		}
+		zipf = rand.NewZipf(rng, cfg.ZipfS, v, uint64(cfg.Registers-1))
+	}
+	var pace time.Duration
+	if cfg.Rate > 0 {
+		pace = time.Duration(float64(time.Second) / cfg.Rate)
+	}
+	next := time.Now()
+	wseq := 0
+	var reqID uint64
+	for time.Now().Before(deadline) {
+		// Bound the pipeline; bail out if the receiver died (nothing will
+		// ever free a slot again).
+		select {
+		case sem <- struct{}{}:
+		default:
+			if err := bw.Flush(); err != nil {
+				res.Errors++
+				close(done)
+				conn.SetReadDeadline(time.Now())
+				rwg.Wait()
+				return res
+			}
+			select {
+			case sem <- struct{}{}:
+			case <-rdead:
+				close(done)
+				rwg.Wait()
+				res.Errors += int(recvErr.Load())
+				return res
+			}
+		}
+		if pace > 0 {
+			if rest := time.Until(next); rest > 0 {
+				if err := bw.Flush(); err != nil {
+					res.Errors++
+					break
+				}
+				time.Sleep(rest)
+			}
+			next = next.Add(pace)
+		}
+		reg := 0
+		if cfg.Registers > 1 {
+			if zipf != nil {
+				reg = int(zipf.Uint64())
+			} else {
+				reg = rng.Intn(cfg.Registers)
+			}
+		}
+		reqID++
+		req := wireReq{ID: reqID, Reg: reg, Op: register.ActRead}
+		isWrite := rng.Float64() < cfg.WriteRatio
+		if isWrite {
+			req.Op = register.ActWrite
+			req.Val = register.Value{Writer: nodeID, Seq: id*1_000_000 + wseq}
+			wseq++
+		}
+		pmu.Lock()
+		res.Depth.Add(len(pending))
+		pending[reqID] = pendingOp{start: time.Now(), write: isWrite, reg: reg}
+		pmu.Unlock()
+		sbuf = appendWireReq(sbuf[:0], req)
+		if _, err := bw.Write(sbuf); err != nil {
+			pmu.Lock()
+			delete(pending, reqID)
+			pmu.Unlock()
+			res.Errors++
+			break
+		}
+		sent.Add(1)
+	}
+	if err := bw.Flush(); err != nil {
+		res.Errors++
+	}
+	close(done)
+	// Drain: wait for the in-flight tail to complete (bounded so a lost
+	// response cannot hang the client), then expire the read deadline so
+	// an idle receiver's blocked Decode returns.
+	drainUntil := time.Now().Add(10 * time.Second)
+	for time.Now().Before(drainUntil) {
+		pmu.Lock()
+		n := len(pending)
+		pmu.Unlock()
+		if n == 0 {
+			break
+		}
+		select {
+		case <-rdead:
+			n = 0
+		case <-time.After(time.Millisecond):
+		}
+		if n == 0 {
+			break
+		}
+	}
+	conn.SetReadDeadline(time.Now())
+	rwg.Wait()
+	res.Errors += int(recvErr.Load())
 	return res
 }

@@ -12,8 +12,13 @@ import (
 // simulator's assumptions), the load generator's throughput and latency
 // percentiles, and the online linearizability verdict that gates the run.
 type Report struct {
-	Nodes     int    `json:"nodes"`
-	Clients   int    `json:"clients"`
+	Nodes   int `json:"nodes"`
+	Clients int `json:"clients"`
+	// Registers is the independent register instances served; Pipeline is
+	// the per-client in-flight bound (0/1: closed loop). Both shape the
+	// throughput a run can reach, so compare treats them as config.
+	Registers int    `json:"registers,omitempty"`
+	Pipeline  int    `json:"pipeline,omitempty"`
 	Clock     string `json:"clock"`
 	Transport string `json:"transport"`
 	Seed      int64  `json:"seed"`
@@ -33,6 +38,12 @@ type Report struct {
 	WriteP50US float64 `json:"write_p50_us"`
 	WriteP99US float64 `json:"write_p99_us"`
 
+	// PipelineDepthMean is the mean in-flight occupancy pipelined clients
+	// sampled at issue time (Little's-law cross-check against ops/s ×
+	// latency); PerRegOps counts completed operations per register.
+	PipelineDepthMean float64 `json:"pipeline_depth_mean,omitempty"`
+	PerRegOps         []int   `json:"per_reg_ops,omitempty"`
+
 	EpsConfigUS   float64 `json:"eps_config_us"`
 	EpsMeasuredUS float64 `json:"eps_measured_us"`
 	EllConfigUS   float64 `json:"ell_config_us"`
@@ -50,10 +61,13 @@ type Report struct {
 	// or 1 per check); CheckStates is the online checker's search size.
 	// CheckShards is the sharded-verification worker count the run used
 	// (0: checkers ran inline on the event consumer).
-	Violations  int  `json:"violations"`
-	CheckStates int  `json:"check_states"`
-	CheckShards int  `json:"check_shards,omitempty"`
-	Pass        bool `json:"pass"`
+	Violations  int `json:"violations"`
+	CheckStates int `json:"check_states"`
+	CheckShards int `json:"check_shards,omitempty"`
+	// RecorderDrops counts events the recorder discarded after shutdown;
+	// a clean run asserts zero (Pass requires it).
+	RecorderDrops int  `json:"recorder_drops"`
+	Pass          bool `json:"pass"`
 }
 
 // MergeIntoBenchFile writes r as the "live" section of the JSON report at
@@ -61,13 +75,21 @@ type Report struct {
 // file). A missing or empty file yields a report with only the live
 // section.
 func MergeIntoBenchFile(path string, r *Report) error {
+	return MergeSectionIntoBenchFile(path, "live", r)
+}
+
+// MergeSectionIntoBenchFile writes r as the named section of the JSON
+// report at path, preserving every other section. pscserve uses "live"
+// for its pipelined headline run and "live_closed" for the closed-loop
+// latency baseline.
+func MergeSectionIntoBenchFile(path, section string, r *Report) error {
 	doc := map[string]any{}
 	if buf, err := os.ReadFile(path); err == nil && len(buf) > 0 {
 		if err := json.Unmarshal(buf, &doc); err != nil {
 			return fmt.Errorf("live: %s: %w", path, err)
 		}
 	}
-	doc["live"] = r
+	doc[section] = r
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -20,6 +20,16 @@ type Options struct {
 	// including self-loops, matching the simulator's default (the register
 	// algorithms broadcast to themselves).
 	N int
+	// Registers is the number of independent algorithm instances each node
+	// hosts (≤ 0 selects 1). Every instance is the unmodified node program;
+	// instance r on node i is the runtime's port r·N + i, and all R
+	// instances on a node share its clock, its goroutine, and its
+	// transport connections — the first step toward the keyed-store
+	// roadmap item, where each key is an independent S^c register. Frames
+	// carry the instance index as a logical channel (Frame.Chan), so the
+	// paper's per-link tagging and holding applies per logical channel
+	// over the shared physical link.
+	Registers int
 	// Bounds is the designed link delay interval [d1, d2]. The transport
 	// is loopback, so d2 is a budget, not a guarantee: deliveries are held
 	// until d1 (enforcement of the lower bound) and counted as violations
@@ -57,21 +67,25 @@ type Measured struct {
 	// Messages counts frames sent; Held counts deliveries the receive
 	// buffer R_ji,ε postponed because the tag was ahead of the local clock.
 	Messages, Held int
+	// RecorderDrops counts events recorded after shutdown flushed the
+	// recorder. A clean run — server closed before Stop — has zero.
+	RecorderDrops int
 }
 
-// Runtime hosts N copies of a core.Algorithm on wall-clock time: one
-// goroutine per node owning the algorithm instance, its clock, and its
-// timer queue (the same core.TimerQueue the simulator's engine drains, so
-// timers fire in the same (deadline, registration) order in both worlds).
-// Messages are tagged with the sender's clock and held at the receiver
-// until its clock reaches the tag — the send/receive buffers S_ij,ε and
-// R_ji,ε of Figure 2, realized on real time.
+// Runtime hosts N×R copies of a core.Algorithm on wall-clock time: one
+// goroutine per node owning that node's R algorithm instances, its clock,
+// and its timer queue (the same core.TimerQueue the simulator's engine
+// drains, so timers fire in the same (deadline, registration) order in
+// both worlds). Messages are tagged with the sender's clock and held at
+// the receiver until its clock reaches the tag — the send/receive buffers
+// S_ij,ε and R_ji,ε of Figure 2, realized on real time, per logical
+// channel.
 type Runtime struct {
 	opts    Options
 	factory core.AlgorithmFactory
 
 	sinks    []exec.Sink
-	onOutput func(node ta.NodeID, name string, payload any)
+	onOutput func(node ta.NodeID, reg int, name string, payload any)
 
 	epoch     time.Time
 	rec       *recorder
@@ -98,6 +112,9 @@ func New(opts Options, f core.AlgorithmFactory) (*Runtime, error) {
 	if opts.N < 1 {
 		return nil, fmt.Errorf("live: need at least one node, got %d", opts.N)
 	}
+	if opts.Registers <= 0 {
+		opts.Registers = 1
+	}
 	if opts.Clocks == nil {
 		opts.Clocks = clock.PerfectFactory()
 	}
@@ -115,9 +132,21 @@ func New(opts Options, f core.AlgorithmFactory) (*Runtime, error) {
 		factory:   f,
 		transport: opts.Transport,
 		stop:      make(chan struct{}),
+		rec:       newRecorder(),
 	}
 	rt.delayMin.Store(math.MaxInt64)
 	return rt, nil
+}
+
+// Registers returns the number of algorithm instances per node.
+func (rt *Runtime) Registers() int { return rt.opts.Registers }
+
+// Port maps (register instance, node) to the runtime's port identifier:
+// the NodeID under which that instance's invocations and responses appear
+// in the recorded stream. With one register it is the node ID itself, so
+// single-register traces are unchanged.
+func (rt *Runtime) Port(nodeID ta.NodeID, reg int) ta.NodeID {
+	return ta.NodeID(reg*rt.opts.N) + nodeID
 }
 
 // AddSink registers an exec.Sink over the runtime's observable event
@@ -127,13 +156,17 @@ func New(opts Options, f core.AlgorithmFactory) (*Runtime, error) {
 func (rt *Runtime) AddSink(s exec.Sink) { rt.sinks = append(rt.sinks, s) }
 
 // OnOutput registers a callback invoked after each environment response is
-// recorded, from the emitting node's goroutine. The callback must not
-// block and must not synchronously re-enter Invoke for the same node (hand
-// the response to another goroutine; see Server and LoadGen). Must be
-// called before Start.
-func (rt *Runtime) OnOutput(fn func(node ta.NodeID, name string, payload any)) {
+// recorded, from the emitting node's goroutine, with the register instance
+// that produced it. The callback must not block and must not synchronously
+// re-enter Invoke for the same node (hand the response to another
+// goroutine; see Server and LoadGen). Must be called before Start.
+func (rt *Runtime) OnOutput(fn func(node ta.NodeID, reg int, name string, payload any)) {
 	rt.onOutput = fn
 }
+
+// producer registers a dedicated recorder ring for a single-goroutine
+// event source (a server port worker). Must be called before Start.
+func (rt *Runtime) producer() *producer { return rt.rec.producer(portRingDepth) }
 
 // Start anchors the epoch, builds the per-node clocks and algorithm
 // instances, and launches the node loops.
@@ -145,45 +178,73 @@ func (rt *Runtime) Start() error {
 	}
 	rt.started = true
 	rt.epoch = time.Now()
-	rt.rec = newRecorder(rt.epoch, rt.sinks)
-	rt.nodes = make([]*node, rt.opts.N)
-	for i := 0; i < rt.opts.N; i++ {
-		rt.nodes[i] = &node{
+	n, r := rt.opts.N, rt.opts.Registers
+	rt.nodes = make([]*node, n)
+	for i := 0; i < n; i++ {
+		nd := &node{
 			id:    ta.NodeID(i),
 			rt:    rt,
-			alg:   rt.factory(ta.NodeID(i), rt.opts.N),
+			algs:  make([]core.Algorithm, r),
+			srcs:  make([]string, r),
 			clk:   NewModelClock(rt.opts.Clocks(i), rt.epoch),
 			inbox: make(chan nodeMsg, rt.opts.InboxDepth),
+			prod:  rt.rec.producer(nodeRingDepth),
 		}
+		for reg := 0; reg < r; reg++ {
+			nd.algs[reg] = rt.factory(ta.NodeID(i), n)
+			nd.srcs[reg] = fmt.Sprintf("live(%v)", rt.Port(ta.NodeID(i), reg))
+		}
+		rt.nodes[i] = nd
 	}
+	rt.rec.start(rt.epoch, rt.sinks)
 	if err := rt.transport.Start(rt.deliverFrame); err != nil {
 		return fmt.Errorf("live: transport start: %w", err)
 	}
-	for _, n := range rt.nodes {
+	for _, nd := range rt.nodes {
 		rt.wg.Add(1)
-		go n.loop()
+		go nd.loop()
 	}
 	return nil
 }
 
-// Invoke injects an environment invocation at the given node, recording it
-// at ingress — the instant the external observer of the §6.1 conditions
-// sees it. Safe for concurrent use.
+// Invoke injects an environment invocation at register instance 0 of the
+// given node, recording it at ingress — the instant the external observer
+// of the §6.1 conditions sees it. Safe for concurrent use.
 func (rt *Runtime) Invoke(nodeID ta.NodeID, name string, payload any) error {
+	return rt.invoke(nil, nodeID, 0, name, payload)
+}
+
+// InvokeReg is Invoke aimed at a specific register instance.
+func (rt *Runtime) InvokeReg(nodeID ta.NodeID, reg int, name string, payload any) error {
+	return rt.invoke(nil, nodeID, reg, name, payload)
+}
+
+// invoke records the invocation (through p's dedicated ring when p is
+// non-nil and the caller is its single goroutine; through the recorder's
+// shared locked path otherwise) and enqueues it at the destination node.
+func (rt *Runtime) invoke(p *producer, nodeID ta.NodeID, reg int, name string, payload any) error {
 	if int(nodeID) < 0 || int(nodeID) >= len(rt.nodes) {
 		return fmt.Errorf("live: invoke at unknown node %v", nodeID)
+	}
+	if reg < 0 || reg >= rt.opts.Registers {
+		return fmt.Errorf("live: invoke at unknown register %d", reg)
 	}
 	select {
 	case <-rt.stop:
 		return fmt.Errorf("live: runtime stopped")
 	default:
 	}
-	rt.rec.record(ta.Action{
-		Name: name, Node: nodeID, Peer: ta.NoNode,
+	a := ta.Action{
+		Name: name, Node: rt.Port(nodeID, reg), Peer: ta.NoNode,
 		Kind: ta.KindInput, Payload: payload,
-	}, "env")
+	}
+	if p != nil {
+		p.record(a, "env")
+	} else {
+		rt.rec.record(a, "env")
+	}
 	select {
-	case rt.nodes[nodeID].inbox <- nodeMsg{invName: name, invPayload: payload, inv: true}:
+	case rt.nodes[nodeID].inbox <- nodeMsg{invName: name, invPayload: payload, inv: true, reg: reg}:
 		return nil
 	case <-rt.stop:
 		return fmt.Errorf("live: runtime stopped")
@@ -194,7 +255,9 @@ func (rt *Runtime) Invoke(nodeID ta.NodeID, name string, payload any) error {
 func (rt *Runtime) Clock(i int) Clock { return rt.nodes[i].clk }
 
 // Stop shuts the runtime down — node loops, then transport, then a final
-// sink flush — and returns the measured bounds. Idempotent.
+// sink flush — and returns the measured bounds. Callers that installed
+// event producers (Server) must close them first so the recorder's final
+// drain sees a quiescent stream. Idempotent.
 func (rt *Runtime) Stop() Measured {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -213,6 +276,7 @@ func (rt *Runtime) Stop() Measured {
 		DelayViolations: int(rt.delayViols.Load()),
 		Messages:        int(rt.msgs.Load()),
 		Held:            int(rt.held.Load()),
+		RecorderDrops:   int(rt.rec.drops.Load()),
 	}
 	if lo := rt.delayMin.Load(); lo != math.MaxInt64 {
 		m.DelayMin = simtime.Duration(lo)
@@ -292,6 +356,7 @@ func atomicMax(a *atomic.Int64, v int64) {
 type nodeMsg struct {
 	frame      Frame
 	inv        bool
+	reg        int
 	invName    string
 	invPayload any
 }
@@ -302,57 +367,100 @@ type nodeMsg struct {
 // hold keys share the queue without colliding.
 type heldFrame struct{ f Frame }
 
-// node is one live node: algorithm, clock, timer queue, inbox, and the
-// core.Context the algorithm sees during callbacks. All fields are owned
-// by the node's goroutine after Start.
+// regKey namespaces an algorithm's timer key by its register instance so
+// the R instances share one queue without key collisions; the loop
+// unwraps it before OnTimer, so programs see their own keys.
+type regKey struct {
+	reg int
+	key any
+}
+
+// node is one live node: R algorithm instances, clock, timer queue, inbox,
+// and the core.Context the instances see during callbacks. All fields are
+// owned by the node's goroutine after Start.
 type node struct {
 	id    ta.NodeID
 	rt    *Runtime
-	alg   core.Algorithm
+	algs  []core.Algorithm
+	srcs  []string // per-register recorder source labels
 	clk   Clock
 	inbox chan nodeMsg
+	prod  *producer
 
 	timers core.TimerQueue
 
-	// last keeps the algorithm's observed time monotone, exactly like the
+	// last keeps the algorithms' observed time monotone, exactly like the
 	// simulator engine's high-water mark: a timer serviced late still
 	// observes its scheduled deadline, but never earlier than a previously
-	// observed instant.
-	last simtime.Time
-	now  simtime.Time
+	// observed instant. The clamp is per node, not per instance — all R
+	// instances read the one physical clock.
+	last   simtime.Time
+	now    simtime.Time
+	curReg int // register instance the current callback belongs to
 }
 
 var _ core.Context = (*node)(nil)
 
+// inboxBatch bounds how many inbox entries the loop drains per wakeup
+// before re-checking timers: large enough to amortize the select, small
+// enough that a flood cannot starve due timers.
+const inboxBatch = 64
+
 func (n *node) loop() {
 	defer n.rt.wg.Done()
-	n.callback(n.clk.Now(), func() { n.alg.Start(n) })
+	for reg := range n.algs {
+		r := reg
+		n.callback(r, n.clk.Now(), func() { n.algs[r].Start(n) })
+	}
+	// One reusable timer for the whole loop (Go 1.22 semantics: Stop and
+	// drain before every Reset, since an expired-but-unread timer leaves
+	// its tick buffered).
+	tm := time.NewTimer(time.Hour)
+	if !tm.Stop() {
+		<-tm.C
+	}
+	armed := false
 	for {
 		n.fireDue()
+		if armed {
+			if !tm.Stop() {
+				select {
+				case <-tm.C:
+				default:
+				}
+			}
+			armed = false
+		}
 		var timerC <-chan time.Time
-		var tm *time.Timer
 		if at, ok := n.timers.Next(); ok {
 			wait := n.clk.WaitUntil(at)
 			if wait <= 0 {
 				// Became due between fireDue and here; fire it.
 				continue
 			}
-			tm = time.NewTimer(wait)
+			tm.Reset(wait)
+			armed = true
 			timerC = tm.C
 		}
 		select {
 		case m := <-n.inbox:
 			n.handle(m)
+			// Batch-drain whatever else is queued: under pipelined load
+			// the inbox is rarely empty, and handling a run of messages
+			// per wakeup keeps the scheduler off the per-message path.
+			for i := 1; i < inboxBatch; i++ {
+				select {
+				case m := <-n.inbox:
+					n.handle(m)
+				default:
+					i = inboxBatch
+				}
+			}
 		case <-timerC:
+			armed = false
 			// fireDue at the top of the loop services it.
 		case <-n.rt.stop:
-			if tm != nil {
-				tm.Stop()
-			}
 			return
-		}
-		if tm != nil {
-			tm.Stop()
 		}
 	}
 }
@@ -377,17 +485,21 @@ func (n *node) fireDue() {
 		if late := nowClk.Sub(entry.At); late > 0 {
 			atomicMax(&n.rt.timerLate, int64(late))
 		}
-		if hf, ok := entry.Key.(heldFrame); ok {
-			n.callback(entry.At, func() { n.alg.OnMessage(n, hf.f.From, hf.f.Body) })
-			continue
+		switch k := entry.Key.(type) {
+		case heldFrame:
+			n.callback(k.f.Chan, entry.At, func() { n.algs[k.f.Chan].OnMessage(n, k.f.From, k.f.Body) })
+		case regKey:
+			n.callback(k.reg, entry.At, func() { n.algs[k.reg].OnTimer(n, k.key) })
+		default:
+			// Single-register fast path registers bare keys.
+			n.callback(0, entry.At, func() { n.algs[0].OnTimer(n, entry.Key) })
 		}
-		n.callback(entry.At, func() { n.alg.OnTimer(n, entry.Key) })
 	}
 }
 
 func (n *node) handle(m nodeMsg) {
 	if m.inv {
-		n.callback(n.clk.Now(), func() { n.alg.OnInput(n, m.invName, m.invPayload) })
+		n.callback(m.reg, n.clk.Now(), func() { n.algs[m.reg].OnInput(n, m.invName, m.invPayload) })
 		return
 	}
 	f := m.frame
@@ -399,16 +511,18 @@ func (n *node) handle(m nodeMsg) {
 		n.rt.held.Add(1)
 		return
 	}
-	n.callback(c, func() { n.alg.OnMessage(n, f.From, f.Body) })
+	n.callback(f.Chan, c, func() { n.algs[f.Chan].OnMessage(n, f.From, f.Body) })
 }
 
-// callback runs fn with the context's clock set to t clamped monotone.
-func (n *node) callback(t simtime.Time, fn func()) {
+// callback runs fn as register instance reg with the context's clock set
+// to t clamped monotone.
+func (n *node) callback(reg int, t simtime.Time, fn func()) {
 	if t.Before(n.last) {
 		t = n.last
 	}
 	n.last = t
 	n.now = t
+	n.curReg = reg
 	fn()
 }
 
@@ -434,6 +548,7 @@ func (n *node) Send(to ta.NodeID, body any) {
 	f := Frame{
 		From:      n.id,
 		To:        to,
+		Chan:      n.curReg,
 		SentClock: n.now,
 		SentReal:  n.rt.elapsed(),
 		Body:      body,
@@ -452,15 +567,22 @@ func (n *node) Broadcast(body any) {
 }
 
 func (n *node) Output(name string, payload any) {
-	n.rt.rec.record(ta.Action{
-		Name: name, Node: n.id, Peer: ta.NoNode,
+	reg := n.curReg
+	n.prod.record(ta.Action{
+		Name: name, Node: n.rt.Port(n.id, reg), Peer: ta.NoNode,
 		Kind: ta.KindOutput, Payload: payload,
-	}, fmt.Sprintf("live(%v)", n.id))
+	}, n.srcs[reg])
 	if n.rt.onOutput != nil {
-		n.rt.onOutput(n.id, name, payload)
+		n.rt.onOutput(n.id, reg, name, payload)
 	}
 }
 
 func (n *node) SetTimer(at simtime.Time, key any) {
-	n.timers.Push(at, key)
+	if n.curReg == 0 {
+		// Bare key: the dominant single-register path stays allocation-
+		// identical to the pre-multiplexing runtime.
+		n.timers.Push(at, key)
+		return
+	}
+	n.timers.Push(at, regKey{reg: n.curReg, key: key})
 }

@@ -1,36 +1,53 @@
 package live
 
 import (
-	"bytes"
-	"encoding/binary"
+	"bufio"
 	"encoding/gob"
 	"fmt"
-	"io"
 	"net"
 	"sync"
-
-	"psclock/internal/ta"
+	"sync/atomic"
+	"time"
 )
 
 // TCPTransport carries frames over loopback TCP: one listener per node,
-// lazily dialed full-mesh connections, and a length-prefixed gob wire
-// format (4-byte big-endian frame length, then the gob-encoded Frame).
-// Each frame is encoded with a fresh gob stream so frames are
-// self-contained on the wire; message bodies cross as interface values,
-// which is why the algorithm packages register their body types
-// (register/wire.go, detector/wire.go).
+// one eagerly dialed connection per ordered node pair, and a single
+// persistent gob stream per connection. Message bodies cross as
+// interface values, which is why the algorithm packages register their
+// body types (register/wire.go, detector/wire.go). The stream is
+// long-lived on purpose: gob sends a type descriptor once per stream and
+// compiles its codecs once, where a fresh codec per frame recompiles and
+// retransmits them every time — at pipelined rates that recompilation
+// dominated CPU profiles of the whole process.
 //
-// Sends never block on the socket: each peer connection has a writer
-// goroutine fed by a buffered queue, so a node's callback returns
-// immediately and TCP backpressure cannot deadlock the node loops.
+// All logical register channels between a node pair multiplex the pair's
+// single connection — Frame.Chan distinguishes them — so R register
+// instances cost the same number of sockets as one.
+//
+// Connections are dialed up front in Start, not lazily at first send:
+// dial plus handshake takes hundreds of microseconds on loopback, and a
+// lazy dial charges that setup to the first message's [d1, d2] delay
+// measurement (the seed run's two delay_violations were exactly this).
+//
+// Sends never block on the socket: each pair connection has a writer
+// goroutine fed by a buffered queue. The writer coalesces every queued
+// frame into its buffered stream per wakeup — writev-style batching — so
+// under pipelined load the per-frame syscall cost amortizes away; an
+// optional flush delay widens the coalescing window further at a latency
+// cost.
 type TCPTransport struct {
+	n     int
 	addrs []string
 	lns   []net.Listener
 
+	// peers is indexed from·n + to: one writer per ordered node pair.
+	peers []*tcpPeer
+
+	flushDelay time.Duration
+
 	mu      sync.Mutex
-	peers   map[ta.NodeID]*tcpPeer
-	deliver func(Frame)
-	closed  bool
+	started bool
+	closed  atomic.Bool
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -40,10 +57,12 @@ type tcpPeer struct {
 	ch chan Frame
 }
 
-// tcpQueueDepth bounds each peer connection's outbound queue. Closed-loop
-// workloads keep at most a few frames per link in flight; the depth only
-// matters as a safety margin before Send starts reporting overload.
-const tcpQueueDepth = 4096
+// tcpQueueDepth bounds each pair connection's outbound queue. Closed-loop
+// workloads keep at most a few frames per link in flight; pipelined
+// workloads keep roughly one frame per in-flight operation, so the depth
+// is sized to the deepest pipelines pscserve drives before Send starts
+// reporting overload.
+const tcpQueueDepth = 8192
 
 var _ Transport = (*TCPTransport)(nil)
 
@@ -51,9 +70,10 @@ var _ Transport = (*TCPTransport)(nil)
 // node, and returns the transport. Addrs exposes the listen addresses.
 func NewTCPTransport(n int) (*TCPTransport, error) {
 	t := &TCPTransport{
+		n:     n,
 		addrs: make([]string, n),
 		lns:   make([]net.Listener, n),
-		peers: make(map[ta.NodeID]*tcpPeer, n),
+		peers: make([]*tcpPeer, n*n),
 		done:  make(chan struct{}),
 	}
 	for i := 0; i < n; i++ {
@@ -75,11 +95,23 @@ func (t *TCPTransport) Addrs() []string {
 	return out
 }
 
-// Start implements Transport: begin accepting inbound connections and
-// decoding frames to the delivery callback.
+// SetFlushDelay widens the writer coalescing window: after picking up a
+// frame, the writer waits up to d for more before flushing the batch.
+// Zero (the default) flushes as soon as the queue drains — batching is
+// then purely opportunistic and adds no latency. Must be called before
+// Start.
+func (t *TCPTransport) SetFlushDelay(d time.Duration) { t.flushDelay = d }
+
+// Start implements Transport: dial every pair connection, then begin
+// accepting inbound connections and decoding frames to the delivery
+// callback.
 func (t *TCPTransport) Start(deliver func(Frame)) error {
 	t.mu.Lock()
-	t.deliver = deliver
+	if t.started {
+		t.mu.Unlock()
+		return fmt.Errorf("live: transport already started")
+	}
+	t.started = true
 	t.mu.Unlock()
 	for _, ln := range t.lns {
 		ln := ln
@@ -100,118 +132,146 @@ func (t *TCPTransport) Start(deliver func(Frame)) error {
 			}
 		}()
 	}
+	// Eager full-mesh dial: connection setup happens here, before any
+	// frame exists to be charged for it.
+	for from := 0; from < t.n; from++ {
+		for to := 0; to < t.n; to++ {
+			conn, err := net.Dial("tcp", t.addrs[to])
+			if err != nil {
+				t.Close()
+				return fmt.Errorf("live: dial %d→%d: %w", from, to, err)
+			}
+			p := &tcpPeer{ch: make(chan Frame, tcpQueueDepth)}
+			t.peers[from*t.n+to] = p
+			t.wg.Add(1)
+			go t.writeLoop(p, conn)
+		}
+	}
 	return nil
 }
 
-// readLoop decodes length-prefixed frames off one connection until EOF or
-// shutdown.
+// readLoop decodes one connection's gob stream until EOF or shutdown.
 func (t *TCPTransport) readLoop(conn net.Conn, deliver func(Frame)) {
-	var hdr [4]byte
-	buf := make([]byte, 0, 512)
+	dec := gob.NewDecoder(bufio.NewReaderSize(conn, 32<<10))
 	for {
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-			return
-		}
-		n := binary.BigEndian.Uint32(hdr[:])
-		if n > 1<<24 {
-			return // corrupt length; frames are small
-		}
-		if cap(buf) < int(n) {
-			buf = make([]byte, n)
-		}
-		buf = buf[:n]
-		if _, err := io.ReadFull(conn, buf); err != nil {
-			return
-		}
 		var f Frame
-		if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&f); err != nil {
+		if err := dec.Decode(&f); err != nil {
 			return
 		}
-		select {
-		case <-t.done:
+		if t.closed.Load() {
 			return
-		default:
 		}
 		deliver(f)
 	}
 }
 
-// Send implements Transport: enqueue the frame on the destination's writer.
+// Send implements Transport: enqueue the frame on its pair's writer.
 func (t *TCPTransport) Send(f Frame) error {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
+	if t.closed.Load() {
 		return fmt.Errorf("live: send on closed transport")
 	}
-	p, ok := t.peers[f.To]
-	if !ok {
-		if int(f.To) < 0 || int(f.To) >= len(t.addrs) {
-			t.mu.Unlock()
-			return fmt.Errorf("live: send to unknown node %v", f.To)
-		}
-		p = &tcpPeer{ch: make(chan Frame, tcpQueueDepth)}
-		t.peers[f.To] = p
-		addr := t.addrs[f.To]
-		t.wg.Add(1)
-		go t.writeLoop(p, addr)
+	if int(f.From) < 0 || int(f.From) >= t.n || int(f.To) < 0 || int(f.To) >= t.n {
+		return fmt.Errorf("live: send on unknown pair %v→%v", f.From, f.To)
 	}
-	t.mu.Unlock()
+	p := t.peers[int(f.From)*t.n+int(f.To)]
+	if p == nil {
+		return fmt.Errorf("live: send before transport start")
+	}
 	select {
 	case p.ch <- f:
 		return nil
 	case <-t.done:
 		return fmt.Errorf("live: send on closing transport")
 	default:
-		return fmt.Errorf("live: outbound queue to node %v full", f.To)
+		return fmt.Errorf("live: outbound queue %v→%v full", f.From, f.To)
 	}
 }
 
-// writeLoop dials the peer and encodes queued frames until shutdown.
-func (t *TCPTransport) writeLoop(p *tcpPeer, addr string) {
+// writeLoop coalesces queued frames into batched writes on one pair
+// connection's persistent gob stream until shutdown.
+func (t *TCPTransport) writeLoop(p *tcpPeer, conn net.Conn) {
 	defer t.wg.Done()
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		// Drain so senders keep making progress; every frame is lost,
-		// which shutdown and only shutdown should produce.
-		for {
-			select {
-			case <-p.ch:
-			case <-t.done:
-				return
-			}
-		}
-	}
 	defer conn.Close()
-	var buf bytes.Buffer
-	var hdr [4]byte
+	bw := bufio.NewWriterSize(conn, 32<<10)
+	enc := gob.NewEncoder(bw)
+	var flushTimer *time.Timer
+	if t.flushDelay > 0 {
+		flushTimer = time.NewTimer(time.Hour)
+		if !flushTimer.Stop() {
+			<-flushTimer.C
+		}
+		defer flushTimer.Stop()
+	}
 	for {
+		// Block for the batch's first frame.
+		var f Frame
 		select {
-		case f := <-p.ch:
-			buf.Reset()
-			if err := gob.NewEncoder(&buf).Encode(f); err != nil {
-				continue
-			}
-			binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
-			if _, err := conn.Write(hdr[:]); err != nil {
-				return
-			}
-			if _, err := conn.Write(buf.Bytes()); err != nil {
-				return
-			}
+		case f = <-p.ch:
 		case <-t.done:
 			return
 		}
+		err := enc.Encode(f)
+		// Opportunistic drain: everything already queued joins the batch
+		// (bufio flushes itself if a batch outgrows its buffer).
+		err = t.drainInto(enc, p, err)
+		if flushTimer != nil && err == nil {
+			// Flush-deadline window: linger briefly for frames that are
+			// about to arrive, then drain once more.
+			flushTimer.Reset(t.flushDelay)
+			select {
+			case f2 := <-p.ch:
+				err = t.drainInto(enc, p, enc.Encode(f2))
+			case <-flushTimer.C:
+			case <-t.done:
+				// Flush what we have before exiting.
+			}
+			if !flushTimer.Stop() {
+				select {
+				case <-flushTimer.C:
+				default:
+				}
+			}
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err != nil {
+			// Connection gone: drain so senders keep making progress;
+			// every frame is lost, which shutdown and only shutdown
+			// should produce.
+			for {
+				select {
+				case <-p.ch:
+				case <-t.done:
+					return
+				}
+			}
+		}
 	}
+}
+
+// drainInto encodes every immediately available queued frame onto the
+// stream; a sticky error short-circuits.
+func (t *TCPTransport) drainInto(enc *gob.Encoder, p *tcpPeer, err error) error {
+	for err == nil {
+		select {
+		case f := <-p.ch:
+			err = enc.Encode(f)
+		default:
+			return nil
+		}
+	}
+	return err
 }
 
 // Close implements Transport.
 func (t *TCPTransport) Close() error {
 	t.mu.Lock()
-	if t.closed {
+	if t.closed.Load() {
 		t.mu.Unlock()
 		return nil
 	}
-	t.closed = true
+	t.closed.Store(true)
 	close(t.done)
 	t.mu.Unlock()
 	for _, ln := range t.lns {

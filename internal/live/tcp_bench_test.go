@@ -1,0 +1,111 @@
+package live
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"psclock/internal/register"
+	"psclock/internal/simtime"
+)
+
+// Frame-codec micro-benchmarks. The TCP transport keeps one persistent
+// gob stream per connection: the type descriptors for Frame and its
+// registered body types cross the wire once per stream and their codecs
+// compile once. The per-frame variant below is the pattern the transport
+// abandoned — a fresh encoder/decoder pair per frame recompiles and
+// retransmits the descriptors every time, and at pipelined rates that
+// recompilation dominated whole-process CPU profiles. The benchmarks pin
+// both the allocs/op of the steady-state path and the gap to the naive
+// pattern, so a regression back to per-frame codec construction is
+// visible in numbers, not just in profiles.
+
+// benchFrame is a representative inter-node frame: an UPDATE-style body
+// (register.Value is one of the register package's gob-registered wire
+// types) with clock tag and delay-measurement stamps populated.
+func benchFrame() Frame {
+	return Frame{
+		From:      1,
+		To:        2,
+		Chan:      7,
+		SentClock: simtime.Time(12345678),
+		SentReal:  simtime.Time(12345000),
+		Body:      register.Value{Writer: 1, Seq: 42},
+	}
+}
+
+// BenchmarkFrameCodecStream measures the transport's actual hot path:
+// encode one frame onto a persistent stream, decode it from the paired
+// persistent decoder. Descriptor compilation amortizes to zero; the
+// steady state is a handful of small allocations per frame (gob's
+// interface-value decode).
+func BenchmarkFrameCodecStream(b *testing.B) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	dec := gob.NewDecoder(&buf)
+	f := benchFrame()
+	// Prime the stream so descriptor transmission is outside the loop,
+	// as it is outside the steady state on a live connection.
+	if err := enc.Encode(f); err != nil {
+		b.Fatal(err)
+	}
+	var out Frame
+	if err := dec.Decode(&out); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := enc.Encode(f); err != nil {
+			b.Fatal(err)
+		}
+		if err := dec.Decode(&out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrameCodecPerFrame measures the abandoned pattern: a fresh
+// encoder/decoder per frame, paying descriptor compilation and
+// transmission every time. Kept as the contrast baseline for the
+// persistent-stream numbers above.
+func BenchmarkFrameCodecPerFrame(b *testing.B) {
+	f := benchFrame()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+			b.Fatal(err)
+		}
+		var out Frame
+		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireCodec measures the client↔server varint request/response
+// codec round trip (appendWireReq → readWireReq, appendWireResp →
+// readWireResp). The append side reuses the caller's scratch and the
+// read side a persistent bufio.Reader, so the steady state allocates
+// nothing.
+func BenchmarkWireCodec(b *testing.B) {
+	req := wireReq{ID: 99, Reg: 7, Op: register.ActWrite, Val: register.Value{Writer: 1, Seq: 42}}
+	resp := wireResp{ID: 99, Op: register.ActReturn, Val: register.Value{Writer: 1, Seq: 42}}
+	var buf bytes.Buffer
+	br := bufio.NewReader(&buf)
+	var scratch []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		scratch = appendWireReq(scratch[:0], req)
+		scratch = appendWireResp(scratch, resp)
+		buf.Write(scratch)
+		if _, err := readWireReq(br); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := readWireResp(br); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

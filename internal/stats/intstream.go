@@ -1,0 +1,38 @@
+package stats
+
+// IntStream accumulates integer samples in O(1) memory: count, sum, and
+// max. It is the depth-gauge counterpart of Stream — the live load
+// generator samples its pipeline occupancy through one per client, and
+// the report derives the mean in-flight depth (Little's law cross-check:
+// ops/s × mean latency ≈ mean depth).
+type IntStream struct {
+	N   int
+	Sum int64
+	Max int
+}
+
+// Add records one sample.
+func (s *IntStream) Add(v int) {
+	s.N++
+	s.Sum += int64(v)
+	if v > s.Max {
+		s.Max = v
+	}
+}
+
+// Merge folds o into s.
+func (s *IntStream) Merge(o IntStream) {
+	s.N += o.N
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+}
+
+// Mean returns the average sample, or 0 with no samples.
+func (s *IntStream) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.N)
+}
