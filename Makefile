@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 tier2 bench microbench json compare stream-bench stream-shard-bench live-smoke live-bench live-pipe-smoke live-pipe-bench
+.PHONY: all build test tier1 tier2 bench microbench json compare stream-bench stream-shard-bench live-smoke live-bench live-pipe-smoke live-pipe-bench live-tier-smoke live-tier-bench
 
 all: tier1
 
@@ -88,3 +88,21 @@ live-bench:
 live-pipe-bench:
 	$(GO) run ./cmd/pscserve -duration 8s -pipeline 16 -registers 64 -clients 6 -rate 4000 \
 		-clock jitter -slack 5ms -checkshards 4 -gogc 1000 -seed 1 -json -jsonsection live
+
+# Mixed-tier smoke: half the registers serve algorithm S (linearizable),
+# half algorithm L (sequentially consistent, reads 2ε cheaper), each tier
+# verified online against its own specification. ε is widened so the
+# tier discount clears wall-clock noise; the ops floor keeps a wedged
+# tier from passing silently. CI runs this.
+live-tier-smoke:
+	$(GO) run ./cmd/pscserve -duration 2s -rate 120 -registers 8 -tiers mix:0.5 \
+		-clock jitter -eps 2ms -slack 3ms -minops 100
+
+# Mixed-tier benchmark: the live_tiered section of BENCH_results.json.
+# Seeded closed-loop load over 8 registers split lin/seq, recording
+# per-tier latency percentiles and the measured seq read discount —
+# `make compare` gates ops/s downward, the verdict sticky, and the
+# discount against the configured ε.
+live-tier-bench:
+	$(GO) run ./cmd/pscserve -duration 8s -rate 200 -registers 8 -tiers mix:0.5 \
+		-clock jitter -eps 2ms -slack 2ms -seed 1 -json -jsonsection live_tiered

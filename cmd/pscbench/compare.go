@@ -250,6 +250,7 @@ func compareLive(old, cur jsonReport, tol float64) []string {
 	var regressions []string
 	regressions = append(regressions, compareLiveSection("live", old.Live, cur.Live, tol)...)
 	regressions = append(regressions, compareLiveSection("live_closed", old.LiveClosed, cur.LiveClosed, tol)...)
+	regressions = append(regressions, compareLiveSection("live_tiered", old.LiveTiered, cur.LiveTiered, tol)...)
 	return regressions
 }
 
@@ -268,10 +269,10 @@ func compareLiveSection(section string, o, n *live.Report, tol float64) []string
 	}
 	warnSectionProcs(section, o.GOMAXPROCS, n.GOMAXPROCS)
 	if o.Nodes != n.Nodes || o.Clients != n.Clients || o.Clock != n.Clock || o.Transport != n.Transport ||
-		o.Registers != n.Registers || o.Pipeline != n.Pipeline {
-		fmt.Fprintf(os.Stderr, "pscbench: warning: %s sections ran different configurations (%d nodes/%d clients/%dr/%dp/%s/%s vs %d/%d/%dr/%dp/%s/%s); deltas not compared\n",
-			section, o.Nodes, o.Clients, o.Registers, o.Pipeline, o.Clock, o.Transport,
-			n.Nodes, n.Clients, n.Registers, n.Pipeline, n.Clock, n.Transport)
+		o.Registers != n.Registers || o.Pipeline != n.Pipeline || o.Tiers != n.Tiers {
+		fmt.Fprintf(os.Stderr, "pscbench: warning: %s sections ran different configurations (%d nodes/%d clients/%dr/%dp/%s/%s/tiers=%q vs %d/%d/%dr/%dp/%s/%s/tiers=%q); deltas not compared\n",
+			section, o.Nodes, o.Clients, o.Registers, o.Pipeline, o.Clock, o.Transport, o.Tiers,
+			n.Nodes, n.Clients, n.Registers, n.Pipeline, n.Clock, n.Transport, n.Tiers)
 		return nil
 	}
 	var regressions []string
@@ -289,6 +290,29 @@ func compareLiveSection(section string, o, n *live.Report, tol float64) []string
 	row("read_p99_us", o.ReadP99US, n.ReadP99US, false)
 	row("write_p50_us", o.WriteP50US, n.WriteP50US, false)
 	row("write_p99_us", o.WriteP99US, n.WriteP99US, false)
+	if n.Tiers != "" {
+		// Tiered runs additionally gate the seq tier's measured read
+		// discount: algorithm L's reads must stay at least ε cheaper than
+		// algorithm S's (the theoretical gap is 2ε; gating at ε absorbs
+		// wall-clock noise). A discount that collapsed means the seq tier
+		// stopped delivering the cheaper reads that justify its weaker
+		// consistency.
+		row("read_discount_us", o.ReadDiscountUS, n.ReadDiscountUS, false)
+		if n.ReadDiscountUS < n.EpsConfigUS {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: seq-tier read discount %.0fus below ε=%.0fus (theoretical gap 2ε=%.0fus)",
+					section, n.ReadDiscountUS, n.EpsConfigUS, 2*n.EpsConfigUS))
+		}
+		for _, tr := range []struct {
+			name string
+			rep  *live.TierReport
+		}{{"tier_lin", n.TierLin}, {"tier_seq", n.TierSeq}} {
+			if tr.rep != nil && tr.rep.Violations > 0 {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %s reported %d online-check violations", section, tr.name, tr.rep.Violations))
+			}
+		}
+	}
 	if o.Pass && !n.Pass {
 		regressions = append(regressions, section+": previous run passed its online check, new run did not")
 	}

@@ -71,11 +71,13 @@ type jsonReport struct {
 	Stream      *jsonStream `json:"stream,omitempty"`
 	// Live is the pscserve wall-clock section (the pipelined headline
 	// run); LiveClosed is its closed-loop one-op-in-flight latency
-	// baseline. pscbench never produces either, but carries existing ones
-	// forward when rewriting the file so the two tools co-own
-	// BENCH_results.json.
+	// baseline; LiveTiered is the mixed-consistency run with per-tier
+	// latency splits. pscbench never produces any of them, but carries
+	// existing ones forward when rewriting the file so the two tools
+	// co-own BENCH_results.json.
 	Live       *live.Report `json:"live,omitempty"`
 	LiveClosed *live.Report `json:"live_closed,omitempty"`
+	LiveTiered *live.Report `json:"live_tiered,omitempty"`
 	// ShardScaling is the -shardsweep section: the sharded executor's
 	// GOMAXPROCS × shards scaling curve (see shardsweep.go).
 	ShardScaling *jsonShardScaling `json:"shard_scaling,omitempty"`
@@ -296,6 +298,7 @@ func run(args []string) int {
 		if prev, err := loadReport(benchFile); err == nil {
 			report.Live = prev.Live
 			report.LiveClosed = prev.LiveClosed
+			report.LiveTiered = prev.LiveTiered
 		}
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

@@ -12,6 +12,7 @@
 //	pscfuzz -trials 50 -shards 4  # differential: sharded vs sequential execution
 //	pscfuzz -trials 50 -checkshards 4  # differential: sharded vs sequential verification
 //	pscfuzz -trials 50 -shards 4 -edgespread  # per-edge d1 spreads (adaptive-horizon planner)
+//	pscfuzz -trials 50 -tiers     # tier differential: S passes both checkers, L passes SC, lin rejects ≥ 1 L run
 package main
 
 import (
@@ -48,12 +49,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	shards := fs.Int("shards", 0, "run each trial again under sharded conservative-parallel execution with this many shards and require an identical history (<2: off)")
 	checkShards := fs.Int("checkshards", 0, "replay each trial's history through the sharded checker with this many workers and require a verdict byte-identical to the sequential Online oracle (<2: off)")
 	edgeSpread := fs.Bool("edgespread", false, "draw an independent delay interval per directed edge (within the trial's global [d1,d2]), exercising the per-edge d1 lookahead planner of sharded execution")
+	tiersFuzz := fs.Bool("tiers", false, "tier differential: additionally check every S history for sequential consistency, run each trial's L twin under skewed clocks (always sequentially consistent, sometimes not linearizable), and require the linearizability checker to reject at least one L run")
 	verbose := fs.Bool("v", false, "print each trial's configuration")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	violations := 0
+	linRejectsL := 0
 	for trial := 0; trial < *trials; trial++ {
 		cfgSeed := *seed*1_000_000_007 + int64(trial)
 		desc, ops, err := oneTrial(cfgSeed, *mutate, 0, *edgeSpread)
@@ -79,6 +82,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 2
 			}
 		}
+		if *tiersFuzz {
+			rejected, msg := tierTrial(cfgSeed, ops, stdout)
+			if msg != "" {
+				fmt.Fprintf(stdout, "TIER VIOLATION in trial %d: %s\n  %s\n", trial, desc, msg)
+				fmt.Fprintf(stdout, "replay: pscfuzz -trials 1 -seed %d -tiers\n", cfgSeed)
+				return 1
+			}
+			if rejected {
+				linRejectsL++
+			}
+		}
 		if res.OK {
 			continue
 		}
@@ -102,6 +116,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	if *tiersFuzz {
+		fmt.Fprintf(stdout, "%d tier trials: every S history passed both checkers, every L history passed SC, linearizability rejected %d/%d L runs\n",
+			*trials, linRejectsL, *trials)
+		if linRejectsL == 0 {
+			fmt.Fprintln(stdout, "WARNING: the linearizability checker never rejected an L run — the Attiya-Welch boundary did not materialize; the tier differential is vacuous")
+			return 1
+		}
+	}
 	switch {
 	case *shards > 1 && *checkShards > 1:
 		fmt.Fprintf(stdout, "%d trials, 0 violations, %d-sharded histories and %d-sharded checker verdicts identical\n", *trials, *shards, *checkShards)
@@ -113,6 +135,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "%d trials, 0 violations\n", *trials)
 	}
 	return 0
+}
+
+// tierTrial is the -tiers differential for one trial: the S-tier history
+// (already checked for linearizability by the caller) must also be
+// sequentially consistent — linearizability implies SC, so an SC rejection
+// here is a checker bug, not an algorithm bug — and the trial's L twin,
+// rerun under forced clock skew, must be sequentially consistent (Lemma
+// 6.1's guarantee) while its linearizability verdict is free to go either
+// way. It returns whether the linearizability checker rejected the L run
+// (the caller requires at least one rejection over the campaign, proving
+// the boundary between the tiers is observable, not vacuous) and a
+// non-empty failure message on any directional violation.
+func tierTrial(seed int64, sOps []linearize.Op, stdout io.Writer) (linRejected bool, msg string) {
+	initial := register.Initial.String()
+	if sc := linearize.CheckSequentiallyConsistent(sOps, initial); !sc.OK {
+		printSeqShrink(stdout, sOps, initial)
+		return false, fmt.Sprintf("S-tier history rejected by the SC checker: %s", sc.Reason)
+	}
+	descL, opsL, err := oneTrial(seed, true, 0, false)
+	if err != nil {
+		return false, fmt.Sprintf("L twin (%s) failed to run: %v", descL, err)
+	}
+	if sc := linearize.CheckSequentiallyConsistent(opsL, initial); !sc.OK {
+		printSeqShrink(stdout, opsL, initial)
+		return false, fmt.Sprintf("L-tier history (%s) rejected by the SC checker, contradicting Lemma 6.1: %s", descL, sc.Reason)
+	}
+	return !linearize.CheckLinearizable(opsL, initial).OK, ""
+}
+
+// printSeqShrink prints a minimal sub-history still rejected by the SC
+// checker.
+func printSeqShrink(stdout io.Writer, ops []linearize.Op, initial string) {
+	small := linearize.ShrinkSeq(ops, initial)
+	fmt.Fprintf(stdout, "  minimal SC counterexample (%d ops):\n", len(small))
+	for _, o := range small {
+		fmt.Fprintf(stdout, "    %v\n", o)
+	}
 }
 
 // diffCheckSharded replays the trial's history through the sequential

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"psclock/internal/clock"
+	"psclock/internal/core"
 	"psclock/internal/linearize"
 	"psclock/internal/live"
 	"psclock/internal/register"
@@ -65,6 +66,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	writeRatio := fs.Float64("write", 0.1, "fraction of operations that are writes")
 	pipeline := fs.Int("pipeline", 0, "per-client in-flight operation bound (<2: closed loop, one op at a time)")
 	registers := fs.Int("registers", 1, "independent register instances per node")
+	tiersFlag := fs.String("tiers", "", "per-register consistency tiers: a colon list (lin:seq:...; short lists repeat the last entry) or mix:F (fraction of seq registers, spread evenly); empty = all lin, the untiered stack")
+	thetaWall := fs.Duration("theta", 0, "staleness bound Θ the seq tier's online sequential-consistency check enforces (0 = c+δ+2ε+ℓ+slack, algorithm L's end-to-end staleness plus scheduling slack)")
 	zipfS := fs.Float64("zipf", 1.1, "zipf exponent for register selection (<=1: uniform)")
 	zipfV := fs.Float64("zipfv", 0, "zipf offset v (0 = registers/2, flattening the head below the per-key throughput ceiling)")
 	minOps := fs.Int("minops", 0, "fail the run below this many completed operations (throughput floor for CI)")
@@ -164,6 +167,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if !ok {
 		return 2
 	}
+	theta, ok := conv("theta", *thetaWall)
+	if !ok {
+		return 2
+	}
 
 	var cf clock.Factory
 	switch *clockName {
@@ -200,18 +207,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	mon := register.NewMonitor()
-	// With -checkshards, the frontier automata run on a worker pool and
-	// the event consumer only routes operations — same verdicts, less
-	// work on the recorder's critical path.
-	addCheck := func(name string, opt linearize.Options) {
-		if *checkShards > 1 {
-			mon.AddShardedCheck(name, opt, *checkShards)
-		} else {
-			mon.AddCheck(name, opt)
-		}
+	tiers, err := register.ParseTiers(*tiersFlag, *registers)
+	if err != nil {
+		fmt.Fprintf(stderr, "pscserve: %v\n", err)
+		return 2
 	}
-	addCheck("live", linearize.Options{
+	tiered := *tiersFlag != ""
+	if theta == 0 {
+		// Algorithm L's end-to-end staleness: a value stops being readable
+		// once a newer update has been applied everywhere, which lags the
+		// newer write's response by at most c+δ (the read path) plus the
+		// clock offset 2ε and the timer-lateness and scheduling budgets.
+		theta = cKnob + delta + 2*eps + ell + slack
+	}
+	// tierOf maps a checker routing key ("r<idx>") back to its register's
+	// tier, so the per-key fan-out constructs the right automaton.
+	tierOf := func(key string) register.Tier {
+		if !tiered || len(key) < 2 {
+			return register.TierLin
+		}
+		idx, err := strconv.Atoi(key[1:])
+		if err != nil || idx < 0 || idx >= len(tiers) {
+			return register.TierLin
+		}
+		return tiers[idx]
+	}
+
+	mon := register.NewMonitor()
+	// With -checkshards, the per-key frontier automata run on a worker pool
+	// and the event consumer only routes operations — same verdicts, less
+	// work on the recorder's critical path. In a tiered run, each key's
+	// automaton is the checker its tier requires: the exact online
+	// linearizability engine for lin keys, the Θ-bounded online
+	// sequential-consistency engine for seq keys.
+	linOpt := linearize.Options{
 		Initial:      register.Initial.String(),
 		Widen:        eps + slack,
 		AssumeUnique: true,
@@ -227,6 +256,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// from stalling node loops into d2 overruns that the checker
 		// would then (correctly) flag — a self-inflicted violation.
 		Yield: runtime.Gosched,
+	}
+	newTiered := func(lin linearize.Options, seq linearize.SeqOptions) func(string) linearize.Automaton {
+		return func(key string) linearize.Automaton {
+			if tierOf(key) == register.TierSeq {
+				return linearize.NewSeqOnline(seq)
+			}
+			return linearize.NewOnline(lin)
+		}
+	}
+	addCheck := func(name string, opt linearize.Options, seqOpt linearize.SeqOptions) *linearize.Sharded {
+		so := linearize.ShardedOptions{Check: opt, Shards: *checkShards}
+		if tiered {
+			so.New = newTiered(opt, seqOpt)
+		}
+		c := linearize.NewSharded(so)
+		mon.AddChecker(name, c)
+		return c
+	}
+	liveCheck := addCheck("live", linOpt, linearize.SeqOptions{
+		Initial:  register.Initial.String(),
+		MaxStale: theta,
+		Yield:    runtime.Gosched,
 	})
 	runStrict := false
 	switch *strictMode {
@@ -240,14 +291,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if runStrict {
+		// The strict twin widens nothing on the lin tier and, on the seq
+		// tier, checks pure sequential consistency (Θ = 0, no mid-stream
+		// settling) — informational only, like the lin strict check.
 		addCheck("strict", linearize.Options{
 			Initial:      register.Initial.String(),
 			AssumeUnique: true,
-		})
+		}, linearize.SeqOptions{Initial: register.Initial.String()})
 	}
-	if *registers > 1 {
+	if *registers > 1 || tiered {
 		// Each register's ports are node IDs r·N … r·N+N−1; all of a
-		// register's operations form one history, checked independently.
+		// register's operations form one history, checked independently
+		// against its own tier's specification.
 		n := *nodes
 		mon.SetKeyFunc(func(port ta.NodeID) string {
 			return "r" + strconv.Itoa(int(port)/n)
@@ -267,6 +322,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "pscserve: %v\n", err)
 		return 2
 	}
+	if tiered {
+		// Per-register tiers: lin registers run algorithm S, seq registers
+		// algorithm L, all sharing each node's clock and transport.
+		rt.SetRegisterFactory(func(reg int) core.AlgorithmFactory {
+			return tiers[reg].Factory(p)
+		})
+	}
 	rt.AddSink(mon)
 	rt.AddSink(ring)
 
@@ -274,6 +336,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "pscserve: %v\n", err)
 		return 2
+	}
+	if tiered {
+		srv.SetTiers(tiers)
 	}
 	if err := rt.Start(); err != nil {
 		fmt.Fprintf(stderr, "pscserve: %v\n", err)
@@ -290,7 +355,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	start := time.Now()
-	res := live.RunLoad(srv.Addrs(), live.LoadConfig{
+	loadCfg := live.LoadConfig{
 		Clients:    *clients,
 		Duration:   *duration,
 		Rate:       *rate,
@@ -300,7 +365,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ZipfS:      *zipfS,
 		ZipfV:      *zipfV,
 		Seed:       *seed,
-	})
+	}
+	if tiered {
+		loadCfg.Tiers = tiers
+	}
+	res := live.RunLoad(srv.Addrs(), loadCfg)
 	wall := time.Since(start)
 	srv.Close()
 	m := rt.Stop()
@@ -328,6 +397,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 				mark = "violated (informational): " + strictRes.Reason
 			}
 			fmt.Fprintf(stdout, "strict (widen 0): %s\n", mark)
+		}
+	}
+
+	// Per-tier slices of the verdict: each register's key result rolls up
+	// into its tier's violation count and checker work, so both tiers are
+	// independently accountable — 0 violations on each is the bar.
+	var tierRep [2]*live.TierReport
+	if tiered {
+		for t := range tierRep {
+			tierRep[t] = &live.TierReport{
+				Ops:        res.Tier[t].Ops,
+				Reads:      res.Tier[t].Reads,
+				Writes:     res.Tier[t].Writes,
+				ReadP50US:  us(res.Tier[t].ReadLat.P50),
+				ReadP99US:  us(res.Tier[t].ReadLat.P99),
+				WriteP50US: us(res.Tier[t].WriteLat.P50),
+				WriteP99US: us(res.Tier[t].WriteLat.P99),
+			}
+		}
+		for i, tr := range tiers {
+			rep := tierRep[tr]
+			rep.Registers++
+			if kr, ok := liveCheck.KeyResult("r" + strconv.Itoa(i)); ok {
+				rep.CheckStates += kr.States
+				if !kr.OK {
+					rep.Violations++
+				}
+			}
 		}
 	}
 
@@ -374,11 +471,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		RecorderDrops: m.RecorderDrops,
 		Pass:          violations == 0 && res.Errors == 0 && m.RecorderDrops == 0,
 	}
+	if tiered {
+		report.Tiers = *tiersFlag
+		report.TierLin = tierRep[register.TierLin]
+		report.TierSeq = tierRep[register.TierSeq]
+		report.ReadDiscountUS = us(res.Tier[register.TierLin].ReadLat.P50) - us(res.Tier[register.TierSeq].ReadLat.P50)
+	}
 
 	fmt.Fprintf(stdout, "%d ops (%d reads, %d writes) in %v: %.0f ops/s, %d client errors\n",
 		res.Ops, res.Reads, res.Writes, wall.Round(time.Millisecond), report.OpsPerSec, res.Errors)
 	fmt.Fprintf(stdout, "read p50/p99 %v/%v  write p50/p99 %v/%v\n",
 		res.ReadLat.P50, res.ReadLat.P99, res.WriteLat.P50, res.WriteLat.P99)
+	if tiered {
+		lin, seq := res.Tier[register.TierLin], res.Tier[register.TierSeq]
+		fmt.Fprintf(stdout, "tiers (%s): lin %d regs, %d ops, read p50 %v; seq %d regs, %d ops, read p50 %v; discount %v (2ε=%v, Θ=%v)\n",
+			*tiersFlag, tierRep[register.TierLin].Registers, lin.Ops, lin.ReadLat.P50,
+			tierRep[register.TierSeq].Registers, seq.Ops, seq.ReadLat.P50,
+			lin.ReadLat.P50-seq.ReadLat.P50, 2*eps, theta)
+		fmt.Fprintf(stdout, "tier verdicts: lin %d violations (%d states), seq %d violations (%d states)\n",
+			tierRep[register.TierLin].Violations, tierRep[register.TierLin].CheckStates,
+			tierRep[register.TierSeq].Violations, tierRep[register.TierSeq].CheckStates)
+	}
 	if *pipeline > 1 {
 		fmt.Fprintf(stdout, "pipeline depth mean %.1f of %d; recorder drops %d\n",
 			res.Depth.Mean(), *pipeline, m.RecorderDrops)

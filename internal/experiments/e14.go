@@ -18,6 +18,11 @@ import (
 // clock model. This experiment runs plain L under maximal clock skew and
 // shows that what breaks is precisely linearizability, never sequential
 // consistency: the 2ε is the measured price of the stronger condition.
+//
+// The sequential-consistency verdict comes from the streaming SC checker
+// attached as an online monitor; streamParity asserts it byte-identical
+// to the batch checker replayed over the retained trace, so each seed
+// also witnesses online == batch for the seq tier's gating engine.
 func E14SeqConsistency() Result {
 	bounds := simtime.NewInterval(200*us, 400*us)
 	eps := 1 * ms
@@ -37,13 +42,15 @@ func E14SeqConsistency() Result {
 			n:       3, bounds: bounds, seed: seed,
 			clocks: clock.SpreadFactory(eps), delays: nil,
 			ops: 50, think: simtime.NewInterval(0, 700*us), writeRatio: 0.3,
+			stream: []streamCheck{{name: "sc", seq: &linearize.SeqOptions{Initial: register.Initial.String()}}},
 		})
 		if err != nil {
 			return e14Row{rowOut: rowOut{fails: []string{err.Error()}}, skip: true}
 		}
 		lin := linearize.CheckLinearizable(out.ops, register.Initial.String())
-		sc := linearize.CheckSequentiallyConsistent(out.ops, register.Initial.String())
+		sc := out.mon.Verdict("sc")
 		r := e14Row{linOK: lin.OK}
+		r.fails = append(r.fails, streamParity(out)...)
 		r.cells = []string{fmt.Sprint(seed), fmt.Sprint(len(out.ops)), checkMark(lin.OK), checkMark(sc.OK)}
 		if !sc.OK {
 			r.fails = append(r.fails, fmt.Sprintf("seed %d: sequential consistency violated: %s", seed, sc.Reason))

@@ -26,7 +26,7 @@ func E1AlgorithmL() Result {
 			factory: register.Factory(register.NewL, p),
 			n:       3, bounds: bounds, seed: 101 + int64(c),
 			ops: 40, think: simtime.NewInterval(0, 2*ms), writeRatio: 0.4,
-			stream: []streamCheck{{"lin", linearize.Options{Initial: register.Initial.String()}}},
+			stream: []streamCheck{{name: "lin", opt: linearize.Options{Initial: register.Initial.String()}}},
 		})
 		if err != nil {
 			r.fails = append(r.fails, err.Error())
@@ -71,8 +71,8 @@ func E2AlgorithmS() Result {
 			n:       3, bounds: simtime.NewInterval(bounds.Lo, d2p), seed: 202 + int64(eps),
 			ops: 30, think: simtime.NewInterval(0, 2*ms), writeRatio: 0.4,
 			stream: []streamCheck{
-				{"lin", linearize.Options{Initial: register.Initial.String()}},
-				{"super", linearize.Options{Initial: register.Initial.String(), MinAfterInv: 2 * eps}},
+				{name: "lin", opt: linearize.Options{Initial: register.Initial.String()}},
+				{name: "super", opt: linearize.Options{Initial: register.Initial.String(), MinAfterInv: 2 * eps}},
 			},
 		})
 		if err != nil {
@@ -147,7 +147,7 @@ func E3ClockModel() Result {
 			n:       3, bounds: bounds, seed: 303 + int64(eps),
 			clocks: factoryFor(cname, eps), delays: channel.UniformDelay,
 			ops: 30, think: simtime.NewInterval(0, 2*ms), writeRatio: 0.4,
-			stream: []streamCheck{{"lin", linearize.Options{Initial: register.Initial.String()}}},
+			stream: []streamCheck{{name: "lin", opt: linearize.Options{Initial: register.Initial.String()}}},
 		})
 		if err != nil {
 			r.fails = append(r.fails, err.Error())

@@ -22,6 +22,7 @@
 //	E14 ref [2]       — sequential consistency vs linearizability (Table 10)
 //	E15 §1 intro      — failure detection timeout margins (Table 11)
 //	E16 §4.3          — real-time vs internal specifications (Table 12)
+//	E17 §6.1/§6.2     — tiered keyed store live: L-tier read discount (Table 13)
 package experiments
 
 import (
@@ -102,6 +103,7 @@ func All() []Experiment {
 		{"E14", "Attiya-Welch boundary: sequential consistency vs linearizability", E14SeqConsistency},
 		{"E15", "failure detection: timeout margins in the clock model", E15Detector},
 		{"E16", "real-time vs internal specifications under simulation 1", E16RealTimeSpecs},
+		{"E17", "tiered keyed store live: the L-tier read discount vs S on shared nodes", E17TieredLive},
 	}
 }
 
@@ -169,10 +171,35 @@ type runSpec struct {
 	noRetain bool
 }
 
-// streamCheck names one online-checker configuration of a run's monitor.
+// streamCheck names one online-checker configuration of a run's monitor:
+// a linearizability checker by default, or — when seq is set — the online
+// sequential-consistency checker (opt is then ignored). Parity for seq
+// checks is against CheckSequentiallyConsistent, itself a replay of the
+// same automaton, so the assertion is feed-order independence: response
+// order online versus per-node invocation order in batch.
 type streamCheck struct {
 	name string
 	opt  linearize.Options
+	seq  *linearize.SeqOptions
+}
+
+// checker builds the streamCheck's sharded checker with the given fan-out
+// (below 2: inline on the observing goroutine).
+func (sc streamCheck) checker(shards int) *linearize.Sharded {
+	so := linearize.ShardedOptions{Check: sc.opt, Shards: shards}
+	if sc.seq != nil {
+		seq := *sc.seq
+		so.New = func(string) linearize.Automaton { return linearize.NewSeqOnline(seq) }
+	}
+	return linearize.NewSharded(so)
+}
+
+// batch replays the streamCheck's specification over a retained history.
+func (sc streamCheck) batch(ops []linearize.Op) linearize.Result {
+	if sc.seq != nil {
+		return linearize.CheckSequentiallyConsistent(ops, sc.seq.Initial)
+	}
+	return linearize.Check(ops, sc.opt)
 }
 
 // runOut is what a run produces.
@@ -210,11 +237,11 @@ func run(spec runSpec) (runOut, error) {
 	if len(spec.stream) > 0 {
 		mon = register.NewMonitor()
 		for _, sc := range spec.stream {
-			mon.AddCheck(sc.name, sc.opt)
+			mon.AddChecker(sc.name, sc.checker(0))
 		}
 		if cs := CheckShards(); cs >= 2 {
 			for _, sc := range spec.stream {
-				mon.AddShardedCheck(shardedName(sc.name), sc.opt, cs)
+				mon.AddChecker(shardedName(sc.name), sc.checker(cs))
 			}
 		}
 		net.Sys.AddSink(mon)
@@ -282,7 +309,7 @@ func streamParity(out runOut) []string {
 		return []string{fmt.Sprintf("streaming monitor: %v", err)}
 	}
 	for _, sc := range out.stream {
-		batch := linearize.Check(out.ops, sc.opt)
+		batch := sc.batch(out.ops)
 		if got := out.mon.Verdict(sc.name); got != batch {
 			fails = append(fails, fmt.Sprintf("streaming %q verdict %+v != batch %+v", sc.name, got, batch))
 		}

@@ -51,8 +51,8 @@ func TestAllHaveDistinctIDs(t *testing.T) {
 			t.Errorf("%s incomplete", e.ID)
 		}
 	}
-	if len(seen) != 16 {
-		t.Errorf("expected 16 experiments, got %d", len(seen))
+	if len(seen) != 17 {
+		t.Errorf("expected 17 experiments, got %d", len(seen))
 	}
 }
 

@@ -1,10 +1,9 @@
 package linearize
 
 import (
-	"fmt"
 	"sort"
-	"strconv"
-	"strings"
+
+	"psclock/internal/ta"
 )
 
 // CheckSequentiallyConsistent decides sequential consistency of a register
@@ -12,140 +11,41 @@ import (
 // node's program order and (2) satisfies register semantics — with no
 // real-time constraint at all. This is the weaker correctness condition of
 // Attiya and Welch [2], the paper algorithm L descends from; experiment
-// E14 uses it to show what survives when linearizability does not.
+// E14 uses it to show what survives when linearizability does not, and the
+// keyed store's seq tier is verified against it live.
 //
 // Program order at a node is operation order there (the §6.1 alternation
 // condition makes a node's operations non-overlapping, so invocation order
 // is unambiguous). Pending reads are dropped; pending writes may take
 // effect or not.
+//
+// The decision procedure is a replay through the online engine (SeqOnline)
+// in its pure mode (MaxStale = 0): each node's operations, sorted by
+// invocation, are fed in node-ascending order and Finish returns the
+// verdict — batch and online share one engine by construction, exactly as
+// the linearizability wrappers replay through Online. The brute-force
+// interleaving search this replaces survives as the differential oracle in
+// the package's property tests.
 func CheckSequentiallyConsistent(ops []Op, initial string) Result {
-	// Group by node, preserving invocation order.
-	perNode := make(map[int][]Op)
-	var nodes []int
+	perNode := make(map[ta.NodeID][]Op)
+	var nodes []ta.NodeID
 	for _, o := range ops {
-		n := int(o.Node)
 		if o.Pending() && o.Kind == Read {
 			continue // a pending read returned nothing
 		}
-		if _, seen := perNode[n]; !seen {
-			nodes = append(nodes, n)
+		if _, seen := perNode[o.Node]; !seen {
+			nodes = append(nodes, o.Node)
 		}
-		perNode[n] = append(perNode[n], o)
+		perNode[o.Node] = append(perNode[o.Node], o)
 	}
-	sort.Ints(nodes)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	s := NewSeqOnline(SeqOptions{Initial: initial})
 	for _, n := range nodes {
 		seq := perNode[n]
 		sort.SliceStable(seq, func(i, j int) bool { return seq[i].Inv < seq[j].Inv })
-		for i := 1; i < len(seq); i++ {
-			if seq[i].Inv < seq[i-1].Res && !seq[i-1].Pending() {
-				return Result{OK: false, Reason: fmt.Sprintf(
-					"linearize: node %d operations overlap (%v then %v): program order undefined",
-					n, seq[i-1], seq[i])}
-			}
-		}
-		perNode[n] = seq
-	}
-
-	// Uniqueness of written values, as everywhere else (§3).
-	writers := make(map[string]bool)
-	for _, o := range ops {
-		if o.Kind == Write {
-			if writers[o.Value] {
-				return Result{OK: false, Reason: fmt.Sprintf("linearize: value %q written twice", o.Value)}
-			}
-			writers[o.Value] = true
+		for _, o := range seq {
+			s.Add(o)
 		}
 	}
-
-	c := &scChecker{
-		nodes:   nodes,
-		perNode: perNode,
-		memo:    make(map[string]bool),
-		max:     4 << 20,
-	}
-	ok := c.dfs(make([]int, len(nodes)), initial)
-	r := Result{OK: ok, States: c.states}
-	if !ok {
-		if c.budget {
-			r.Reason = fmt.Sprintf("linearize: state budget (%d) exhausted", c.max)
-		} else {
-			r.Reason = "no sequentially consistent total order exists"
-		}
-	}
-	return r
-}
-
-type scChecker struct {
-	nodes   []int
-	perNode map[int][]Op
-	memo    map[string]bool
-	states  int
-	max     int
-	budget  bool
-}
-
-func (c *scChecker) key(pos []int, val string) string {
-	var b strings.Builder
-	for _, p := range pos {
-		b.WriteString(strconv.Itoa(p))
-		b.WriteByte(',')
-	}
-	b.WriteString(val)
-	return b.String()
-}
-
-// dfs interleaves the per-node sequences: at each step, any node's next
-// operation may be appended to the total order if the register semantics
-// accept it.
-func (c *scChecker) dfs(pos []int, val string) bool {
-	c.states++
-	if c.states > c.max {
-		c.budget = true
-		return false
-	}
-	done := true
-	for i, n := range c.nodes {
-		if pos[i] < len(c.perNode[n]) {
-			done = false
-		}
-		_ = n
-	}
-	if done {
-		return true
-	}
-	k := c.key(pos, val)
-	if res, seen := c.memo[k]; seen {
-		return res
-	}
-	for i, n := range c.nodes {
-		if pos[i] >= len(c.perNode[n]) {
-			continue
-		}
-		o := c.perNode[n][pos[i]]
-		pos[i]++
-		switch {
-		case o.Kind == Write:
-			// A pending write may also be dropped (it never took effect);
-			// a completed write must take effect.
-			if c.dfs(pos, o.Value) {
-				pos[i]--
-				c.memo[k] = true
-				return true
-			}
-			if o.Pending() && c.dfs(pos, val) {
-				pos[i]--
-				c.memo[k] = true
-				return true
-			}
-		case o.Value == val:
-			if c.dfs(pos, val) {
-				pos[i]--
-				c.memo[k] = true
-				return true
-			}
-		}
-		pos[i]--
-	}
-	c.memo[k] = false
-	return false
+	return s.Finish()
 }

@@ -1,0 +1,144 @@
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// checkSCOracle is the brute-force sequential-consistency decision
+// procedure CheckSequentiallyConsistent used before the online engine
+// existed: a memoized search over all interleavings of the per-node
+// program orders. It is kept verbatim as the differential oracle for the
+// property tests — the cluster-graph engine must agree with it on every
+// random history (TestSeqOnlineMatchesOracle).
+func checkSCOracle(ops []Op, initial string) Result {
+	perNode := make(map[int][]Op)
+	var nodes []int
+	for _, o := range ops {
+		n := int(o.Node)
+		if o.Pending() && o.Kind == Read {
+			continue // a pending read returned nothing
+		}
+		if _, seen := perNode[n]; !seen {
+			nodes = append(nodes, n)
+		}
+		perNode[n] = append(perNode[n], o)
+	}
+	sort.Ints(nodes)
+	for _, n := range nodes {
+		seq := perNode[n]
+		sort.SliceStable(seq, func(i, j int) bool { return seq[i].Inv < seq[j].Inv })
+		for i := 1; i < len(seq); i++ {
+			if seq[i].Inv < seq[i-1].Res && !seq[i-1].Pending() {
+				return Result{OK: false, Reason: fmt.Sprintf(
+					"linearize: node %d operations overlap (%v then %v): program order undefined",
+					n, seq[i-1], seq[i])}
+			}
+		}
+		perNode[n] = seq
+	}
+
+	writers := make(map[string]bool)
+	for _, o := range ops {
+		if o.Kind == Write {
+			if writers[o.Value] {
+				return Result{OK: false, Reason: fmt.Sprintf("linearize: value %q written twice", o.Value)}
+			}
+			writers[o.Value] = true
+		}
+	}
+
+	c := &scOracle{
+		nodes:   nodes,
+		perNode: perNode,
+		memo:    make(map[string]bool),
+		max:     4 << 20,
+	}
+	ok := c.dfs(make([]int, len(nodes)), initial)
+	r := Result{OK: ok, States: c.states}
+	if !ok {
+		if c.budget {
+			r.Reason = fmt.Sprintf("linearize: state budget (%d) exhausted", c.max)
+		} else {
+			r.Reason = "no sequentially consistent total order exists"
+		}
+	}
+	return r
+}
+
+type scOracle struct {
+	nodes   []int
+	perNode map[int][]Op
+	memo    map[string]bool
+	states  int
+	max     int
+	budget  bool
+}
+
+func (c *scOracle) key(pos []int, val string) string {
+	var b strings.Builder
+	for _, p := range pos {
+		b.WriteString(strconv.Itoa(p))
+		b.WriteByte(',')
+	}
+	b.WriteString(val)
+	return b.String()
+}
+
+// dfs interleaves the per-node sequences: at each step, any node's next
+// operation may be appended to the total order if the register semantics
+// accept it.
+func (c *scOracle) dfs(pos []int, val string) bool {
+	c.states++
+	if c.states > c.max {
+		c.budget = true
+		return false
+	}
+	done := true
+	for i, n := range c.nodes {
+		if pos[i] < len(c.perNode[n]) {
+			done = false
+		}
+		_ = n
+	}
+	if done {
+		return true
+	}
+	k := c.key(pos, val)
+	if res, seen := c.memo[k]; seen {
+		return res
+	}
+	for i, n := range c.nodes {
+		if pos[i] >= len(c.perNode[n]) {
+			continue
+		}
+		o := c.perNode[n][pos[i]]
+		pos[i]++
+		switch {
+		case o.Kind == Write:
+			// A pending write may also be dropped (it never took effect);
+			// a completed write must take effect.
+			if c.dfs(pos, o.Value) {
+				pos[i]--
+				c.memo[k] = true
+				return true
+			}
+			if o.Pending() && c.dfs(pos, val) {
+				pos[i]--
+				c.memo[k] = true
+				return true
+			}
+		case o.Value == val:
+			if c.dfs(pos, val) {
+				pos[i]--
+				c.memo[k] = true
+				return true
+			}
+		}
+		pos[i]--
+	}
+	c.memo[k] = false
+	return false
+}

@@ -1,0 +1,184 @@
+package linearize
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+// randSeqHistory draws a small random register history shaped for the
+// sequential-consistency checkers: per-node operations are sequential by
+// construction (a per-node clock), values are unique and never the initial
+// one, reads pick any value seen so far (stale reads are the point — legal
+// under SC), with occasional duplicate writes, reads of never-written
+// values, and a final pending operation per node. When overlap is set, an
+// operation's invocation is occasionally pulled before its predecessor's
+// response, making program order undefined at that node; when dup is set,
+// an already-written value is occasionally written again (the Θ-bounded
+// soundness test clears both: its spec assumes unique writes, and its
+// response-order feed needs well-defined program order).
+func randSeqHistory(r *rand.Rand, overlap, dup bool) []Op {
+	nNodes := 1 + r.Intn(3)
+	clock := make([]simtime.Time, nNodes)
+	values := []string{"v0"}
+	written := []string{}
+	var ops []Op
+	n := 3 + r.Intn(8)
+	for i := 0; i < n; i++ {
+		node := r.Intn(nNodes)
+		inv := clock[node].Add(simtime.Duration(r.Intn(20)))
+		res := inv.Add(simtime.Duration(1 + r.Intn(20)))
+		clock[node] = res
+		switch k := r.Intn(10); {
+		case k < 4: // fresh write
+			v := fmt.Sprintf("w%d", len(written))
+			written = append(written, v)
+			values = append(values, v)
+			ops = append(ops, Op{Node: ta.NodeID(node), Kind: Write, Value: v, Inv: inv, Res: res})
+		case k == 4 && dup && len(written) > 0: // duplicate write (never of v0)
+			v := written[r.Intn(len(written))]
+			ops = append(ops, Op{Node: ta.NodeID(node), Kind: Write, Value: v, Inv: inv, Res: res})
+		case k == 5: // read of a value nobody writes
+			ops = append(ops, Op{Node: ta.NodeID(node), Kind: Read, Value: "ghost", Inv: inv, Res: res})
+		default: // read of any value seen so far (possibly stale)
+			ops = append(ops, Op{Node: ta.NodeID(node), Kind: Read, Value: values[r.Intn(len(values))], Inv: inv, Res: res})
+		}
+	}
+	if overlap && len(ops) > 1 && r.Intn(4) == 0 {
+		i := 1 + r.Intn(len(ops)-1)
+		if ops[i].Inv > 6 {
+			ops[i].Inv = ops[i].Inv.Add(-simtime.Duration(2 + 2*r.Intn(3)))
+		}
+	}
+	// A node's last operation may be caught in flight.
+	if r.Intn(4) == 0 {
+		node := ta.NodeID(r.Intn(nNodes))
+		for i := len(ops) - 1; i >= 0; i-- {
+			if ops[i].Node == node {
+				ops[i].Res = simtime.Never
+				break
+			}
+		}
+	}
+	return ops
+}
+
+// The cluster-graph engine must agree with the brute-force interleaving
+// oracle on every random history; disagreements are shrunk to a locally
+// minimal witness before reporting.
+func TestSeqOnlineMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 800; trial++ {
+		ops := randSeqHistory(r, true, true)
+		got := CheckSequentiallyConsistent(ops, "v0")
+		want := checkSCOracle(ops, "v0")
+		if got.OK != want.OK {
+			min := shrinkWith(ops, func(h []Op) bool {
+				return CheckSequentiallyConsistent(h, "v0").OK != checkSCOracle(h, "v0").OK
+			})
+			t.Fatalf("trial %d: engine=%v (%s) oracle=%v (%s)\nminimal witness:\n%v",
+				trial, got.OK, got.Reason, want.OK, want.Reason, min)
+		}
+	}
+}
+
+// Θ-bounded sequential consistency is pure sequential consistency plus
+// extra staleness conditions, so an accepting Θ-bounded run implies the
+// pure checker accepts too — the property that the window GC (settling and
+// committing clusters mid-stream) never unsoundly accepts. The feed
+// replays the monitor's shape: Begin at invocation, Add at response, in
+// global response order, with periodic watermark advances.
+func TestSeqOnlineStaleBoundSound(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 800; trial++ {
+		ops := randSeqHistory(r, false, false)
+		theta := simtime.Duration(1 + r.Intn(40))
+
+		type ev struct {
+			t     simtime.Time
+			begin bool
+			op    Op
+		}
+		var evs []ev
+		var pend []Op
+		for _, o := range ops {
+			evs = append(evs, ev{t: o.Inv, begin: true, op: o})
+			if o.Pending() {
+				pend = append(pend, o)
+			} else {
+				evs = append(evs, ev{t: o.Res, op: o})
+			}
+		}
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].t < evs[j].t })
+
+		s := NewSeqOnline(SeqOptions{Initial: "v0", MaxStale: theta})
+		for i, e := range evs {
+			if e.begin {
+				s.Begin(e.op.Node, e.op.Inv)
+			} else {
+				s.Add(e.op)
+			}
+			if i%3 == 2 {
+				s.Advance(e.t)
+			}
+		}
+		for _, o := range pend {
+			s.Add(o)
+		}
+		bounded := s.Finish()
+		pure := CheckSequentiallyConsistent(ops, "v0")
+		if bounded.OK && !pure.OK {
+			t.Fatalf("trial %d (Θ=%v): bounded accepted, pure rejected (%s)\n%v",
+				trial, theta, pure.Reason, ops)
+		}
+	}
+}
+
+// In the pure mode (MaxStale = 0) the feed slicing is irrelevant: the
+// monitor-shaped feed returns the identical Result to the batch replay,
+// States included — the online == batch parity E14 asserts in-suite.
+func TestSeqOnlinePureFeedParity(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 400; trial++ {
+		ops := randSeqHistory(r, false, true)
+		type ev struct {
+			t     simtime.Time
+			begin bool
+			op    Op
+		}
+		var evs []ev
+		var pend []Op
+		for _, o := range ops {
+			evs = append(evs, ev{t: o.Inv, begin: true, op: o})
+			if o.Pending() {
+				pend = append(pend, o)
+			} else {
+				evs = append(evs, ev{t: o.Res, op: o})
+			}
+		}
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].t < evs[j].t })
+		s := NewSeqOnline(SeqOptions{Initial: "v0"})
+		for i, e := range evs {
+			if e.begin {
+				s.Begin(e.op.Node, e.op.Inv)
+			} else {
+				s.Add(e.op)
+			}
+			if i%4 == 3 {
+				s.Advance(e.t)
+			}
+		}
+		for _, o := range pend {
+			s.Add(o)
+		}
+		got := s.Finish()
+		want := CheckSequentiallyConsistent(ops, "v0")
+		if got.OK != want.OK || got.States != want.States {
+			t.Fatalf("trial %d: online=%+v batch=%+v\n%v", trial, got, want, ops)
+		}
+	}
+}

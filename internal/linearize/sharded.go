@@ -45,8 +45,16 @@ type Checker interface {
 
 // ShardedOptions configures a Sharded checker.
 type ShardedOptions struct {
-	// Check is applied to every per-key Online automaton.
+	// Check is applied to every per-key Online automaton when New is nil.
 	Check Options
+	// New, when non-nil, constructs the automaton for each key, overriding
+	// the default NewOnline(Check). This is the tiered-store hook: route
+	// lin-tier keys to Online and seq-tier keys to SeqOnline from one
+	// checker, one merged verdict. The factory is called from shard
+	// workers (or the caller's goroutine inline) at a key's first
+	// operation; it must be safe for concurrent use and each returned
+	// automaton is driven by exactly one goroutine.
+	New func(key string) Automaton
 	// Shards is the worker-pool size. Values below 2 select the inline
 	// mode: per-key automata driven directly on the caller's goroutine,
 	// with no queues or workers — the plumbing-free baseline.
@@ -65,8 +73,8 @@ type Sharded struct {
 	kidOf map[string]int // key → kid (first-appearance order)
 	keys  []string       // kid → key
 
-	inline  []*Online // kid-indexed automata (inline mode)
-	shards  []*shard  // worker pool (sharded mode)
+	inline  []Automaton // kid-indexed automata (inline mode)
+	shards  []*shard    // worker pool (sharded mode)
 	wg      sync.WaitGroup
 	results []Result // kid-indexed, written by workers during Finish
 
@@ -93,10 +101,12 @@ const (
 )
 
 // shardMsg is one hand-off unit. kid is pre-interned by the producer so
-// workers never touch the key table.
+// workers never touch the key table; key rides along only so a worker can
+// hand it to the per-key automaton factory on first use.
 type shardMsg struct {
 	kind int
 	kid  int
+	key  string
 	node ta.NodeID
 	t    simtime.Time // Begin invocation or Advance watermark
 	op   Op
@@ -147,13 +157,22 @@ func (s *Sharded) kid(key string) int {
 	return k
 }
 
+// newAuto constructs the automaton for key: the factory when one is set,
+// the default Online otherwise.
+func (s *Sharded) newAuto(key string) Automaton {
+	if s.opt.New != nil {
+		return s.opt.New(key)
+	}
+	return NewOnline(s.opt.Check)
+}
+
 // at returns the automaton for kid in the inline mode, creating it lazily.
-func (s *Sharded) at(kid int) *Online {
+func (s *Sharded) at(kid int, key string) Automaton {
 	for len(s.inline) <= kid {
 		s.inline = append(s.inline, nil)
 	}
 	if s.inline[kid] == nil {
-		s.inline[kid] = NewOnline(s.opt.Check)
+		s.inline[kid] = s.newAuto(key)
 	}
 	return s.inline[kid]
 }
@@ -165,10 +184,10 @@ func (s *Sharded) Begin(key string, node ta.NodeID, inv simtime.Time) {
 	}
 	k := s.kid(key)
 	if s.shards == nil {
-		s.at(k).Begin(node, inv)
+		s.at(k, key).Begin(node, inv)
 		return
 	}
-	s.shards[k%len(s.shards)].ring.push(shardMsg{kind: msgBegin, kid: k, node: node, t: inv})
+	s.shards[k%len(s.shards)].ring.push(shardMsg{kind: msgBegin, kid: k, key: key, node: node, t: inv})
 }
 
 // Add implements Checker.
@@ -178,10 +197,10 @@ func (s *Sharded) Add(key string, op Op) {
 	}
 	k := s.kid(key)
 	if s.shards == nil {
-		s.at(k).Add(op)
+		s.at(k, key).Add(op)
 		return
 	}
-	s.shards[k%len(s.shards)].ring.push(shardMsg{kind: msgAdd, kid: k, op: op})
+	s.shards[k%len(s.shards)].ring.push(shardMsg{kind: msgAdd, kid: k, key: key, op: op})
 }
 
 // Advance implements Checker: the watermark is broadcast, so every shard
@@ -277,13 +296,13 @@ func (s *Sharded) FailedKey() (string, bool) {
 // exactly one shard, so the writes are disjoint) and exits.
 func (s *Sharded) worker(sh *shard) {
 	defer s.wg.Done()
-	var checks []*Online
-	at := func(kid int) *Online {
+	var checks []Automaton
+	at := func(kid int, key string) Automaton {
 		for len(checks) <= kid {
 			checks = append(checks, nil)
 		}
 		if checks[kid] == nil {
-			checks[kid] = NewOnline(s.opt.Check)
+			checks[kid] = s.newAuto(key)
 		}
 		return checks[kid]
 	}
@@ -291,9 +310,9 @@ func (s *Sharded) worker(sh *shard) {
 		m := sh.ring.popWait()
 		switch m.kind {
 		case msgBegin:
-			at(m.kid).Begin(m.node, m.t)
+			at(m.kid, m.key).Begin(m.node, m.t)
 		case msgAdd:
-			at(m.kid).Add(m.op)
+			at(m.kid, m.key).Add(m.op)
 		case msgAdvance:
 			for _, o := range checks {
 				if o != nil {

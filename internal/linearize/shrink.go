@@ -18,6 +18,18 @@ func Shrink(ops []Op, opt Options) []Op {
 	return shrinkWith(ops, violates)
 }
 
+// ShrinkSeq is Shrink against the sequential-consistency checker: it
+// reduces a non-sequentially-consistent history to a locally minimal
+// violating sub-history. A counterexample here is stronger than a
+// linearizability one — the history admits no total order at all, even
+// ignoring real time — so the witness is usually a program-order cycle.
+func ShrinkSeq(ops []Op, initial string) []Op {
+	violates := func(h []Op) bool {
+		return !CheckSequentiallyConsistent(h, initial).OK
+	}
+	return shrinkWith(ops, violates)
+}
+
 // ShrinkObject is Shrink for generic object histories.
 func ShrinkObject(ops []GOp, m Model, opt Options) []GOp {
 	violates := func(h []GOp) bool {

@@ -51,6 +51,28 @@ type LoadConfig struct {
 	// execution (writer = client's node, per-client sequence), satisfying
 	// the §3 uniqueness assumption.
 	Seed int64
+	// Tiers is the per-register consistency tier map the server was
+	// configured with (nil = all lin): clients stamp each read with its
+	// register's tier byte, and latencies are additionally recorded into
+	// per-tier reservoirs so the report can price the seq tier's read
+	// discount against the lin tier on the same run.
+	Tiers []register.Tier
+}
+
+// tierOf returns the register's configured tier.
+func (cfg *LoadConfig) tierOf(reg int) register.Tier {
+	if cfg.Tiers == nil {
+		return register.TierLin
+	}
+	return cfg.Tiers[reg]
+}
+
+// TierLoad is one consistency tier's slice of a LoadResult.
+type TierLoad struct {
+	Ops, Reads, Writes int
+	// ReadLat and WriteLat summarize this tier's client-observed latencies
+	// from seeded reservoirs, alongside the aggregate ones.
+	ReadLat, WriteLat stats.Summary
 }
 
 // LoadResult aggregates the load generator's view of a run.
@@ -60,6 +82,9 @@ type LoadResult struct {
 	// seeded reservoir sample (percentiles over the full run in bounded
 	// memory).
 	ReadLat, WriteLat stats.Summary
+	// Tier splits the run by consistency tier (indexed by register.Tier)
+	// when cfg.Tiers was set; both entries are zero otherwise.
+	Tier [2]TierLoad
 	// PerReg counts completed operations per register instance (nil for
 	// single-register runs).
 	PerReg []int
@@ -83,12 +108,17 @@ func RunLoad(addrs []string, cfg LoadConfig) LoadResult {
 	if cfg.Registers <= 0 {
 		cfg.Registers = 1
 	}
-	var (
-		mu       sync.Mutex
-		agg      LoadResult
-		readRes  = stats.NewReservoir(4096, cfg.Seed*7+1)
-		writeRes = stats.NewReservoir(4096, cfg.Seed*7+2)
-	)
+	rec := &loadRecorders{
+		read:  stats.NewReservoir(4096, cfg.Seed*7+1),
+		write: stats.NewReservoir(4096, cfg.Seed*7+2),
+	}
+	if cfg.Tiers != nil {
+		for t := range rec.tierRead {
+			rec.tierRead[t] = stats.NewReservoir(4096, cfg.Seed*7+3+int64(t))
+			rec.tierWrite[t] = stats.NewReservoir(4096, cfg.Seed*7+5+int64(t))
+		}
+	}
+	var agg LoadResult
 	agg.PerReg = make([]int, cfg.Registers)
 	deadline := time.Now().Add(cfg.Duration)
 	var wg sync.WaitGroup
@@ -99,37 +129,79 @@ func RunLoad(addrs []string, cfg LoadConfig) LoadResult {
 			defer wg.Done()
 			var res LoadResult
 			if cfg.Pipeline > 1 {
-				res = runPipelined(c, addrs[c%len(addrs)], ta.NodeID(c%len(addrs)), cfg, deadline, readRes, writeRes, &mu)
+				res = runPipelined(c, addrs[c%len(addrs)], ta.NodeID(c%len(addrs)), cfg, deadline, rec)
 			} else {
-				res = runClient(c, addrs[c%len(addrs)], ta.NodeID(c%len(addrs)), cfg, deadline, readRes, writeRes, &mu)
+				res = runClient(c, addrs[c%len(addrs)], ta.NodeID(c%len(addrs)), cfg, deadline, rec)
 			}
-			mu.Lock()
+			rec.mu.Lock()
 			agg.Ops += res.Ops
 			agg.Reads += res.Reads
 			agg.Writes += res.Writes
 			agg.Errors += res.Errors
+			for t := range res.Tier {
+				agg.Tier[t].Ops += res.Tier[t].Ops
+				agg.Tier[t].Reads += res.Tier[t].Reads
+				agg.Tier[t].Writes += res.Tier[t].Writes
+			}
 			for r, k := range res.PerReg {
 				agg.PerReg[r] += k
 			}
 			agg.Depth.Merge(res.Depth)
-			mu.Unlock()
+			rec.mu.Unlock()
 		}()
 	}
 	wg.Wait()
-	mu.Lock()
-	agg.ReadLat = readRes.Summary()
-	agg.WriteLat = writeRes.Summary()
-	mu.Unlock()
+	rec.mu.Lock()
+	agg.ReadLat = rec.read.Summary()
+	agg.WriteLat = rec.write.Summary()
+	if cfg.Tiers != nil {
+		for t := range rec.tierRead {
+			agg.Tier[t].ReadLat = rec.tierRead[t].Summary()
+			agg.Tier[t].WriteLat = rec.tierWrite[t].Summary()
+		}
+	}
+	rec.mu.Unlock()
 	if cfg.Registers == 1 {
 		agg.PerReg = nil
 	}
 	return agg
 }
 
+// loadRecorders is the clients' shared latency-recording state: the
+// aggregate reservoirs, the per-tier reservoirs (allocated only when the
+// run is tiered), and the mutex serializing them.
+type loadRecorders struct {
+	mu        sync.Mutex
+	read      *stats.Reservoir
+	write     *stats.Reservoir
+	tierRead  [2]*stats.Reservoir
+	tierWrite [2]*stats.Reservoir
+}
+
+// record files one completed operation's latency under the lock.
+func (rec *loadRecorders) record(write bool, tier register.Tier, lat simtime.Duration) {
+	rec.mu.Lock()
+	if write {
+		rec.write.Add(lat)
+		if rec.tierWrite[tier] != nil {
+			rec.tierWrite[tier].Add(lat)
+		}
+	} else {
+		rec.read.Add(lat)
+		if rec.tierRead[tier] != nil {
+			rec.tierRead[tier].Add(lat)
+		}
+	}
+	rec.mu.Unlock()
+}
+
 // runClient is one closed-loop client: invoke, wait for the response,
-// pace, repeat until the deadline.
-func runClient(id int, addr string, nodeID ta.NodeID, cfg LoadConfig, deadline time.Time, readRes, writeRes *stats.Reservoir, mu *sync.Mutex) LoadResult {
+// pace, repeat until the deadline. Multi-register configurations spread
+// operations uniformly across the instances (one at a time — the loop is
+// closed), so tiered latency comparisons sample every register.
+func runClient(id int, addr string, nodeID ta.NodeID, cfg LoadConfig, deadline time.Time, rec *loadRecorders) LoadResult {
 	var res LoadResult
+	res.PerReg = make([]int, cfg.Registers)
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		res.Errors++
@@ -146,9 +218,14 @@ func runClient(id int, addr string, nodeID ta.NodeID, cfg LoadConfig, deadline t
 	wseq := 0
 	for time.Now().Before(deadline) {
 		opStart := time.Now()
-		req := wireReq{Op: register.ActRead}
+		reg := 0
+		if cfg.Registers > 1 {
+			reg = rng.Intn(cfg.Registers)
+		}
+		tier := cfg.tierOf(reg)
+		req := wireReq{Reg: reg, Op: register.ActRead, Tier: tier}
 		if rng.Float64() < cfg.WriteRatio {
-			req = wireReq{Op: register.ActWrite, Val: register.Value{Writer: nodeID, Seq: id*1_000_000 + wseq}}
+			req = wireReq{Reg: reg, Op: register.ActWrite, Val: register.Value{Writer: nodeID, Seq: id*1_000_000 + wseq}}
 			wseq++
 		}
 		sbuf = appendWireReq(sbuf[:0], req)
@@ -162,19 +239,19 @@ func runClient(id int, addr string, nodeID ta.NodeID, cfg LoadConfig, deadline t
 		}
 		lat, lerr := simtime.FromWall(time.Since(opStart))
 		res.Ops++
-		mu.Lock()
-		if req.Op == register.ActRead {
-			res.Reads++
-			if lerr == nil {
-				readRes.Add(lat)
-			}
-		} else {
+		res.PerReg[reg]++
+		isWrite := req.Op == register.ActWrite
+		res.Tier[tier].Ops++
+		if isWrite {
 			res.Writes++
-			if lerr == nil {
-				writeRes.Add(lat)
-			}
+			res.Tier[tier].Writes++
+		} else {
+			res.Reads++
+			res.Tier[tier].Reads++
 		}
-		mu.Unlock()
+		if lerr == nil {
+			rec.record(isWrite, tier, lat)
+		}
 		if pace > 0 {
 			if rest := pace - time.Since(opStart); rest > 0 {
 				time.Sleep(rest)
@@ -189,6 +266,7 @@ type pendingOp struct {
 	start time.Time
 	write bool
 	reg   int
+	tier  register.Tier
 }
 
 // runPipelined is one open-loop pipelined client: a sender that issues
@@ -198,7 +276,7 @@ type pendingOp struct {
 // in flight at mean latency L the client completes ≈ K/L ops per second,
 // while each individual port still sees at most one outstanding op (the
 // server's alternation discipline).
-func runPipelined(id int, addr string, nodeID ta.NodeID, cfg LoadConfig, deadline time.Time, readRes, writeRes *stats.Reservoir, mu *sync.Mutex) LoadResult {
+func runPipelined(id int, addr string, nodeID ta.NodeID, cfg LoadConfig, deadline time.Time, rec *loadRecorders) LoadResult {
 	var res LoadResult
 	res.PerReg = make([]int, cfg.Registers)
 	conn, err := net.Dial("tcp", addr)
@@ -260,19 +338,17 @@ func runPipelined(id int, addr string, nodeID ta.NodeID, cfg LoadConfig, deadlin
 			lat, lerr := simtime.FromWall(time.Since(op.start))
 			res.Ops++
 			res.PerReg[op.reg]++
-			mu.Lock()
+			res.Tier[op.tier].Ops++
 			if op.write {
 				res.Writes++
-				if lerr == nil {
-					writeRes.Add(lat)
-				}
+				res.Tier[op.tier].Writes++
 			} else {
 				res.Reads++
-				if lerr == nil {
-					readRes.Add(lat)
-				}
+				res.Tier[op.tier].Reads++
 			}
-			mu.Unlock()
+			if lerr == nil {
+				rec.record(op.write, op.tier, lat)
+			}
 			select {
 			case <-done:
 				if received >= sent.Load() {
@@ -350,7 +426,8 @@ func runPipelined(id int, addr string, nodeID ta.NodeID, cfg LoadConfig, deadlin
 			}
 		}
 		reqID++
-		req := wireReq{ID: reqID, Reg: reg, Op: register.ActRead}
+		tier := cfg.tierOf(reg)
+		req := wireReq{ID: reqID, Reg: reg, Op: register.ActRead, Tier: tier}
 		isWrite := rng.Float64() < cfg.WriteRatio
 		if isWrite {
 			req.Op = register.ActWrite
@@ -359,7 +436,7 @@ func runPipelined(id int, addr string, nodeID ta.NodeID, cfg LoadConfig, deadlin
 		}
 		pmu.Lock()
 		res.Depth.Add(len(pending))
-		pending[reqID] = pendingOp{start: time.Now(), write: isWrite, reg: reg}
+		pending[reqID] = pendingOp{start: time.Now(), write: isWrite, reg: reg, tier: tier}
 		pmu.Unlock()
 		sbuf = appendWireReq(sbuf[:0], req)
 		if _, err := bw.Write(sbuf); err != nil {

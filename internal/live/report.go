@@ -38,6 +38,16 @@ type Report struct {
 	WriteP50US float64 `json:"write_p50_us"`
 	WriteP99US float64 `json:"write_p99_us"`
 
+	// Tiers is the per-register tier configuration string ("" for an
+	// untiered run); TierLin and TierSeq split the run per consistency
+	// tier, and ReadDiscountUS is the seq tier's measured read saving —
+	// lin read p50 − seq read p50, the 2ε the lin tier pays for
+	// linearizability (Lemmas 6.1/6.2). Compare gates it against ε.
+	Tiers          string      `json:"tiers,omitempty"`
+	TierLin        *TierReport `json:"tier_lin,omitempty"`
+	TierSeq        *TierReport `json:"tier_seq,omitempty"`
+	ReadDiscountUS float64     `json:"read_discount_us,omitempty"`
+
 	// PipelineDepthMean is the mean in-flight occupancy pipelined clients
 	// sampled at issue time (Little's-law cross-check against ops/s ×
 	// latency); PerRegOps counts completed operations per register.
@@ -68,6 +78,26 @@ type Report struct {
 	// a clean run asserts zero (Pass requires it).
 	RecorderDrops int  `json:"recorder_drops"`
 	Pass          bool `json:"pass"`
+}
+
+// TierReport is one consistency tier's slice of a mixed-tier run: its
+// registers, its share of the load with per-tier latency percentiles, and
+// its own online verification verdict (each tier is checked against its
+// own specification — linearizability for lin, sequential consistency for
+// seq — by the per-key checker fan-out).
+type TierReport struct {
+	Registers int `json:"registers"`
+	Ops       int `json:"ops"`
+	Reads     int `json:"reads"`
+	Writes    int `json:"writes"`
+
+	ReadP50US  float64 `json:"read_p50_us"`
+	ReadP99US  float64 `json:"read_p99_us"`
+	WriteP50US float64 `json:"write_p50_us"`
+	WriteP99US float64 `json:"write_p99_us"`
+
+	Violations  int `json:"violations"`
+	CheckStates int `json:"check_states"`
 }
 
 // MergeIntoBenchFile writes r as the "live" section of the JSON report at

@@ -81,8 +81,9 @@ type Measured struct {
 // S_ij,ε and R_ji,ε of Figure 2, realized on real time, per logical
 // channel.
 type Runtime struct {
-	opts    Options
-	factory core.AlgorithmFactory
+	opts       Options
+	factory    core.AlgorithmFactory
+	regFactory func(reg int) core.AlgorithmFactory
 
 	sinks    []exec.Sink
 	onOutput func(node ta.NodeID, reg int, name string, payload any)
@@ -168,6 +169,16 @@ func (rt *Runtime) OnOutput(fn func(node ta.NodeID, reg int, name string, payloa
 // event source (a server port worker). Must be called before Start.
 func (rt *Runtime) producer() *producer { return rt.rec.producer(portRingDepth) }
 
+// SetRegisterFactory installs a per-register-instance algorithm factory,
+// overriding the uniform one for instances it covers: register instance
+// reg on every node is built by fn(reg) when that returns non-nil. This is
+// the tiered keyed store's hook — one node hosts a mix of S-keys and
+// L-keys (lin and seq tiers), all sharing its clock, goroutine, and
+// transport. Must be called before Start.
+func (rt *Runtime) SetRegisterFactory(fn func(reg int) core.AlgorithmFactory) {
+	rt.regFactory = fn
+}
+
 // Start anchors the epoch, builds the per-node clocks and algorithm
 // instances, and launches the node loops.
 func (rt *Runtime) Start() error {
@@ -191,7 +202,13 @@ func (rt *Runtime) Start() error {
 			prod:  rt.rec.producer(nodeRingDepth),
 		}
 		for reg := 0; reg < r; reg++ {
-			nd.algs[reg] = rt.factory(ta.NodeID(i), n)
+			f := rt.factory
+			if rt.regFactory != nil {
+				if rf := rt.regFactory(reg); rf != nil {
+					f = rf
+				}
+			}
+			nd.algs[reg] = f(ta.NodeID(i), n)
 			nd.srcs[reg] = fmt.Sprintf("live(%v)", rt.Port(ta.NodeID(i), reg))
 		}
 		rt.nodes[i] = nd

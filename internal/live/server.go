@@ -21,6 +21,13 @@ type wireReq struct {
 	// Op is register.ActRead or register.ActWrite.
 	Op  string
 	Val register.Value // the written value; ignored for reads
+	// Tier is the consistency tier the read selects on the wire: the op
+	// byte is 'r' for a lin-tier read, 's' for a seq-tier read. The server
+	// validates it against the register's configured tier — a read naming
+	// the wrong tier would be charged one price and verified at another,
+	// so a mismatch tears the connection down. Writes cost the same on
+	// both tiers and carry no tier byte.
+	Tier register.Tier
 }
 
 // wireResp is the server's answer: RETURN with the read value, or ACK,
@@ -43,11 +50,14 @@ type wireResp struct {
 func appendWireReq(dst []byte, r wireReq) []byte {
 	dst = binary.AppendUvarint(dst, r.ID)
 	dst = binary.AppendUvarint(dst, uint64(r.Reg))
-	if r.Op == register.ActWrite {
+	switch {
+	case r.Op == register.ActWrite:
 		dst = append(dst, 'w')
 		dst = binary.AppendVarint(dst, int64(r.Val.Writer))
 		dst = binary.AppendVarint(dst, int64(r.Val.Seq))
-	} else {
+	case r.Tier == register.TierSeq:
+		dst = append(dst, 's')
+	default:
 		dst = append(dst, 'r')
 	}
 	return dst
@@ -71,6 +81,9 @@ func readWireReq(br *bufio.Reader) (wireReq, error) {
 	switch op {
 	case 'r':
 		r.Op = register.ActRead
+	case 's':
+		r.Op = register.ActRead
+		r.Tier = register.TierSeq
 	case 'w':
 		r.Op = register.ActWrite
 		w, err := binary.ReadVarint(br)
@@ -149,6 +162,7 @@ type Server struct {
 	lns   []net.Listener
 	addrs []string
 	ports []*svcPort
+	tiers []register.Tier // per-register tiers; nil means all lin
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -233,6 +247,15 @@ func NewServer(rt *Runtime) (*Server, error) {
 	}
 	rt.OnOutput(s.dispatch)
 	return s, nil
+}
+
+// SetTiers installs the per-register consistency tiers the wire protocol
+// validates reads against: a read must name its register's tier ('r' for
+// lin, 's' for seq) or the connection is closed. nil (the default) means
+// every register is lin-tier, the stack's historical behavior. Must be
+// called before Start; len(tiers) must equal the runtime's register count.
+func (s *Server) SetTiers(tiers []register.Tier) {
+	s.tiers = tiers
 }
 
 // Addrs returns the per-node client-facing addresses.
@@ -390,6 +413,15 @@ func (s *Server) serve(nodeID ta.NodeID, conn net.Conn) {
 		}
 		if req.Reg < 0 || req.Reg >= nReg {
 			return
+		}
+		if req.Op == register.ActRead {
+			want := register.TierLin
+			if s.tiers != nil {
+				want = s.tiers[req.Reg]
+			}
+			if req.Tier != want {
+				return // tier mismatch: wrong price, wrong checker
+			}
 		}
 		var payload any
 		if req.Op == register.ActWrite {
