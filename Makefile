@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 tier2 bench microbench json compare stream-bench stream-shard-bench live-smoke live-bench live-pipe-smoke live-pipe-bench live-tier-smoke live-tier-bench
+.PHONY: all build test tier1 tier2 bench microbench json compare stream-bench stream-shard-bench live-smoke live-bench live-pipe-smoke live-pipe-bench live-tier-smoke live-tier-bench fleet-smoke fleet-bench
 
 all: tier1
 
@@ -97,6 +97,26 @@ live-pipe-bench:
 live-tier-smoke:
 	$(GO) run ./cmd/pscserve -duration 2s -rate 120 -registers 8 -tiers mix:0.5 \
 		-clock jitter -eps 2ms -slack 3ms -minops 100
+
+# Multi-process fleet smoke: a control plane spawns one pscnode OS
+# process per node, drives client load, and injects all four fault
+# kinds — SIGKILL (auto-replaced), a network partition, a delay spike
+# past d2, and a clock step past ε — each classified against its
+# scripted expectation. Exits nonzero on any expectation mismatch, any
+# checker violation not explained by a lossy fault, any recorder drop,
+# or a failed replacement. CI runs this time-boxed.
+fleet-smoke:
+	$(GO) run ./cmd/pscfleet -duration 5s -rate 120 \
+		-chaos "crash@700ms:1; partition@2s+700ms:0-2; delay@3.2s+500ms:2+15ms; clockstep@4.2s+400ms:0+6ms"
+
+# Seeded fleet chaos benchmark: the live_fleet section of
+# BENCH_results.json. The default 6-fault script (every kind, one
+# tolerated and one flagged variant where the kind has a band) over a
+# 12 s load; `make compare` gates ops/s downward, the verdict sticky,
+# recorder drops at zero, and every chaos outcome against its scripted
+# expectation.
+fleet-bench:
+	$(GO) run ./cmd/pscfleet -duration 12s -seed 1 -json BENCH_results.json
 
 # Mixed-tier benchmark: the live_tiered section of BENCH_results.json.
 # Seeded closed-loop load over 8 registers split lin/seq, recording

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 
+	"psclock/internal/fleet"
 	"psclock/internal/live"
 )
 
@@ -116,6 +117,7 @@ func compareReports(old, cur jsonReport, tol float64) []string {
 	}
 	regressions = append(regressions, compareStream(old, cur, tol)...)
 	regressions = append(regressions, compareLive(old, cur, tol)...)
+	regressions = append(regressions, compareFleet(old.LiveFleet, cur.LiveFleet, tol)...)
 	regressions = append(regressions, compareShardScaling(old, cur)...)
 	fmt.Printf("total wall: %.0f ms -> %.0f ms (%+.0f%%)\n", old.TotalWallMS, cur.TotalWallMS, pct(old.TotalWallMS, cur.TotalWallMS))
 	return regressions
@@ -318,6 +320,71 @@ func compareLiveSection(section string, o, n *live.Report, tol float64) []string
 	}
 	if o.RecorderDrops == 0 && n.RecorderDrops > 0 {
 		regressions = append(regressions, fmt.Sprintf("%s: recorder dropped %d events (baseline dropped none)", section, n.RecorderDrops))
+	}
+	return regressions
+}
+
+// compareFleet diffs the pscfleet multi-process chaos section under the
+// same ground rules as compareLive: pscbench cannot produce it (pscfleet
+// -json refreshes it), so a missing candidate is a note, not a failure,
+// and sections from different fleet configurations or chaos scripts only
+// warn — the delta would measure the configuration change, not a
+// regression. Within a matched pair the gates are throughput (beyond
+// tol), the overall verdict, recorder drops appearing, any unexplained
+// checker violation, and any chaos fault whose observed outcome stopped
+// matching its scripted expectation — the last two are correctness
+// gates, so they fire on the candidate alone, not just on a transition.
+func compareFleet(o, n *fleet.Report, tol float64) []string {
+	if o == nil || n == nil {
+		if o != nil {
+			fmt.Fprintf(os.Stderr, "pscbench: note: baseline has a live_fleet section; this run has none to compare (pscfleet -json refreshes it)\n")
+		}
+		if n != nil {
+			fmt.Fprintf(os.Stderr, "pscbench: note: live_fleet section is new in this report; no baseline to compare\n")
+		}
+		return nil
+	}
+	warnSectionProcs("live_fleet", o.GOMAXPROCS, n.GOMAXPROCS)
+	if o.Nodes != n.Nodes || o.Registers != n.Registers || o.Clients != n.Clients ||
+		o.Clock != n.Clock || o.Tiers != n.Tiers || o.Seed != n.Seed || o.ChaosScript != n.ChaosScript {
+		fmt.Fprintf(os.Stderr, "pscbench: warning: live_fleet sections ran different configurations (%d nodes/%dr/%dc/%s/seed %d/%q vs %d/%dr/%dc/%s/seed %d/%q); deltas not compared\n",
+			o.Nodes, o.Registers, o.Clients, o.Clock, o.Seed, o.ChaosScript,
+			n.Nodes, n.Registers, n.Clients, n.Clock, n.Seed, n.ChaosScript)
+		return nil
+	}
+	var regressions []string
+	row := func(name string, ov, nv float64, gate bool) {
+		mark := ""
+		if gate && ov > 0 && regressed(name, ov, nv, tol) {
+			mark = "  REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("live_fleet %s: %.0f -> %.0f (%+.0f%%, tolerance %.0f%%)", name, ov, nv, pct(ov, nv), tol*100))
+		}
+		fmt.Printf("%-11s %-28s %10.0f %10.0f %+7.0f%%%s\n", "live_fleet", name, ov, nv, pct(ov, nv), mark)
+	}
+	row("ops_per_sec", o.OpsPerSec, n.OpsPerSec, true)
+	row("read_p50_us", o.ReadP50US, n.ReadP50US, false)
+	row("read_p99_us", o.ReadP99US, n.ReadP99US, false)
+	row("write_p50_us", o.WriteP50US, n.WriteP50US, false)
+	row("write_p99_us", o.WriteP99US, n.WriteP99US, false)
+	if o.Pass && !n.Pass {
+		regressions = append(regressions, "live_fleet: previous run passed its chaos gates, new run did not")
+	}
+	if o.RecorderDrops == 0 && n.RecorderDrops > 0 {
+		regressions = append(regressions, fmt.Sprintf("live_fleet: recorder dropped %d events (baseline dropped none)", n.RecorderDrops))
+	}
+	if n.UnexplainedViolations > 0 {
+		regressions = append(regressions, fmt.Sprintf("live_fleet: %d checker violations not explained by any injected fault", n.UnexplainedViolations))
+	}
+	if n.ChaosMismatches > 0 {
+		for _, c := range n.Chaos {
+			if c.Match {
+				continue
+			}
+			regressions = append(regressions,
+				fmt.Sprintf("live_fleet: %s@%dms on node %d expected %s, observed %s (%s)",
+					c.Kind, c.AtMS, c.Target, c.Expected, c.Observed, c.Evidence))
+		}
 	}
 	return regressions
 }

@@ -41,6 +41,7 @@ import (
 
 	"psclock/internal/core"
 	"psclock/internal/experiments"
+	"psclock/internal/fleet"
 	"psclock/internal/live"
 )
 
@@ -78,6 +79,10 @@ type jsonReport struct {
 	Live       *live.Report `json:"live,omitempty"`
 	LiveClosed *live.Report `json:"live_closed,omitempty"`
 	LiveTiered *live.Report `json:"live_tiered,omitempty"`
+	// LiveFleet is the pscfleet multi-process chaos section: node daemons
+	// as real OS processes under orchestrated fault injection, with every
+	// fault classified against its expected outcome.
+	LiveFleet *fleet.Report `json:"live_fleet,omitempty"`
 	// ShardScaling is the -shardsweep section: the sharded executor's
 	// GOMAXPROCS × shards scaling curve (see shardsweep.go).
 	ShardScaling *jsonShardScaling `json:"shard_scaling,omitempty"`
@@ -299,6 +304,7 @@ func run(args []string) int {
 			report.Live = prev.Live
 			report.LiveClosed = prev.LiveClosed
 			report.LiveTiered = prev.LiveTiered
+			report.LiveFleet = prev.LiveFleet
 		}
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

@@ -1,0 +1,92 @@
+// Command pscnode is one fleet node: an OS process hosting a node's
+// register instances and heartbeat detector on the live runtime, meshed
+// to its peers over TCP, remote-controlled by the pscfleet plane that
+// spawned it. It is not meant to be launched by hand — the plane passes
+// the epoch, incarnation, and model parameters on the command line and
+// speaks the control protocol over the -plane connection.
+//
+// SIGINT/SIGTERM trigger the same graceful drain a Shutdown command
+// does: the client surface closes, the runtime stops, the recorder's
+// tail ships to the plane, and the process says Bye before exiting —
+// so an operator's ^C is distinguishable from a chaos SIGKILL.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"psclock/internal/fleet"
+	"psclock/internal/simtime"
+)
+
+func main() {
+	var (
+		node        = flag.Int("node", -1, "this node's ID")
+		n           = flag.Int("n", 0, "fleet size")
+		registers   = flag.Int("registers", 1, "data registers per node")
+		incarnation = flag.Int("incarnation", 0, "restart incarnation (0 = original)")
+		plane       = flag.String("plane", "", "control-plane address")
+		epoch       = flag.Int64("epoch", 0, "fleet epoch (unix nanoseconds)")
+		seed        = flag.Int64("seed", 1, "rng seed")
+		tiers       = flag.String("tiers", "", "per-register consistency tiers")
+
+		eps        = flag.Duration("eps", 2*time.Millisecond, "clock precision ε")
+		d1         = flag.Duration("d1", 0, "min message delay d1")
+		d2         = flag.Duration("d2", 10*time.Millisecond, "max message delay d2")
+		delta      = flag.Duration("delta", time.Millisecond, "broadcast spacing δ")
+		c          = flag.Duration("c", 0, "read/write cost split c")
+		ell        = flag.Duration("ell", 5*time.Millisecond, "timer lateness budget ℓ")
+		detPeriod  = flag.Duration("detperiod", 150*time.Millisecond, "heartbeat period π")
+		detTimeout = flag.Duration("dettimeout", 0, "heartbeat timeout τ (0 = safe default)")
+		beat       = flag.Duration("beat", 100*time.Millisecond, "plane beat period")
+		verbose    = flag.Bool("v", false, "log to stderr")
+	)
+	flag.Parse()
+
+	if *node < 0 || *n < 2 || *plane == "" || *epoch == 0 {
+		fmt.Fprintln(os.Stderr, "pscnode: -node, -n, -plane, and -epoch are required (launched by pscfleet)")
+		os.Exit(2)
+	}
+	sim := func(d time.Duration) simtime.Duration {
+		s, err := simtime.FromWall(d)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pscnode: bad duration %v: %v\n", d, err)
+			os.Exit(2)
+		}
+		return s
+	}
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+
+	err := fleet.RunDaemon(fleet.DaemonConfig{
+		Node:          *node,
+		N:             *n,
+		Registers:     *registers,
+		Incarnation:   *incarnation,
+		PlaneAddr:     *plane,
+		EpochUnixNano: *epoch,
+		Seed:          *seed,
+		Tiers:         *tiers,
+		Eps:           sim(*eps),
+		D1:            sim(*d1),
+		D2:            sim(*d2),
+		Delta:         sim(*delta),
+		C:             sim(*c),
+		Ell:           sim(*ell),
+		DetPeriod:     sim(*detPeriod),
+		DetTimeout:    sim(*detTimeout),
+		BeatPeriod:    *beat,
+		Interrupt:     sigs,
+		Verbose:       *verbose,
+		Stderr:        os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pscnode[%d]: %v\n", *node, err)
+		os.Exit(1)
+	}
+}

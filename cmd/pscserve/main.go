@@ -35,11 +35,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/debug"
 	"runtime/pprof"
 	rtrace "runtime/trace"
 	"strconv"
+	"syscall"
 	"time"
 
 	"psclock/internal/clock"
@@ -354,6 +356,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// SIGINT/SIGTERM end the load early instead of killing the process:
+	// clients stop issuing and drain their in-flight tails, and the run
+	// proceeds to its normal verdict, report, and -json merge — a
+	// truncated-but-clean measurement rather than a torn-down one.
+	stop := make(chan struct{})
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		select {
+		case s := <-sigs:
+			fmt.Fprintf(stderr, "pscserve: %v: draining load and reporting\n", s)
+			close(stop)
+		case <-stop:
+		}
+	}()
+
 	start := time.Now()
 	loadCfg := live.LoadConfig{
 		Clients:    *clients,
@@ -365,6 +384,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ZipfS:      *zipfS,
 		ZipfV:      *zipfV,
 		Seed:       *seed,
+		Stop:       stop,
 	}
 	if tiered {
 		loadCfg.Tiers = tiers
@@ -464,6 +484,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Messages:        m.Messages,
 		Held:            m.Held,
 		DelayViolations: m.DelayViolations,
+		Reconnects:      m.Reconnects,
 
 		Violations:    violations,
 		CheckStates:   liveRes.States,

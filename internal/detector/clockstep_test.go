@@ -1,0 +1,130 @@
+package detector_test
+
+import (
+	"testing"
+
+	"psclock/internal/clock"
+	"psclock/internal/core"
+	"psclock/internal/detector"
+	"psclock/internal/simtime"
+)
+
+// stepModel is a clock that reads true time until stepAt, then jumps
+// forward by step and stays offset — a fault injection that claims the
+// band eps while actually violating it. Monotone (forward step), so it is
+// a legal clock map; it just breaks the C_ε promise the detector's safe
+// timeout was derived from.
+type stepModel struct {
+	stepAt simtime.Time
+	step   simtime.Duration
+	eps    simtime.Duration
+}
+
+func (m stepModel) At(t simtime.Time) simtime.Time {
+	if t.Before(m.stepAt) {
+		return t
+	}
+	return t.Add(m.step)
+}
+
+func (m stepModel) EarliestAt(c simtime.Time) simtime.Time {
+	// Readings below the step map back directly; readings inside the jump
+	// [stepAt, stepAt+step] are first reached exactly at the step instant;
+	// later ones lag the reading by the offset.
+	if !m.stepAt.Before(c) {
+		return c
+	}
+	if !c.After(m.stepAt.Add(m.step)) {
+		return m.stepAt
+	}
+	return c.Add(-m.step)
+}
+
+func (m stepModel) Epsilon() simtime.Duration { return m.eps }
+func (m stepModel) Name() string              { return "step" }
+
+// stepFactory gives node 0 the stepping clock and everyone else a perfect
+// one.
+func stepFactory(stepAt simtime.Time, step, eps simtime.Duration) clock.Factory {
+	perfect := clock.PerfectFactory()
+	return func(node int) clock.Model {
+		if node == 0 {
+			return stepModel{stepAt: stepAt, step: step, eps: eps}
+		}
+		return perfect(node)
+	}
+}
+
+// A clock step past ε defeats the detector's accuracy in both directions.
+// Outbound from the fault: the stepped node's watch timers — armed before
+// the jump in pre-step clock coordinates — expire early by the step, so
+// it falsely suspects live peers. Inbound: its heartbeats carry clock
+// stamps from the future, so the C(A,ε) receive buffers hold them until
+// the receivers' clocks catch up, stretching the observed gap past the
+// safe timeout — the peers falsely suspect the stepped node. Either way
+// every suspicion involves the faulty node and heals once beats flow in
+// post-step coordinates.
+func TestClockStepPastEpsilonFalseSuspicion(t *testing.T) {
+	bounds := simtime.NewInterval(500*us, 1500*us)
+	eps := 500 * us
+	period := 5 * ms
+	p := detector.Params{
+		Period:  period,
+		Timeout: detector.SafeTimeoutClock(period, bounds, eps), // 8ms
+	}
+	stepAt := simtime.Time(30 * ms)
+	step := 6 * ms // 12ε: leaves 2ms of effective timeout against ~5ms gaps
+	net := core.BuildClocked(core.Config{
+		N: 3, Bounds: bounds, Seed: 3,
+		Clocks: stepFactory(stepAt, step, eps),
+	}, detector.Factory(p))
+	if err := net.Sys.Run(simtime.Time(60 * ms)); err != nil {
+		t.Fatal(err)
+	}
+	sus := detector.Suspicions(net.Sys.Trace())
+	if len(sus) == 0 {
+		t.Fatal("a 12ε clock step produced no false suspicions")
+	}
+	byFaulty := 0
+	for _, s := range sus {
+		if s.By != 0 && s.Of != 0 {
+			t.Errorf("suspicion %v→%v involves neither side of the clock fault", s.By, s.Of)
+		}
+		if s.By == 0 {
+			byFaulty++
+		}
+		if s.At.Before(stepAt) {
+			t.Errorf("suspicion at %v, before the step at %v", s.At, stepAt)
+		}
+	}
+	if byFaulty == 0 {
+		t.Error("the stepped node's early-firing timers produced no suspicions")
+	}
+	// Peers keep beating, so every false suspicion must heal.
+	restores := net.Sys.Trace().Named(detector.ActRestore)
+	if len(restores) != len(sus) {
+		t.Errorf("%d suspicions but %d restores; live peers' beats must restore them all", len(sus), len(restores))
+	}
+}
+
+// The in-band twin: the same step held within ε stays inside the safe
+// timeout's 4ε margin — zero suspicions, the tolerated outcome.
+func TestClockStepWithinEpsilonTolerated(t *testing.T) {
+	bounds := simtime.NewInterval(500*us, 1500*us)
+	eps := 500 * us
+	period := 5 * ms
+	p := detector.Params{
+		Period:  period,
+		Timeout: detector.SafeTimeoutClock(period, bounds, eps),
+	}
+	net := core.BuildClocked(core.Config{
+		N: 3, Bounds: bounds, Seed: 3,
+		Clocks: stepFactory(simtime.Time(30*ms), eps/2, eps),
+	}, detector.Factory(p))
+	if err := net.Sys.Run(simtime.Time(60 * ms)); err != nil {
+		t.Fatal(err)
+	}
+	if sus := detector.Suspicions(net.Sys.Trace()); len(sus) != 0 {
+		t.Fatalf("an ε/2 step caused suspicions: %v", sus)
+	}
+}

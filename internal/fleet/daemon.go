@@ -1,0 +1,356 @@
+package fleet
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"psclock/internal/clock"
+	"psclock/internal/core"
+	"psclock/internal/detector"
+	"psclock/internal/live"
+	"psclock/internal/register"
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+// DaemonConfig is everything one node process needs, passed by the plane
+// on the pscnode command line.
+type DaemonConfig struct {
+	Node        int
+	N           int
+	Registers   int // data registers; the detector rides as instance Registers
+	Incarnation int
+	PlaneAddr   string
+	// EpochUnixNano is the fleet-wide simulated Zero: every process stamps
+	// events as wall time since this instant, so all streams share one
+	// timeline.
+	EpochUnixNano int64
+	Seed          int64
+	Tiers         string // register tier spec ("" = all lin)
+
+	Eps, D1, D2, Delta, C, Ell simtime.Duration
+	DetPeriod, DetTimeout      simtime.Duration
+	BeatPeriod                 time.Duration
+
+	// Interrupt, when non-nil, triggers the same graceful teardown a
+	// Shutdown command does (SIGINT/SIGTERM wiring lives in cmd/pscnode).
+	Interrupt <-chan os.Signal
+	Verbose   bool
+	Stderr    interface{ Write([]byte) (int, error) }
+}
+
+// forwarder bridges the daemon's recorder onto the control connection: it
+// buffers observed events and, at each recorder flush, ships the batch
+// with the flush bound as the merge watermark. Observe/Flush run on the
+// recorder's single consumer goroutine; the channel hands batches to a
+// writer so a slow control link backpressures into the recorder's rings
+// rather than losing events.
+type forwarder struct {
+	buf []wireEvent
+	ch  chan msgEvents
+	// dead is closed when the writer goroutine exits (control link gone):
+	// ship stops blocking so the recorder can still drain and Stop — the
+	// batches are lost, but so is the plane that would have read them.
+	dead chan struct{}
+}
+
+func (f *forwarder) Observe(e ta.Event) {
+	f.buf = append(f.buf, wireEvent{Action: e.Action, At: e.At})
+}
+
+func (f *forwarder) Flush(bound simtime.Time) {
+	m := msgEvents{Watermark: bound}
+	if len(f.buf) > 0 {
+		m.Events = f.buf
+		f.buf = nil
+	}
+	// A watermark-only message still ships: the plane's merge frontier
+	// moves even when this node is idle.
+	select {
+	case f.ch <- m:
+	case <-f.dead:
+	}
+}
+
+// RunDaemon runs one fleet node to completion: connect to the plane,
+// host the node's register instances and heartbeat detector on the live
+// runtime over the mesh transport, stream events and beats back, apply
+// commanded faults, and tear down gracefully on Shutdown/SIGTERM (Bye) —
+// or die abruptly when chaos SIGKILLs the process, which is the point.
+func RunDaemon(cfg DaemonConfig) error {
+	if cfg.Registers <= 0 {
+		cfg.Registers = 1
+	}
+	if cfg.BeatPeriod <= 0 {
+		cfg.BeatPeriod = 100 * time.Millisecond
+	}
+	if cfg.DetPeriod <= 0 {
+		cfg.DetPeriod = 150 * simtime.Millisecond
+	}
+	if cfg.DetTimeout <= 0 {
+		// Same derivation as the plane's: the clock-model safe timeout plus
+		// slack for ℓ and in-band faults.
+		cfg.DetTimeout = detector.SafeTimeoutClock(cfg.DetPeriod,
+			simtime.NewInterval(cfg.D1, cfg.D2), cfg.Eps) + cfg.Ell + 55*simtime.Millisecond
+	}
+	logf := func(format string, args ...any) {
+		if cfg.Verbose && cfg.Stderr != nil {
+			fmt.Fprintf(cfg.Stderr, "pscnode[%d.%d]: "+format+"\n",
+				append([]any{cfg.Node, cfg.Incarnation}, args...)...)
+		}
+	}
+
+	p := register.Params{C: cfg.C, Delta: cfg.Delta, D2: cfg.D2 + 2*cfg.Eps, Epsilon: cfg.Eps}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	tiers := make([]register.Tier, cfg.Registers)
+	if cfg.Tiers != "" {
+		var err error
+		tiers, err = register.ParseTiers(cfg.Tiers, cfg.Registers)
+		if err != nil {
+			return err
+		}
+	}
+
+	conn, err := net.Dial("tcp", cfg.PlaneAddr)
+	if err != nil {
+		return fmt.Errorf("dial plane: %w", err)
+	}
+	ctl := newCtlConn(conn)
+
+	mesh, err := live.NewMeshTransport(cfg.Node, cfg.N, "")
+	if err != nil {
+		return err
+	}
+	ft := live.NewFaultTransport(cfg.Node, mesh)
+	var step *live.StepClock
+
+	regs := cfg.Registers + 1 // +1: the heartbeat detector instance
+	rt, err := live.New(live.Options{
+		N:         cfg.N,
+		Registers: regs,
+		Bounds:    simtime.NewInterval(cfg.D1, cfg.D2),
+		Ell:       cfg.Ell,
+		Clocks:    clock.PerfectFactory(),
+		Transport: ft,
+		Local:     []int{cfg.Node},
+		Epoch:     time.Unix(0, cfg.EpochUnixNano),
+		PortBase:  cfg.Incarnation * cfg.N * regs,
+		WrapClock: func(_ int, c live.Clock) live.Clock {
+			step = live.NewStepClock(c)
+			return step
+		},
+	}, register.Factory(register.NewS, p))
+	if err != nil {
+		return err
+	}
+	rt.SetRegisterFactory(func(reg int) core.AlgorithmFactory {
+		if reg == cfg.Registers {
+			return detector.Factory(detector.Params{Period: cfg.DetPeriod, Timeout: cfg.DetTimeout})
+		}
+		return tiers[reg].Factory(p)
+	})
+
+	fw := &forwarder{ch: make(chan msgEvents, 256), dead: make(chan struct{})}
+	rt.AddSink(fw)
+
+	srv, err := live.NewServer(rt)
+	if err != nil {
+		return err
+	}
+	if cfg.Tiers != "" {
+		srv.SetTiers(tiers)
+	}
+	if err := rt.Start(); err != nil {
+		return err
+	}
+	srv.Start()
+
+	hello := msgHello{
+		Node:        cfg.Node,
+		Incarnation: cfg.Incarnation,
+		Pid:         os.Getpid(),
+		NodeAddr:    mesh.Addr(),
+		ClientAddr:  srv.Addrs()[cfg.Node],
+	}
+	if err := ctl.send(envelope{Hello: &hello}); err != nil {
+		return fmt.Errorf("hello: %w", err)
+	}
+	logf("up: mesh=%s clients=%s", hello.NodeAddr, hello.ClientAddr)
+
+	var (
+		wg        sync.WaitGroup
+		quiesce   = make(chan struct{}) // stops beat/forward writers
+		stopOnce  sync.Once
+		teardown  = make(chan struct{}) // reader/signal → main teardown
+		beginStop = func() { stopOnce.Do(func() { close(teardown) }) }
+	)
+
+	// Forwarder writer: ship event batches as they flush.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(fw.dead)
+		for {
+			select {
+			case ev := <-fw.ch:
+				if err := ctl.send(envelope{Events: &ev}); err != nil {
+					beginStop()
+					return
+				}
+			case <-quiesce:
+				return
+			}
+		}
+	}()
+
+	// Beat ticker: periodic liveness proof with measured bounds.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(cfg.BeatPeriod)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				b := msgBeat{Measured: rt.Snapshot(), Dropped: ft.Dropped()}
+				if err := ctl.send(envelope{Beat: &b}); err != nil {
+					beginStop()
+					return
+				}
+			case <-quiesce:
+				return
+			}
+		}
+	}()
+
+	// Command reader: peers, faults, shutdown.
+	peersSeen := make(chan struct{})
+	var peersOnce sync.Once
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			e, err := ctl.recv()
+			if err != nil {
+				beginStop() // plane gone
+				return
+			}
+			switch {
+			case e.Peers != nil:
+				for j, a := range e.Peers.Addrs {
+					if j != cfg.Node && a != "" {
+						mesh.SetPeer(j, a)
+					}
+				}
+				peersOnce.Do(func() { close(peersSeen) })
+			case e.Fault != nil:
+				f := e.Fault
+				if f.PartitionPeer >= 0 {
+					ft.SetPartition(f.PartitionPeer, f.PartitionOn)
+					logf("partition peer=%d on=%v", f.PartitionPeer, f.PartitionOn)
+				}
+				if f.SetDelay {
+					ft.SetDelay(time.Duration(f.DelayUS) * time.Microsecond)
+					logf("delay=%dus", f.DelayUS)
+				}
+				if f.SetStep && step != nil {
+					step.SetOffset(simtime.Duration(f.StepUS) * simtime.Microsecond)
+					logf("clockstep=%dus", f.StepUS)
+				}
+			case e.Shutdown != nil:
+				beginStop()
+				return
+			}
+		}
+	}()
+
+	// Readiness: wait for the peer map, then (for a replacement
+	// incarnation) repair the amnesia before accepting clients — the
+	// restarted register holds Initial, a value overwritten long ago, so a
+	// fresh unique write must land and propagate (d'2 plus margin) before
+	// any read at this node can be linearized. The plane withholds this
+	// node's client address until Ready.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		select {
+		case <-peersSeen:
+		case <-teardown:
+			return
+		}
+		if cfg.Incarnation > 0 {
+			for reg := 0; reg < cfg.Registers; reg++ {
+				v := register.Value{
+					Writer: ta.NodeID(cfg.Node),
+					Seq:    900_000_000 + cfg.Incarnation*1000 + reg,
+				}
+				if err := rt.InvokeReg(ta.NodeID(cfg.Node), reg, register.ActWrite, v); err != nil {
+					return
+				}
+			}
+			wait := 60 * time.Millisecond
+			if w, err := simtime.ToWall(3 * (p.D2 + cfg.Delta)); err == nil && w > wait {
+				wait = w
+			}
+			select {
+			case <-time.After(wait):
+			case <-teardown:
+				return
+			}
+			logf("repair writes propagated")
+		}
+		if err := ctl.send(envelope{Ready: &msgReady{}}); err != nil {
+			beginStop()
+		}
+	}()
+
+	// Block until something asks us to stop.
+	select {
+	case <-teardown:
+	case sig := <-sigChan(cfg.Interrupt):
+		logf("signal %v", sig)
+		beginStop()
+	}
+
+	// Graceful teardown: close the client surface, stop the runtime (its
+	// final recorder flush pushes the tail through the forwarder), drain
+	// the last batches onto the wire, and say Bye — the message whose
+	// absence marks a crash.
+	srv.Close()
+	m := rt.Stop()
+	// Unblock the command reader (a signal-initiated teardown leaves it
+	// parked in recv); writes — the Bye below — are unaffected.
+	ctl.conn.SetReadDeadline(time.Now())
+	close(quiesce)
+	wg.Wait()
+drain:
+	for {
+		select {
+		case ev := <-fw.ch:
+			if err := ctl.send(envelope{Events: &ev}); err != nil {
+				break drain
+			}
+		default:
+			break drain
+		}
+	}
+	bye := msgBye{Measured: m, Dropped: ft.Dropped()}
+	err = ctl.send(envelope{Bye: &bye})
+	ctl.close()
+	logf("bye: ops recorded, eps=%v reconnects=%d", m.Eps, m.Reconnects)
+	return err
+}
+
+// sigChan adapts a possibly-nil signal channel for select (nil blocks
+// forever).
+func sigChan(c <-chan os.Signal) <-chan os.Signal {
+	if c == nil {
+		return make(chan os.Signal)
+	}
+	return c
+}

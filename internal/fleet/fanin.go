@@ -1,0 +1,211 @@
+package fleet
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+
+	"psclock/internal/exec"
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+// FanIn merges the per-daemon event streams back into one globally
+// stamp-ordered stream for the exec.Sink stack — the cross-process
+// analogue of the live recorder's ring merge. Each daemon's stream is
+// FIFO and carries a watermark (its recorder's flush bound): every future
+// event from that daemon is stamped at or above it. An event is safe to
+// emit once its stamp is at or below the minimum watermark over all live
+// streams; a dead daemon's watermark is +∞ (it will never produce again),
+// and a replacement incarnation re-enters with a floor at its spawn
+// instant.
+//
+// All stamps share one timeline because every process anchors its
+// recorder at the plane's epoch and stamps with the host's wall clock.
+// Cross-process clock imperfections could still produce an event below
+// the merge frontier; such events are clamped forward to the last emitted
+// stamp and counted (Clamped) — expected zero on one host.
+type FanIn struct {
+	mu      sync.Mutex
+	streams []faninStream
+	sinks   []exec.Sink
+
+	seq         int
+	lastEmitted simtime.Time
+	lastFlushed simtime.Time
+	clamped     int
+	emitted     int
+	srcs        []string
+}
+
+type faninStream struct {
+	queue     []wireEvent
+	watermark simtime.Time
+	dead      bool
+}
+
+const faninForever = simtime.Time(1<<63 - 1)
+
+// NewFanIn returns a merge over n daemon streams feeding sinks, which the
+// FanIn alone observes from then on (single consumer, like the recorder).
+func NewFanIn(n int, sinks []exec.Sink) *FanIn {
+	f := &FanIn{streams: make([]faninStream, n), sinks: sinks, srcs: make([]string, n)}
+	for i := range f.srcs {
+		f.srcs[i] = "fleet(" + strconv.Itoa(i) + ")"
+	}
+	return f
+}
+
+// Push appends a daemon's event batch and advances its watermark, then
+// emits whatever became safe.
+func (f *FanIn) Push(daemon int, events []wireEvent, watermark simtime.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := &f.streams[daemon]
+	s.queue = append(s.queue, events...)
+	if watermark > s.watermark {
+		s.watermark = watermark
+	}
+	f.emit()
+}
+
+// MarkDead freezes a daemon's stream: its queued tail still emits, and
+// its watermark stops constraining the merge (nothing more is coming).
+func (f *FanIn) MarkDead(daemon int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.streams[daemon].dead = true
+	f.streams[daemon].watermark = faninForever
+	f.emit()
+}
+
+// Reset re-opens a daemon's stream for a replacement incarnation whose
+// events are all stamped at or above floor (the plane's elapsed time at
+// spawn — the new process cannot have recorded anything earlier).
+func (f *FanIn) Reset(daemon int, floor simtime.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.streams[daemon].dead = false
+	f.streams[daemon].watermark = floor
+}
+
+// Finish declares the run over: every stream's watermark goes to +∞ and
+// the remaining tails merge out, followed by a final sink flush. The
+// caller then takes its verdicts (Monitor.Finish submits still-open ops —
+// crash-orphaned invocations — as pending).
+func (f *FanIn) Finish() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.streams {
+		f.streams[i].watermark = faninForever
+	}
+	f.emit()
+	for _, s := range f.sinks {
+		s.Flush(f.lastEmitted)
+	}
+}
+
+// Clamped reports how many events arrived below the merge frontier and
+// were clamped forward (expected zero).
+func (f *FanIn) Clamped() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.clamped
+}
+
+// Emitted reports how many events have been observed by the sinks.
+func (f *FanIn) Emitted() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.emitted
+}
+
+// emit drains every event stamped at or below the minimum live watermark
+// to the sinks in (stamp, kind, stream, FIFO) order. Callers hold f.mu.
+func (f *FanIn) emit() {
+	bound := faninForever
+	for i := range f.streams {
+		if w := f.streams[i].watermark; w < bound {
+			bound = w
+		}
+	}
+	if bound == 0 {
+		return
+	}
+	type mergeEv struct {
+		ev     wireEvent
+		stream int
+		idx    int
+	}
+	var batch []mergeEv
+	for i := range f.streams {
+		s := &f.streams[i]
+		n := 0
+		for n < len(s.queue) && s.queue[n].At <= bound {
+			n++
+		}
+		for j := 0; j < n; j++ {
+			batch = append(batch, mergeEv{ev: s.queue[j], stream: i, idx: j})
+		}
+		if n > 0 {
+			s.queue = append(s.queue[:0:0], s.queue[n:]...)
+		}
+	}
+	if len(batch) == 0 {
+		if bound != faninForever && bound > f.lastFlushed {
+			for _, s := range f.sinks {
+				s.Flush(bound)
+			}
+			f.lastFlushed = bound
+		}
+		return
+	}
+	sort.SliceStable(batch, func(i, j int) bool {
+		a, b := &batch[i], &batch[j]
+		if a.ev.At != b.ev.At {
+			return a.ev.At < b.ev.At
+		}
+		if ka, kb := faninKindRank(a.ev.Action.Kind), faninKindRank(b.ev.Action.Kind); ka != kb {
+			return ka < kb
+		}
+		if a.stream != b.stream {
+			return a.stream < b.stream
+		}
+		return a.idx < b.idx
+	})
+	for i := range batch {
+		e := ta.Event{
+			Action: batch[i].ev.Action,
+			At:     batch[i].ev.At,
+			Src:    f.srcs[batch[i].stream],
+			Seq:    f.seq,
+		}
+		if e.At < f.lastEmitted {
+			e.At = f.lastEmitted
+			f.clamped++
+		}
+		f.lastEmitted = e.At
+		f.seq++
+		f.emitted++
+		for _, s := range f.sinks {
+			s.Observe(e)
+		}
+	}
+	if bound != faninForever && bound > f.lastFlushed {
+		for _, s := range f.sinks {
+			s.Flush(bound)
+		}
+		f.lastFlushed = bound
+	}
+}
+
+func faninKindRank(k ta.Kind) int {
+	switch k {
+	case ta.KindInput:
+		return 0
+	case ta.KindOutput:
+		return 2
+	default:
+		return 1
+	}
+}

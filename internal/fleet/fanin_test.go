@@ -1,0 +1,149 @@
+package fleet
+
+import (
+	"testing"
+
+	"psclock/internal/exec"
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+// collectSink records what the merge emits.
+type collectSink struct {
+	events  []ta.Event
+	flushes []simtime.Time
+}
+
+func (c *collectSink) Observe(e ta.Event)       { c.events = append(c.events, e) }
+func (c *collectSink) Flush(bound simtime.Time) { c.flushes = append(c.flushes, bound) }
+
+func ev(name string, node ta.NodeID, kind ta.Kind, at simtime.Time) wireEvent {
+	return wireEvent{Action: ta.Action{Name: name, Node: node, Peer: ta.NoNode, Kind: kind}, At: at}
+}
+
+func stamps(events []ta.Event) []simtime.Time {
+	out := make([]simtime.Time, len(events))
+	for i, e := range events {
+		out[i] = e.At
+	}
+	return out
+}
+
+// The merge must hold events above the minimum watermark and release them
+// in stamp order once every stream's watermark passes them.
+func TestFanInWatermarkHoldsAndReleases(t *testing.T) {
+	sink := &collectSink{}
+	f := NewFanIn(2, []exec.Sink{sink})
+
+	f.Push(0, []wireEvent{ev("A", 0, ta.KindInput, 10), ev("B", 0, ta.KindOutput, 30)}, 40)
+	if len(sink.events) != 0 {
+		t.Fatalf("emitted %d events while stream 1's watermark is 0", len(sink.events))
+	}
+
+	// Stream 1's watermark reaches 20: only A (stamp 10) is safe.
+	f.Push(1, nil, 20)
+	if len(sink.events) != 1 || sink.events[0].Action.Name != "A" {
+		t.Fatalf("after watermark 20: got %v, want just A", sink.events)
+	}
+
+	// Stream 1 contributes an earlier event (15) and advances to 50: the
+	// remaining events interleave in stamp order.
+	f.Push(1, []wireEvent{ev("C", 1, ta.KindInput, 15)}, 50)
+	if len(sink.events) != 3 {
+		t.Fatalf("after watermark 50: emitted %d events, want 3", len(sink.events))
+	}
+	got := stamps(sink.events)
+	want := []simtime.Time{10, 15, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("emit order %v, want %v", got, want)
+		}
+	}
+	for i, e := range sink.events {
+		if e.Seq != i {
+			t.Errorf("event %d has Seq %d, want %d", i, e.Seq, i)
+		}
+	}
+	if sink.events[0].Src != "fleet(0)" || sink.events[1].Src != "fleet(1)" {
+		t.Errorf("Src reassignment wrong: %q, %q", sink.events[0].Src, sink.events[1].Src)
+	}
+}
+
+// Equal stamps order Input before Output (an invocation precedes the
+// response it enables), then by stream.
+func TestFanInEqualStampKindOrder(t *testing.T) {
+	sink := &collectSink{}
+	f := NewFanIn(2, []exec.Sink{sink})
+	f.Push(1, []wireEvent{ev("OUT", 1, ta.KindOutput, 10)}, 20)
+	f.Push(0, []wireEvent{ev("IN", 0, ta.KindInput, 10)}, 20)
+	if len(sink.events) != 2 {
+		t.Fatalf("emitted %d events, want 2", len(sink.events))
+	}
+	if sink.events[0].Action.Name != "IN" || sink.events[1].Action.Name != "OUT" {
+		t.Fatalf("equal-stamp order: got %s, %s; want IN, OUT", sink.events[0].Action.Name, sink.events[1].Action.Name)
+	}
+}
+
+// A dead stream stops constraining the merge; after Reset with a floor the
+// stream constrains again from that floor.
+func TestFanInDeadAndReset(t *testing.T) {
+	sink := &collectSink{}
+	f := NewFanIn(2, []exec.Sink{sink})
+
+	f.Push(0, []wireEvent{ev("A", 0, ta.KindInput, 10)}, 100)
+	if len(sink.events) != 0 {
+		t.Fatal("stream 1 at watermark 0 should hold everything")
+	}
+	// Stream 1 dies (crash): its watermark becomes +∞ and A releases.
+	f.MarkDead(1)
+	if len(sink.events) != 1 {
+		t.Fatalf("after MarkDead: emitted %d, want 1", len(sink.events))
+	}
+
+	// The replacement re-enters with a floor of 60: stream 0's event at 80
+	// must wait again.
+	f.Reset(1, 60)
+	f.Push(0, []wireEvent{ev("B", 0, ta.KindInput, 80)}, 200)
+	if len(sink.events) != 1 {
+		t.Fatalf("after Reset(60): emitted %d, want still 1", len(sink.events))
+	}
+	f.Push(1, []wireEvent{ev("C", 1, ta.KindInput, 70)}, 300)
+	if len(sink.events) != 3 {
+		t.Fatalf("after replacement catch-up: emitted %d, want 3", len(sink.events))
+	}
+	if got := stamps(sink.events); got[1] != 70 || got[2] != 80 {
+		t.Fatalf("replacement merge order: %v", got)
+	}
+}
+
+// An event below the merge frontier clamps forward to the last emitted
+// stamp and is counted — never emitted out of order.
+func TestFanInClampBelowFrontier(t *testing.T) {
+	sink := &collectSink{}
+	f := NewFanIn(1, []exec.Sink{sink})
+	f.Push(0, []wireEvent{ev("A", 0, ta.KindInput, 50)}, 60)
+	// A watermark violation: stamped 40 after the stream promised ≥ 60.
+	f.Push(0, []wireEvent{ev("B", 0, ta.KindInput, 40)}, 70)
+	if f.Clamped() != 1 {
+		t.Fatalf("Clamped = %d, want 1", f.Clamped())
+	}
+	if sink.events[1].At != 50 {
+		t.Fatalf("clamped stamp = %d, want 50", int64(sink.events[1].At))
+	}
+}
+
+// Finish drains every queued tail and flushes the sinks at the final
+// frontier.
+func TestFanInFinish(t *testing.T) {
+	sink := &collectSink{}
+	f := NewFanIn(2, []exec.Sink{sink})
+	f.Push(0, []wireEvent{ev("A", 0, ta.KindInput, 10)}, 20)
+	f.Push(1, []wireEvent{ev("B", 1, ta.KindInput, 90)}, 95)
+	f.Finish()
+	if f.Emitted() != 2 {
+		t.Fatalf("Emitted = %d, want 2", f.Emitted())
+	}
+	if n := len(sink.flushes); n == 0 || sink.flushes[n-1] != 90 {
+		t.Fatalf("final flush bound: %v, want last = 90", sink.flushes)
+	}
+}

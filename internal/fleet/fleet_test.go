@@ -1,0 +1,184 @@
+package fleet
+
+import (
+	"os"
+	osexec "os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"psclock/internal/live"
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+)
+
+// buildNodeBin compiles cmd/pscnode once per test binary.
+var nodeBinOnce struct {
+	sync.Once
+	path string
+	err  error
+}
+
+func buildNodeBin(t *testing.T) string {
+	t.Helper()
+	nodeBinOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "pscnode")
+		if err != nil {
+			nodeBinOnce.err = err
+			return
+		}
+		bin := filepath.Join(dir, "pscnode")
+		out, err := osexec.Command("go", "build", "-o", bin, "psclock/cmd/pscnode").CombinedOutput()
+		if err != nil {
+			nodeBinOnce.err = err
+			nodeBinOnce.path = string(out)
+			return
+		}
+		nodeBinOnce.path = bin
+	})
+	if nodeBinOnce.err != nil {
+		t.Fatalf("build pscnode: %v\n%s", nodeBinOnce.err, nodeBinOnce.path)
+	}
+	return nodeBinOnce.path
+}
+
+func testPlaneConfig(bin string) PlaneConfig {
+	return PlaneConfig{
+		N:         3,
+		Registers: 1,
+		Eps:       2 * simtime.Millisecond,
+		D2:        10 * simtime.Millisecond,
+		Delta:     simtime.Millisecond,
+		Ell:       5 * simtime.Millisecond,
+		Slack:     6 * simtime.Millisecond,
+		Seed:      1,
+		NodeBin:   bin,
+		// Faster cadences than production defaults: the test pays for a
+		// crash window and a detector round trip in wall time.
+		BeatPeriod:   50 * time.Millisecond,
+		BeatBudget:   time.Second,
+		RestartDelay: 400 * time.Millisecond,
+		MaxRestarts:  2,
+	}
+}
+
+// A three-process fleet comes up, serves client load, survives a SIGKILL
+// with an automatic replacement, and shuts down with a merged stream and
+// detector evidence of the crash.
+func TestFleetCrashReplace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes; skipped in -short")
+	}
+	bin := buildNodeBin(t)
+	p, err := NewPlane(testPlaneConfig(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		p.Close()
+		t.Fatal(err)
+	}
+	// Background client load across all nodes while the fault runs.
+	stop := make(chan struct{})
+	var res live.LoadResult
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res = live.RunLoadDynamic(func(client int) (string, ta.NodeID) {
+			node := client % 3
+			return p.ClientAddr(node), ta.NodeID(node)
+		}, live.LoadConfig{
+			Clients:    3,
+			Duration:   time.Hour, // bounded by Stop
+			Rate:       50,
+			WriteRatio: 0.5,
+			Seed:       1,
+			Stop:       stop,
+		})
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	inc, ok := p.Incarnation(1)
+	if !ok {
+		t.Error("node 1 has no live incarnation before the kill")
+	}
+	if err := p.Kill(1); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	if !p.WaitReplaced(1, inc, 15*time.Second) {
+		t.Fatal("node 1 was not replaced after SIGKILL")
+	}
+	// Let the replacement serve for a while so its incarnation's events
+	// reach the merged stream.
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	stats := p.Stats()
+	v := p.Shutdown()
+
+	if p.Crashes() != 1 {
+		t.Errorf("Crashes = %d, want 1", p.Crashes())
+	}
+	if stats.Restarts != 1 {
+		t.Errorf("Restarts = %d, want 1", stats.Restarts)
+	}
+	if res.Ops == 0 || res.Errors != 0 {
+		t.Errorf("load: ops=%d errors=%d, want ops>0 errors=0", res.Ops, res.Errors)
+	}
+	if v.Emitted == 0 {
+		t.Error("no events reached the merged stream")
+	}
+	if v.Clamped != 0 {
+		t.Errorf("merge clamped %d events; single-host streams should never violate watermarks", v.Clamped)
+	}
+	// A crash explains checker violations (message loss is outside the
+	// delivery model), but the stream contract itself must hold.
+	for _, m := range v.Messages {
+		if len(m) >= 15 && m[:15] == "stream contract" {
+			t.Errorf("stream contract violated: %s", m)
+		}
+	}
+}
+
+// A graceful shutdown with no chaos must produce a clean verdict: no
+// violations of any kind and zero crashes.
+func TestFleetCleanRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes; skipped in -short")
+	}
+	bin := buildNodeBin(t)
+	p, err := NewPlane(testPlaneConfig(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		p.Close()
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	time.AfterFunc(1200*time.Millisecond, func() { close(stop) })
+	res := live.RunLoadDynamic(func(client int) (string, ta.NodeID) {
+		node := client % 3
+		return p.ClientAddr(node), ta.NodeID(node)
+	}, live.LoadConfig{
+		Clients:    3,
+		Duration:   time.Hour,
+		Rate:       50,
+		WriteRatio: 0.5,
+		Seed:       2,
+		Stop:       stop,
+	})
+	v := p.Shutdown()
+	if len(v.Messages) != 0 {
+		t.Errorf("clean run produced violations: %v", v.Messages)
+	}
+	if p.Crashes() != 0 {
+		t.Errorf("Crashes = %d, want 0", p.Crashes())
+	}
+	if res.Ops == 0 || res.Errors != 0 {
+		t.Errorf("load: ops=%d errors=%d, want ops>0 errors=0", res.Ops, res.Errors)
+	}
+}

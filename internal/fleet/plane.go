@@ -1,0 +1,843 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"net"
+	osexec "os/exec"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"psclock/internal/detector"
+	"psclock/internal/exec"
+	"psclock/internal/linearize"
+	"psclock/internal/live"
+	"psclock/internal/register"
+	"psclock/internal/simtime"
+	"psclock/internal/ta"
+	"psclock/internal/trace"
+)
+
+// PlaneConfig sizes the fleet and its model parameters.
+type PlaneConfig struct {
+	N         int
+	Registers int    // data registers per node
+	Tiers     string // register tier spec ("" = all lin)
+
+	Eps, D1, D2, Delta, C, Ell simtime.Duration
+	// Slack widens the online checker beyond ε for scheduling noise and
+	// in-band clock steps (the live harness's usual widen allowance).
+	Slack simtime.Duration
+	// DetPeriod and DetTimeout parameterize the node-level heartbeat
+	// detector every daemon hosts as its last register instance; zero
+	// derives τ = SafeTimeoutClock(π, [d1,d2], ε) plus a slack for ℓ and
+	// in-band faults.
+	DetPeriod, DetTimeout simtime.Duration
+
+	Seed        int64
+	NodeBin     string // pscnode binary path
+	CheckShards int
+
+	// BeatPeriod is the daemon→plane liveness cadence; BeatBudget is the
+	// allowed beat lateness. The plane's declare-dead timeout is the
+	// detector discipline applied to beats: SafeTimeoutTA(period, [0,
+	// budget]) = period + budget.
+	BeatPeriod time.Duration
+	BeatBudget time.Duration
+	// RestartDelay is how long a crashed node stays down before its
+	// replacement spawns. Keep it above the detector timeout so a crash
+	// deterministically produces SUSPECT evidence at the peers.
+	RestartDelay time.Duration
+	MaxRestarts  int
+
+	Verbose bool
+	Logw    io.Writer
+}
+
+// daemonState is the plane's view of one node slot across incarnations.
+type daemonState struct {
+	node int
+
+	mu         sync.Mutex
+	inc        int
+	cmd        *osexec.Cmd
+	ctl        *ctlConn
+	nodeAddr   string
+	clientAddr string // published only between Ready and death
+	ready      bool
+	readyGen   int // bumped every time ready flips true
+	helloed    bool
+	byeSeen    bool
+	lastBeat   time.Time
+	beat       msgBeat
+	base       live.Measured // folded totals of dead incarnations
+	baseDrop   int64
+	baseEps    simtime.Duration
+	restarts   int
+	gone       bool // restart budget exhausted
+}
+
+// DetEvent is one SUSPECT/RESTORE observation scraped from the merged
+// stream: the chaos classifier's detector evidence.
+type DetEvent struct {
+	Name     string
+	Observer int
+	Peer     int
+	At       simtime.Time
+}
+
+// detLog collects detector events from the FanIn (it rides the sink list
+// next to the Monitor, which ignores detector actions by name).
+type detLog struct {
+	n         int
+	portSpace int
+
+	mu     sync.Mutex
+	events []DetEvent
+}
+
+func (l *detLog) Observe(e ta.Event) {
+	if e.Action.Name != detector.ActSuspect && e.Action.Name != detector.ActRestore {
+		return
+	}
+	peer, ok := e.Action.Payload.(ta.NodeID)
+	if !ok {
+		return
+	}
+	l.mu.Lock()
+	l.events = append(l.events, DetEvent{
+		Name:     e.Action.Name,
+		Observer: (int(e.Action.Node) % l.portSpace) % l.n,
+		Peer:     int(peer),
+		At:       e.At,
+	})
+	l.mu.Unlock()
+}
+
+func (l *detLog) Flush(simtime.Time) {}
+
+func (l *detLog) snapshot() []DetEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]DetEvent(nil), l.events...)
+}
+
+// FleetStats aggregates live measurements across daemons and
+// incarnations — the chaos classifier's measurement evidence.
+type FleetStats struct {
+	EpsByNode       []simtime.Duration
+	DelayViolations int
+	Messages, Held  int
+	Reconnects      int
+	RecorderDrops   int
+	Dropped         int64
+	TimerLate       simtime.Duration
+	Restarts        int
+	Suspects        int
+	Restores        int
+	DetEvents       []DetEvent
+}
+
+// Plane is the fleet control plane.
+type Plane struct {
+	cfg   PlaneConfig
+	epoch time.Time
+	ln    net.Listener
+
+	mon   *register.Monitor
+	check *linearize.Sharded
+	fanin *FanIn
+	det   *detLog
+	ring  *trace.Ring
+	trap  *errTrap
+	tiers []register.Tier
+
+	daemons []*daemonState
+
+	mu       sync.Mutex
+	shutdown bool
+	crashes  int
+
+	wg sync.WaitGroup
+}
+
+// NewPlane validates the config and builds the plane's checker stack; no
+// processes run until Start.
+func NewPlane(cfg PlaneConfig) (*Plane, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("fleet: need ≥ 2 nodes, got %d", cfg.N)
+	}
+	if cfg.Registers <= 0 {
+		cfg.Registers = 1
+	}
+	if cfg.BeatPeriod <= 0 {
+		cfg.BeatPeriod = 100 * time.Millisecond
+	}
+	if cfg.BeatBudget <= 0 {
+		cfg.BeatBudget = 1500 * time.Millisecond
+	}
+	if cfg.RestartDelay <= 0 {
+		cfg.RestartDelay = 600 * time.Millisecond
+	}
+	if cfg.MaxRestarts <= 0 {
+		cfg.MaxRestarts = 3
+	}
+	if cfg.DetPeriod <= 0 {
+		cfg.DetPeriod = 150 * simtime.Millisecond
+	}
+	if cfg.DetTimeout <= 0 {
+		// The clock-model safe timeout plus working slack: ℓ (timers fire
+		// late by scheduling) and the in-band fault sizes, so only a real
+		// outage or an out-of-model fault trips the detector.
+		cfg.DetTimeout = detector.SafeTimeoutClock(cfg.DetPeriod,
+			simtime.NewInterval(cfg.D1, cfg.D2), cfg.Eps) + cfg.Ell + 55*simtime.Millisecond
+	}
+
+	tiers := make([]register.Tier, cfg.Registers)
+	if cfg.Tiers != "" {
+		var err error
+		tiers, err = register.ParseTiers(cfg.Tiers, cfg.Registers)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	n, regs := cfg.N, cfg.Registers
+	portSpace := n * (regs + 1)
+
+	theta := cfg.C + cfg.Delta + 2*cfg.Eps + cfg.Ell + cfg.Slack
+	linOpt := linearize.Options{
+		Initial:      register.Initial.String(),
+		Widen:        cfg.Eps + cfg.Slack,
+		AssumeUnique: true,
+		MaxStates:    1 << 18,
+		Yield:        runtime.Gosched,
+	}
+	seqOpt := linearize.SeqOptions{
+		Initial:  register.Initial.String(),
+		MaxStale: theta,
+		Yield:    runtime.Gosched,
+	}
+	mon := register.NewMonitor()
+	so := linearize.ShardedOptions{Check: linOpt, Shards: cfg.CheckShards}
+	if cfg.Tiers != "" {
+		so.New = func(key string) linearize.Automaton {
+			if idx, err := strconv.Atoi(key[1:]); err == nil && idx >= 0 && idx < len(tiers) && tiers[idx] == register.TierSeq {
+				return linearize.NewSeqOnline(seqOpt)
+			}
+			return linearize.NewOnline(linOpt)
+		}
+	}
+	check := linearize.NewSharded(so)
+	mon.AddChecker("fleet", check)
+	// Ports live in per-incarnation namespaces (k·N·(R+1) + reg·N + node):
+	// reducing mod the namespace width folds every incarnation of a
+	// register onto one checker key, so a replacement's operations extend
+	// the same history its predecessor's belonged to.
+	mon.SetKeyFunc(func(port ta.NodeID) string {
+		return "r" + strconv.Itoa((int(port)%portSpace)/n)
+	})
+
+	det := &detLog{n: n, portSpace: portSpace}
+	ring := trace.NewRing(256)
+	trap := &errTrap{mon: mon, ring: ring}
+	p := &Plane{
+		cfg:   cfg,
+		mon:   mon,
+		check: check,
+		det:   det,
+		ring:  ring,
+		trap:  trap,
+		tiers: tiers,
+		fanin: NewFanIn(n, []exec.Sink{mon, det, ring, trap}),
+	}
+	return p, nil
+}
+
+// logf writes a verbose plane log line.
+func (p *Plane) logf(format string, args ...any) {
+	if p.cfg.Verbose && p.cfg.Logw != nil {
+		fmt.Fprintf(p.cfg.Logw, "pscfleet: "+format+"\n", args...)
+	}
+}
+
+// Epoch returns the fleet's shared simulated-Zero instant.
+func (p *Plane) Epoch() time.Time { return p.epoch }
+
+// elapsed is wall time since the fleet epoch on the plane's clock.
+func (p *Plane) elapsed() simtime.Time {
+	t, err := simtime.TimeFromWall(time.Since(p.epoch))
+	if err != nil {
+		return simtime.Zero
+	}
+	return t
+}
+
+// Start anchors the epoch, spawns the N daemons, wires peers, and waits
+// until every node is Ready (serviceable).
+func (p *Plane) Start() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	p.ln = ln
+	p.epoch = time.Now()
+
+	p.daemons = make([]*daemonState, p.cfg.N)
+	for i := range p.daemons {
+		p.daemons[i] = &daemonState{node: i}
+	}
+
+	p.wg.Add(1)
+	go p.acceptLoop()
+	p.wg.Add(1)
+	go p.beatWatch()
+
+	for i := 0; i < p.cfg.N; i++ {
+		if err := p.spawn(p.daemons[i], 0); err != nil {
+			p.Close()
+			return err
+		}
+	}
+	if err := p.waitAllReady(20 * time.Second); err != nil {
+		p.Close()
+		return err
+	}
+	return nil
+}
+
+// spawn launches incarnation inc of d's node and arms its exit watcher.
+// The peer map is re-broadcast when the daemon's Hello arrives.
+func (p *Plane) spawn(d *daemonState, inc int) error {
+	cfgArgs := []string{
+		"-node", strconv.Itoa(d.node),
+		"-n", strconv.Itoa(p.cfg.N),
+		"-registers", strconv.Itoa(p.cfg.Registers),
+		"-incarnation", strconv.Itoa(inc),
+		"-plane", p.ln.Addr().String(),
+		"-epoch", strconv.FormatInt(p.epoch.UnixNano(), 10),
+		"-seed", strconv.FormatInt(p.cfg.Seed, 10),
+		"-eps", us(p.cfg.Eps), "-d1", us(p.cfg.D1), "-d2", us(p.cfg.D2),
+		"-delta", us(p.cfg.Delta), "-c", us(p.cfg.C), "-ell", us(p.cfg.Ell),
+		"-detperiod", us(p.cfg.DetPeriod), "-dettimeout", us(p.cfg.DetTimeout),
+		"-beat", p.cfg.BeatPeriod.String(),
+	}
+	if p.cfg.Tiers != "" {
+		cfgArgs = append(cfgArgs, "-tiers", p.cfg.Tiers)
+	}
+	if p.cfg.Verbose {
+		cfgArgs = append(cfgArgs, "-v")
+	}
+	cmd := osexec.Command(p.cfg.NodeBin, cfgArgs...)
+	if p.cfg.Verbose && p.cfg.Logw != nil {
+		cmd.Stderr = p.cfg.Logw
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("fleet: spawn node %d: %w", d.node, err)
+	}
+	d.mu.Lock()
+	d.inc = inc
+	d.cmd = cmd
+	d.helloed = false
+	d.byeSeen = false
+	d.ready = false
+	d.lastBeat = time.Now()
+	d.beat = msgBeat{}
+	d.mu.Unlock()
+	p.logf("node %d incarnation %d spawned (pid %d)", d.node, inc, cmd.Process.Pid)
+
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		cmd.Wait()
+		p.onExit(d, inc)
+	}()
+	return nil
+}
+
+// acceptLoop admits daemon control connections; the first message must be
+// a Hello identifying the node and incarnation.
+func (p *Plane) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			ctl := newCtlConn(conn)
+			e, err := ctl.recv()
+			if err != nil || e.Hello == nil {
+				ctl.close()
+				return
+			}
+			h := e.Hello
+			if h.Node < 0 || h.Node >= p.cfg.N {
+				ctl.close()
+				return
+			}
+			d := p.daemons[h.Node]
+			d.mu.Lock()
+			if h.Incarnation != d.inc {
+				d.mu.Unlock()
+				ctl.close() // stale incarnation's connection
+				return
+			}
+			d.ctl = ctl
+			d.nodeAddr = h.NodeAddr
+			d.helloed = true
+			d.lastBeat = time.Now()
+			pendingClient := h.ClientAddr
+			d.mu.Unlock()
+			p.logf("node %d incarnation %d hello (mesh %s, clients %s)", h.Node, h.Incarnation, h.NodeAddr, h.ClientAddr)
+			p.broadcastPeers()
+			p.readLoop(d, ctl, pendingClient)
+		}()
+	}
+}
+
+// readLoop consumes one daemon connection until it breaks.
+func (p *Plane) readLoop(d *daemonState, ctl *ctlConn, clientAddr string) {
+	for {
+		e, err := ctl.recv()
+		if err != nil {
+			return
+		}
+		switch {
+		case e.Beat != nil:
+			d.mu.Lock()
+			d.beat = *e.Beat
+			d.lastBeat = time.Now()
+			d.mu.Unlock()
+		case e.Events != nil:
+			p.fanin.Push(d.node, e.Events.Events, e.Events.Watermark)
+		case e.Ready != nil:
+			d.mu.Lock()
+			d.ready = true
+			d.readyGen++
+			d.clientAddr = clientAddr
+			d.mu.Unlock()
+			p.logf("node %d ready", d.node)
+		case e.Bye != nil:
+			d.mu.Lock()
+			d.byeSeen = true
+			p.foldLocked(d, e.Bye.Measured, e.Bye.Dropped)
+			d.mu.Unlock()
+		}
+	}
+}
+
+// foldLocked accumulates an incarnation's final measurements into the
+// node's running totals. Caller holds d.mu.
+func (p *Plane) foldLocked(d *daemonState, m live.Measured, dropped int64) {
+	d.base.DelayViolations += m.DelayViolations
+	d.base.Messages += m.Messages
+	d.base.Held += m.Held
+	d.base.RecorderDrops += m.RecorderDrops
+	d.base.Reconnects += m.Reconnects
+	if m.TimerLate > d.base.TimerLate {
+		d.base.TimerLate = m.TimerLate
+	}
+	if m.Eps > d.baseEps {
+		d.baseEps = m.Eps
+	}
+	d.baseDrop += dropped
+	d.beat = msgBeat{}
+}
+
+// onExit handles a daemon process exit: graceful (Bye seen, or the plane
+// is shutting down) is the end of the story; anything else is a crash to
+// remediate — freeze the stream, wait the restart delay, respawn as the
+// next incarnation, and re-wire everyone.
+func (p *Plane) onExit(d *daemonState, inc int) {
+	p.mu.Lock()
+	down := p.shutdown
+	p.mu.Unlock()
+
+	d.mu.Lock()
+	if d.inc != inc {
+		d.mu.Unlock() // a newer incarnation owns the slot
+		return
+	}
+	graceful := d.byeSeen
+	if !graceful && !down {
+		// Crash: fold what the beats reported before death; the ring tail
+		// that never shipped dies with the process (its ops stay open and
+		// Monitor.Finish will submit them as pending).
+		p.foldLocked(d, d.beat.Measured, d.beat.Dropped)
+		d.ready = false
+		d.clientAddr = ""
+	}
+	restarts := d.restarts
+	d.mu.Unlock()
+
+	if graceful || down {
+		return
+	}
+	p.logf("node %d incarnation %d died", d.node, inc)
+	p.fanin.MarkDead(d.node)
+
+	if restarts >= p.cfg.MaxRestarts {
+		d.mu.Lock()
+		d.gone = true
+		d.mu.Unlock()
+		p.logf("node %d: restart budget exhausted (%d); leaving down", d.node, restarts)
+		return
+	}
+	d.mu.Lock()
+	d.restarts++
+	d.mu.Unlock()
+
+	time.Sleep(p.cfg.RestartDelay)
+	p.mu.Lock()
+	down = p.shutdown
+	p.mu.Unlock()
+	if down {
+		return
+	}
+	// Floor first, then spawn: the replacement cannot have recorded
+	// anything before this instant.
+	floor := p.elapsed()
+	p.fanin.Reset(d.node, floor)
+	if err := p.spawn(d, inc+1); err != nil {
+		p.logf("node %d respawn failed: %v", d.node, err)
+		p.fanin.MarkDead(d.node)
+	}
+}
+
+// beatWatch is the liveness backstop: a daemon whose beats stop for
+// longer than the detector-discipline timeout (SafeTimeoutTA over the
+// beat period and lateness budget) is declared dead and killed, which
+// funnels it into the regular onExit remediation. Connection EOF catches
+// a SIGKILL faster; this catches a wedged-but-connected process.
+func (p *Plane) beatWatch() {
+	defer p.wg.Done()
+	period, _ := simtime.FromWall(p.cfg.BeatPeriod)
+	budget, _ := simtime.FromWall(p.cfg.BeatBudget)
+	timeoutSim := detector.SafeTimeoutTA(period, simtime.NewInterval(0, budget))
+	timeout, err := simtime.ToWall(timeoutSim)
+	if err != nil {
+		timeout = p.cfg.BeatPeriod + p.cfg.BeatBudget
+	}
+	tick := time.NewTicker(p.cfg.BeatPeriod)
+	defer tick.Stop()
+	for range tick.C {
+		p.mu.Lock()
+		down := p.shutdown
+		p.mu.Unlock()
+		if down {
+			return
+		}
+		for _, d := range p.daemons {
+			d.mu.Lock()
+			stale := d.helloed && !d.byeSeen && !d.gone && time.Since(d.lastBeat) > timeout
+			cmd := d.cmd
+			d.mu.Unlock()
+			if stale && cmd != nil && cmd.Process != nil {
+				p.logf("node %d: beats stopped for > %v; killing", d.node, timeout)
+				cmd.Process.Kill()
+			}
+		}
+	}
+}
+
+// broadcastPeers sends every daemon the current mesh address map.
+func (p *Plane) broadcastPeers() {
+	addrs := make([]string, p.cfg.N)
+	ctls := make([]*ctlConn, 0, p.cfg.N)
+	for i, d := range p.daemons {
+		d.mu.Lock()
+		addrs[i] = d.nodeAddr
+		if d.ctl != nil && d.helloed && !d.byeSeen {
+			ctls = append(ctls, d.ctl)
+		}
+		d.mu.Unlock()
+	}
+	msg := envelope{Peers: &msgPeers{Addrs: addrs}}
+	for _, c := range ctls {
+		c.send(msg)
+	}
+}
+
+// waitAllReady blocks until every node is serviceable.
+func (p *Plane) waitAllReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		all := true
+		for _, d := range p.daemons {
+			d.mu.Lock()
+			ok := d.ready
+			d.mu.Unlock()
+			if !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fleet: nodes not ready within %v", timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// ClientAddr returns node's register-client address, or "" while the
+// node is down or repairing — the dynamic load generator polls this.
+func (p *Plane) ClientAddr(node int) string {
+	d := p.daemons[node]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.ready {
+		return ""
+	}
+	return d.clientAddr
+}
+
+// Incarnation returns node's current incarnation and readiness.
+func (p *Plane) Incarnation(node int) (int, bool) {
+	d := p.daemons[node]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inc, d.ready
+}
+
+// Kill SIGKILLs node's current process — the crash fault.
+func (p *Plane) Kill(node int) error {
+	d := p.daemons[node]
+	d.mu.Lock()
+	cmd := d.cmd
+	d.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return fmt.Errorf("fleet: node %d has no process", node)
+	}
+	p.mu.Lock()
+	p.crashes++
+	p.mu.Unlock()
+	return cmd.Process.Kill()
+}
+
+// WaitReplaced blocks until node runs an incarnation above minInc and is
+// Ready, or the timeout passes.
+func (p *Plane) WaitReplaced(node, minInc int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		d := p.daemons[node]
+		d.mu.Lock()
+		ok := d.inc > minInc && d.ready
+		d.mu.Unlock()
+		if ok {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return false
+}
+
+// sendFault delivers a fault command to one daemon.
+func (p *Plane) sendFault(node int, f msgFault) error {
+	d := p.daemons[node]
+	d.mu.Lock()
+	ctl := d.ctl
+	ok := d.helloed && !d.byeSeen
+	d.mu.Unlock()
+	if ctl == nil || !ok {
+		return fmt.Errorf("fleet: node %d not connected", node)
+	}
+	return ctl.send(envelope{Fault: &f})
+}
+
+// SetPartition cuts (or heals) the link between a and b at both ends.
+func (p *Plane) SetPartition(a, b int, on bool) error {
+	err1 := p.sendFault(a, msgFault{PartitionPeer: b, PartitionOn: on})
+	err2 := p.sendFault(b, msgFault{PartitionPeer: a, PartitionOn: on})
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// SetDelay sets node's outbound extra delay (0 heals).
+func (p *Plane) SetDelay(node int, d simtime.Duration) error {
+	w, err := simtime.ToWall(d)
+	if err != nil {
+		return err
+	}
+	return p.sendFault(node, msgFault{PartitionPeer: -1, SetDelay: true, DelayUS: int64(w / time.Microsecond)})
+}
+
+// SetClockStep sets node's clock offset (0 heals the step; the measured
+// ε̂ keeps the excursion's high-water mark, as a real clock audit would).
+func (p *Plane) SetClockStep(node int, d simtime.Duration) error {
+	w, err := simtime.ToWall(d)
+	if err != nil {
+		return err
+	}
+	return p.sendFault(node, msgFault{PartitionPeer: -1, SetStep: true, StepUS: int64(w / time.Microsecond)})
+}
+
+// Stats aggregates the fleet's measurements: per-incarnation beats folded
+// with the totals of dead incarnations, plus the detector evidence log.
+func (p *Plane) Stats() FleetStats {
+	s := FleetStats{EpsByNode: make([]simtime.Duration, p.cfg.N)}
+	for i, d := range p.daemons {
+		d.mu.Lock()
+		m := d.beat.Measured
+		s.DelayViolations += d.base.DelayViolations + m.DelayViolations
+		s.Messages += d.base.Messages + m.Messages
+		s.Held += d.base.Held + m.Held
+		s.Reconnects += d.base.Reconnects + m.Reconnects
+		s.RecorderDrops += d.base.RecorderDrops + m.RecorderDrops
+		s.Dropped += d.baseDrop + d.beat.Dropped
+		if tl := maxDur(d.base.TimerLate, m.TimerLate); tl > s.TimerLate {
+			s.TimerLate = tl
+		}
+		s.EpsByNode[i] = maxDur(d.baseEps, m.Eps)
+		s.Restarts += d.restarts
+		d.mu.Unlock()
+	}
+	s.DetEvents = p.det.snapshot()
+	for _, e := range s.DetEvents {
+		if e.Name == detector.ActSuspect {
+			s.Suspects++
+		} else {
+			s.Restores++
+		}
+	}
+	return s
+}
+
+func maxDur(a, b simtime.Duration) simtime.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Crashes returns the number of chaos-commanded kills so far.
+func (p *Plane) Crashes() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.crashes
+}
+
+// FleetVerdict is the checker outcome over the merged stream.
+type FleetVerdict struct {
+	Violations  int
+	CheckStates int
+	Messages    []string
+	Clamped     int
+	Emitted     int
+}
+
+// Shutdown gracefully stops the fleet: every live daemon drains and says
+// Bye, the fan-in finishes (still-open crash-orphaned ops submit as
+// pending), and the checker verdict comes back.
+func (p *Plane) Shutdown() FleetVerdict {
+	p.mu.Lock()
+	p.shutdown = true
+	p.mu.Unlock()
+
+	for _, d := range p.daemons {
+		d.mu.Lock()
+		ctl := d.ctl
+		live := d.helloed && !d.byeSeen && !d.gone
+		d.mu.Unlock()
+		if live && ctl != nil {
+			ctl.send(envelope{Shutdown: &msgShutdown{}})
+		}
+	}
+	// Wait for Byes (bounded), then force whatever remains.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		left := 0
+		for _, d := range p.daemons {
+			d.mu.Lock()
+			if d.helloed && !d.byeSeen && !d.gone {
+				left++
+			}
+			d.mu.Unlock()
+		}
+		if left == 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, d := range p.daemons {
+		d.mu.Lock()
+		cmd := d.cmd
+		bye := d.byeSeen
+		d.mu.Unlock()
+		if !bye && cmd != nil && cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}
+	p.Close()
+
+	p.fanin.Finish()
+	v := FleetVerdict{Clamped: p.fanin.Clamped(), Emitted: p.fanin.Emitted()}
+	if err := p.mon.Err(); err != nil {
+		v.Violations++
+		v.Messages = append(v.Messages, fmt.Sprintf("stream contract: %v", err))
+		for _, e := range p.trap.tail {
+			p.logf("trace: seq=%d at=%d %s src=%s", e.Seq, int64(e.At), e.Action.Label(), e.Src)
+		}
+	}
+	res := p.mon.Verdict("fleet")
+	v.CheckStates = res.States
+	if p.mon.Err() == nil && !res.OK {
+		v.Violations++
+		msg := fmt.Sprintf("fleet check: %s", res.Reason)
+		if key, ok := p.check.FailedKey(); ok {
+			msg += " (key " + key + ")"
+		}
+		v.Messages = append(v.Messages, msg)
+	}
+	return v
+}
+
+// Close tears down the plane's listener and reaps every watcher.
+func (p *Plane) Close() {
+	p.mu.Lock()
+	p.shutdown = true
+	p.mu.Unlock()
+	if p.ln != nil {
+		p.ln.Close()
+	}
+	for _, d := range p.daemons {
+		d.mu.Lock()
+		if d.ctl != nil {
+			d.ctl.close()
+		}
+		d.mu.Unlock()
+	}
+	p.wg.Wait()
+}
+
+// us renders a simtime duration as a microsecond flag value.
+func us(d simtime.Duration) string {
+	return strconv.FormatInt(int64(d/simtime.Microsecond), 10) + "us"
+}
+
+// errTrap snapshots the trace ring at the instant the monitor first
+// reports a stream-contract violation (debug aid).
+type errTrap struct {
+	mon  *register.Monitor
+	ring *trace.Ring
+	tail ta.Trace
+	hit  bool
+}
+
+func (t *errTrap) Observe(ta.Event) {
+	if !t.hit && t.mon.Err() != nil {
+		t.hit = true
+		t.tail = t.ring.Tail()
+	}
+}
+
+func (t *errTrap) Flush(simtime.Time) {}

@@ -122,3 +122,77 @@ func (c *ModelClock) OffsetBound() simtime.Duration {
 
 // Name implements Clock.
 func (c *ModelClock) Name() string { return c.m.Name() }
+
+// StepClock wraps a Clock with an externally settable offset: the chaos
+// controller's clock adversary. A fault injector calls SetOffset to step
+// the node's time source past (or within) the configured ε while the node
+// program keeps running, and OffsetBound folds the largest applied |step|
+// into the measured ε̂ — so a step past ε is observable in the run's
+// evidence exactly the way a real clock excursion would be, without
+// touching the clock.Model underneath.
+type StepClock struct {
+	inner Clock
+
+	mu     sync.Mutex
+	off    simtime.Duration
+	maxAbs simtime.Duration
+}
+
+var _ Clock = (*StepClock)(nil)
+
+// NewStepClock wraps inner with a zero offset.
+func NewStepClock(inner Clock) *StepClock { return &StepClock{inner: inner} }
+
+// SetOffset replaces the applied step (absolute, not cumulative); zero
+// heals the clock. Safe for concurrent use with readers.
+func (c *StepClock) SetOffset(d simtime.Duration) {
+	c.mu.Lock()
+	c.off = d
+	if a := d.Abs(); a > c.maxAbs {
+		c.maxAbs = a
+	}
+	c.mu.Unlock()
+}
+
+// Offset returns the currently applied step.
+func (c *StepClock) Offset() simtime.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.off
+}
+
+// Now implements Clock: the inner reading shifted by the applied step.
+// A backward step can make consecutive readings non-monotone; the node
+// loop's high-water clamp absorbs that, as it does for any clock.
+func (c *StepClock) Now() simtime.Time {
+	c.mu.Lock()
+	off := c.off
+	c.mu.Unlock()
+	return c.inner.Now().Add(off)
+}
+
+// WaitUntil implements Clock: the stepped clock reaches target when the
+// inner clock reaches target − off.
+func (c *StepClock) WaitUntil(target simtime.Time) time.Duration {
+	c.mu.Lock()
+	off := c.off
+	c.mu.Unlock()
+	return c.inner.WaitUntil(target.Add(-off))
+}
+
+// Epsilon implements Clock: the band the inner clock still guarantees.
+// The step is deliberately outside any guarantee — that is the fault.
+func (c *StepClock) Epsilon() simtime.Duration { return c.inner.Epsilon() }
+
+// OffsetBound implements Clock: the inner clock's measured bound plus the
+// largest step ever applied — an upper bound on |reading − real|, so a
+// step past ε surfaces as measured ε̂ > ε.
+func (c *StepClock) OffsetBound() simtime.Duration {
+	c.mu.Lock()
+	maxAbs := c.maxAbs
+	c.mu.Unlock()
+	return c.inner.OffsetBound() + maxAbs
+}
+
+// Name implements Clock.
+func (c *StepClock) Name() string { return c.inner.Name() + "+step" }

@@ -1,0 +1,183 @@
+package live
+
+import (
+	"bufio"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"psclock/internal/register"
+	"psclock/internal/simtime"
+	"psclock/internal/stats"
+	"psclock/internal/ta"
+)
+
+// RunLoadDynamic drives closed-loop clients against endpoints that move:
+// resolve maps a client to its current server address ("" while the
+// node is down or repairing) and the node ID to stamp written values
+// with. Clients re-resolve and re-dial whenever the connection breaks or
+// the address changes — a fleet run's nodes crash, restart at fresh
+// ports, and only republish once serviceable, and the load generator is
+// expected to follow them rather than die with them.
+//
+// Mid-flight operations severed by a crash are neither counted nor
+// recorded: their invocations reached the server's recorder and complete
+// as pending operations in the checker, while the client just moves on.
+// Disconnections during chaos are expected, so they are retried, not
+// counted as Errors; Errors stays reserved for failures with nowhere to
+// retry (the run ending with a client never having connected).
+func RunLoadDynamic(resolve func(client int) (addr string, node ta.NodeID), cfg LoadConfig) LoadResult {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Registers <= 0 {
+		cfg.Registers = 1
+	}
+	rec := &loadRecorders{
+		read:  stats.NewReservoir(4096, cfg.Seed*7+1),
+		write: stats.NewReservoir(4096, cfg.Seed*7+2),
+	}
+	if cfg.Tiers != nil {
+		for t := range rec.tierRead {
+			rec.tierRead[t] = stats.NewReservoir(4096, cfg.Seed*7+3+int64(t))
+			rec.tierWrite[t] = stats.NewReservoir(4096, cfg.Seed*7+5+int64(t))
+		}
+	}
+	var agg LoadResult
+	agg.PerReg = make([]int, cfg.Registers)
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := runDynClient(c, resolve, cfg, deadline, rec)
+			rec.mu.Lock()
+			agg.Ops += res.Ops
+			agg.Reads += res.Reads
+			agg.Writes += res.Writes
+			agg.Errors += res.Errors
+			for t := range res.Tier {
+				agg.Tier[t].Ops += res.Tier[t].Ops
+				agg.Tier[t].Reads += res.Tier[t].Reads
+				agg.Tier[t].Writes += res.Tier[t].Writes
+			}
+			for r, k := range res.PerReg {
+				agg.PerReg[r] += k
+			}
+			rec.mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	rec.mu.Lock()
+	agg.ReadLat = rec.read.Summary()
+	agg.WriteLat = rec.write.Summary()
+	if cfg.Tiers != nil {
+		for t := range rec.tierRead {
+			agg.Tier[t].ReadLat = rec.tierRead[t].Summary()
+			agg.Tier[t].WriteLat = rec.tierWrite[t].Summary()
+		}
+	}
+	rec.mu.Unlock()
+	if cfg.Registers == 1 {
+		agg.PerReg = nil
+	}
+	return agg
+}
+
+// runDynClient is one address-following closed-loop client.
+func runDynClient(id int, resolve func(int) (string, ta.NodeID), cfg LoadConfig, deadline time.Time, rec *loadRecorders) LoadResult {
+	var res LoadResult
+	res.PerReg = make([]int, cfg.Registers)
+	rng := rand.New(rand.NewSource(cfg.Seed*611953 + int64(id)))
+	var pace time.Duration
+	if cfg.Rate > 0 {
+		pace = time.Duration(float64(time.Second) / cfg.Rate)
+	}
+
+	var (
+		conn     net.Conn
+		br       *bufio.Reader
+		connAddr string
+		nodeID   ta.NodeID
+		sbuf     []byte
+		everUp   bool
+		wseq     int
+	)
+	drop := func() {
+		if conn != nil {
+			conn.Close()
+			conn = nil
+		}
+	}
+	defer drop()
+
+	for time.Now().Before(deadline) && !cfg.stopRequested() {
+		addr, node := resolve(id)
+		if addr == "" {
+			// Node down or repairing: hold position until it republishes.
+			drop()
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		if conn == nil || addr != connAddr {
+			drop()
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				time.Sleep(50 * time.Millisecond)
+				continue
+			}
+			conn, br, connAddr, nodeID = c, bufio.NewReaderSize(c, 4096), addr, node
+			everUp = true
+		}
+
+		opStart := time.Now()
+		reg := 0
+		if cfg.Registers > 1 {
+			reg = rng.Intn(cfg.Registers)
+		}
+		tier := cfg.tierOf(reg)
+		req := wireReq{Reg: reg, Op: register.ActRead, Tier: tier}
+		if rng.Float64() < cfg.WriteRatio {
+			req = wireReq{Reg: reg, Op: register.ActWrite, Val: register.Value{Writer: nodeID, Seq: id*1_000_000 + wseq}, Tier: tier}
+			wseq++
+		}
+		sbuf = appendWireReq(sbuf[:0], req)
+		if _, err := conn.Write(sbuf); err != nil {
+			drop()
+			continue
+		}
+		if _, err := readWireResp(br); err != nil {
+			// Crash mid-op: the invocation (if it landed) finishes as a
+			// pending op in the checker; re-resolve and carry on.
+			drop()
+			continue
+		}
+		lat, lerr := simtime.FromWall(time.Since(opStart))
+		res.Ops++
+		res.PerReg[reg]++
+		isWrite := req.Op == register.ActWrite
+		res.Tier[tier].Ops++
+		if isWrite {
+			res.Writes++
+			res.Tier[tier].Writes++
+		} else {
+			res.Reads++
+			res.Tier[tier].Reads++
+		}
+		if lerr == nil {
+			rec.record(isWrite, tier, lat)
+		}
+		if pace > 0 {
+			if rest := pace - time.Since(opStart); rest > 0 {
+				time.Sleep(rest)
+			}
+		}
+	}
+	if !everUp {
+		res.Errors++
+	}
+	return res
+}

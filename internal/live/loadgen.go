@@ -57,6 +57,24 @@ type LoadConfig struct {
 	// per-tier reservoirs so the report can price the seq tier's read
 	// discount against the lin tier on the same run.
 	Tiers []register.Tier
+	// Stop, when non-nil and closed, ends the run before Duration: clients
+	// stop issuing, drain their in-flight tails, and return normal results.
+	// This is how SIGINT/SIGTERM turns into a clean early report instead
+	// of a torn-down one.
+	Stop <-chan struct{}
+}
+
+// stopRequested reports whether the early-stop channel has closed.
+func (cfg *LoadConfig) stopRequested() bool {
+	if cfg.Stop == nil {
+		return false
+	}
+	select {
+	case <-cfg.Stop:
+		return true
+	default:
+		return false
+	}
 }
 
 // tierOf returns the register's configured tier.
@@ -216,7 +234,7 @@ func runClient(id int, addr string, nodeID ta.NodeID, cfg LoadConfig, deadline t
 		pace = time.Duration(float64(time.Second) / cfg.Rate)
 	}
 	wseq := 0
-	for time.Now().Before(deadline) {
+	for time.Now().Before(deadline) && !cfg.stopRequested() {
 		opStart := time.Now()
 		reg := 0
 		if cfg.Registers > 1 {
@@ -385,7 +403,7 @@ func runPipelined(id int, addr string, nodeID ta.NodeID, cfg LoadConfig, deadlin
 	next := time.Now()
 	wseq := 0
 	var reqID uint64
-	for time.Now().Before(deadline) {
+	for time.Now().Before(deadline) && !cfg.stopRequested() {
 		// Bound the pipeline; bail out if the receiver died (nothing will
 		// ever free a slot again).
 		select {

@@ -214,7 +214,14 @@ func (r *recorder) run() {
 	defer close(r.done)
 	var batch []mergeEvent
 	var lastAt simtime.Time
+	var lastFlushed simtime.Time
 	sinceFlush := 0
+	// idleFlushQuantum paces watermark-only flushes on a quiet stream: a
+	// fleet daemon forwards Flush bounds to the control plane as its merge
+	// watermark, and without idle flushes a node that stops producing
+	// (quiesced load, partitioned link) would stall the plane's k-way
+	// merge behind its last event.
+	const idleFlushQuantum = simtime.Millisecond
 	for {
 		// Consumer clock first, then the per-ring states: any producer
 		// observed idle after this reading can only stamp at or after it.
@@ -281,6 +288,9 @@ func (r *recorder) run() {
 				for _, s := range r.sinks {
 					s.Flush(bound)
 				}
+				if bound > lastFlushed {
+					lastFlushed = bound
+				}
 			}
 			if !final {
 				continue
@@ -300,6 +310,16 @@ func (r *recorder) run() {
 			// reads a later clock. Yield rather than spin.
 			time.Sleep(20 * time.Microsecond)
 			continue
+		}
+		// Idle flush: the stream is quiet but time has passed, so advance
+		// the sinks' watermark anyway. bound can sit BELOW lastFlushed
+		// here (a busy producer's old floor), so the monotone guard is
+		// essential — a watermark must never retreat.
+		if bound > lastFlushed && bound.Sub(lastFlushed) >= idleFlushQuantum {
+			for _, s := range r.sinks {
+				s.Flush(bound)
+			}
+			lastFlushed = bound
 		}
 		select {
 		case <-r.wake:

@@ -76,8 +76,11 @@ type Report struct {
 	CheckShards int `json:"check_shards,omitempty"`
 	// RecorderDrops counts events the recorder discarded after shutdown;
 	// a clean run asserts zero (Pass requires it).
-	RecorderDrops int  `json:"recorder_drops"`
-	Pass          bool `json:"pass"`
+	RecorderDrops int `json:"recorder_drops"`
+	// Reconnects counts transport link re-dials over the run: healed
+	// failures, reported rather than fatal (a loopback run has zero).
+	Reconnects int  `json:"reconnects,omitempty"`
+	Pass       bool `json:"pass"`
 }
 
 // TierReport is one consistency tier's slice of a mixed-tier run: its
@@ -111,8 +114,9 @@ func MergeIntoBenchFile(path string, r *Report) error {
 // MergeSectionIntoBenchFile writes r as the named section of the JSON
 // report at path, preserving every other section. pscserve uses "live"
 // for its pipelined headline run and "live_closed" for the closed-loop
-// latency baseline.
-func MergeSectionIntoBenchFile(path, section string, r *Report) error {
+// latency baseline; pscfleet merges its own report type as "live_fleet",
+// which is why r is any JSON-marshalable value rather than *Report.
+func MergeSectionIntoBenchFile(path, section string, r any) error {
 	doc := map[string]any{}
 	if buf, err := os.ReadFile(path); err == nil && len(buf) > 0 {
 		if err := json.Unmarshal(buf, &doc); err != nil {

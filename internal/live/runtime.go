@@ -48,6 +48,26 @@ type Options struct {
 	Transport Transport
 	// InboxDepth is each node's queue depth (≤ 0 selects the default).
 	InboxDepth int
+
+	// Local lists the node IDs this process hosts; nil hosts all N (the
+	// single-process runtimes of pscserve). A fleet daemon hosts exactly
+	// one: frames for remote nodes cross its Transport (a MeshTransport),
+	// and inbound frames for nodes it does not host are dropped.
+	Local []int
+	// Epoch anchors simulated Zero. Zero-valued means "now at Start" (the
+	// single-process default); a fleet passes one shared instant to every
+	// daemon so all processes stamp events on a single timeline.
+	Epoch time.Time
+	// PortBase offsets every port identifier. A restarted daemon runs its
+	// new incarnation in a fresh port namespace (incarnation·N·R), so the
+	// §6.1 one-op-per-port alternation the Monitor enforces is never
+	// violated by an invocation whose response died with the old process —
+	// the old port's op simply stays open until Monitor.Finish submits it
+	// as pending.
+	PortBase int
+	// WrapClock, when non-nil, wraps each node's ModelClock before use —
+	// the chaos controller's hook for interposing a StepClock.
+	WrapClock func(node int, c Clock) Clock
 }
 
 // Measured is what the runtime observed over a run: the quantities the
@@ -70,6 +90,9 @@ type Measured struct {
 	// RecorderDrops counts events recorded after shutdown flushed the
 	// recorder. A clean run — server closed before Stop — has zero.
 	RecorderDrops int
+	// Reconnects counts transport link re-dials after dial/write failures
+	// (zero on transports that never reconnect).
+	Reconnects int
 }
 
 // Runtime hosts N×R copies of a core.Algorithm on wall-clock time: one
@@ -147,7 +170,24 @@ func (rt *Runtime) Registers() int { return rt.opts.Registers }
 // in the recorded stream. With one register it is the node ID itself, so
 // single-register traces are unchanged.
 func (rt *Runtime) Port(nodeID ta.NodeID, reg int) ta.NodeID {
-	return ta.NodeID(reg*rt.opts.N) + nodeID
+	return ta.NodeID(rt.opts.PortBase+reg*rt.opts.N) + nodeID
+}
+
+// hostsNode reports whether this runtime hosts node i (always true in
+// single-process mode).
+func (rt *Runtime) hostsNode(i int) bool {
+	if i < 0 || i >= rt.opts.N {
+		return false
+	}
+	if rt.opts.Local == nil {
+		return true
+	}
+	for _, l := range rt.opts.Local {
+		if l == i {
+			return true
+		}
+	}
+	return false
 }
 
 // AddSink registers an exec.Sink over the runtime's observable event
@@ -188,16 +228,26 @@ func (rt *Runtime) Start() error {
 		return fmt.Errorf("live: runtime already started")
 	}
 	rt.started = true
-	rt.epoch = time.Now()
+	rt.epoch = rt.opts.Epoch
+	if rt.epoch.IsZero() {
+		rt.epoch = time.Now()
+	}
 	n, r := rt.opts.N, rt.opts.Registers
 	rt.nodes = make([]*node, n)
 	for i := 0; i < n; i++ {
+		if !rt.hostsNode(i) {
+			continue
+		}
+		var clk Clock = NewModelClock(rt.opts.Clocks(i), rt.epoch)
+		if rt.opts.WrapClock != nil {
+			clk = rt.opts.WrapClock(i, clk)
+		}
 		nd := &node{
 			id:    ta.NodeID(i),
 			rt:    rt,
 			algs:  make([]core.Algorithm, r),
 			srcs:  make([]string, r),
-			clk:   NewModelClock(rt.opts.Clocks(i), rt.epoch),
+			clk:   clk,
 			inbox: make(chan nodeMsg, rt.opts.InboxDepth),
 			prod:  rt.rec.producer(nodeRingDepth),
 		}
@@ -218,6 +268,9 @@ func (rt *Runtime) Start() error {
 		return fmt.Errorf("live: transport start: %w", err)
 	}
 	for _, nd := range rt.nodes {
+		if nd == nil {
+			continue
+		}
 		rt.wg.Add(1)
 		go nd.loop()
 	}
@@ -240,7 +293,7 @@ func (rt *Runtime) InvokeReg(nodeID ta.NodeID, reg int, name string, payload any
 // non-nil and the caller is its single goroutine; through the recorder's
 // shared locked path otherwise) and enqueues it at the destination node.
 func (rt *Runtime) invoke(p *producer, nodeID ta.NodeID, reg int, name string, payload any) error {
-	if int(nodeID) < 0 || int(nodeID) >= len(rt.nodes) {
+	if int(nodeID) < 0 || int(nodeID) >= len(rt.nodes) || rt.nodes[nodeID] == nil {
 		return fmt.Errorf("live: invoke at unknown node %v", nodeID)
 	}
 	if reg < 0 || reg >= rt.opts.Registers {
@@ -268,8 +321,50 @@ func (rt *Runtime) invoke(p *producer, nodeID ta.NodeID, reg int, name string, p
 	}
 }
 
-// Clock returns node i's live clock (for tests and reports).
-func (rt *Runtime) Clock(i int) Clock { return rt.nodes[i].clk }
+// Clock returns node i's live clock (for tests and reports), nil for
+// nodes this runtime does not host.
+func (rt *Runtime) Clock(i int) Clock {
+	if i < 0 || i >= len(rt.nodes) || rt.nodes[i] == nil {
+		return nil
+	}
+	return rt.nodes[i].clk
+}
+
+// Snapshot returns the measured bounds so far without stopping the
+// runtime — the daemon's heartbeat payload. The epsilon and reconnect
+// probes are the same ones Stop runs; everything else reads atomics.
+func (rt *Runtime) Snapshot() Measured {
+	rt.mu.Lock()
+	if !rt.started || rt.stopped {
+		m := rt.measured
+		rt.mu.Unlock()
+		return m
+	}
+	rt.mu.Unlock()
+	m := Measured{
+		TimerLate:       simtime.Duration(rt.timerLate.Load()),
+		DelayMax:        simtime.Duration(rt.delayMax.Load()),
+		DelayViolations: int(rt.delayViols.Load()),
+		Messages:        int(rt.msgs.Load()),
+		Held:            int(rt.held.Load()),
+		RecorderDrops:   int(rt.rec.drops.Load()),
+	}
+	if lo := rt.delayMin.Load(); lo != math.MaxInt64 {
+		m.DelayMin = simtime.Duration(lo)
+	}
+	for _, n := range rt.nodes {
+		if n == nil {
+			continue
+		}
+		if b := n.clk.OffsetBound(); b > m.Eps {
+			m.Eps = b
+		}
+	}
+	if r, ok := rt.transport.(interface{ Reconnects() int64 }); ok {
+		m.Reconnects = int(r.Reconnects())
+	}
+	return m
+}
 
 // Stop shuts the runtime down — node loops, then transport, then a final
 // sink flush — and returns the measured bounds. Callers that installed
@@ -299,9 +394,15 @@ func (rt *Runtime) Stop() Measured {
 		m.DelayMin = simtime.Duration(lo)
 	}
 	for _, n := range rt.nodes {
+		if n == nil {
+			continue
+		}
 		if b := n.clk.OffsetBound(); b > m.Eps {
 			m.Eps = b
 		}
+	}
+	if r, ok := rt.transport.(interface{ Reconnects() int64 }); ok {
+		m.Reconnects = int(r.Reconnects())
 	}
 	rt.measured = m
 	return m
@@ -334,7 +435,7 @@ func (rt *Runtime) deliverFrame(f Frame) {
 // enqueueFrame records the delay the receiver actually experiences and
 // hands the frame to the destination's loop.
 func (rt *Runtime) enqueueFrame(f Frame) {
-	if int(f.To) < 0 || int(f.To) >= len(rt.nodes) {
+	if int(f.To) < 0 || int(f.To) >= len(rt.nodes) || rt.nodes[f.To] == nil {
 		return
 	}
 	d := rt.elapsed().Sub(f.SentReal)

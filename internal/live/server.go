@@ -226,6 +226,9 @@ func NewServer(rt *Runtime) (*Server, error) {
 		done:  make(chan struct{}),
 	}
 	for i := 0; i < n; i++ {
+		if !rt.hostsNode(i) {
+			continue // a fleet daemon serves clients only for its own node
+		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			s.Close()
@@ -236,6 +239,9 @@ func NewServer(rt *Runtime) (*Server, error) {
 	}
 	for reg := 0; reg < r; reg++ {
 		for i := 0; i < n; i++ {
+			if !rt.hostsNode(i) {
+				continue
+			}
 			s.ports[reg*n+i] = &svcPort{
 				node: ta.NodeID(i),
 				reg:  reg,
@@ -277,10 +283,17 @@ func (s *Server) dispatch(nodeID ta.NodeID, reg int, name string, payload any) {
 	if v, ok := payload.(register.Value); ok {
 		r.Val = v
 	}
+	p := s.ports[reg*s.rt.opts.N+int(nodeID)]
+	if p == nil {
+		return // response at a node this process doesn't serve clients for
+	}
 	select {
-	case s.ports[reg*s.rt.opts.N+int(nodeID)].resp <- r:
+	case p.resp <- r:
+		// With no waiter (a direct Invoke bypassed the server) the value
+		// parks in the one-slot buffer; the port worker discards it before
+		// its next invocation.
 	default:
-		// No waiter (a direct Invoke bypassed the server); drop.
+		// Slot already holds a parked bypass response; drop.
 	}
 }
 
@@ -288,6 +301,9 @@ func (s *Server) dispatch(nodeID ta.NodeID, reg int, name string, payload any) {
 // workers. Call after rt.Start.
 func (s *Server) Start() {
 	for _, p := range s.ports {
+		if p == nil {
+			continue
+		}
 		p := p
 		s.wg.Add(1)
 		go func() {
@@ -296,6 +312,9 @@ func (s *Server) Start() {
 		}()
 	}
 	for i, ln := range s.lns {
+		if ln == nil {
+			continue
+		}
 		i, ln := i, ln
 		s.wg.Add(1)
 		go func() {
@@ -325,6 +344,16 @@ func (s *Server) portLoop(p *svcPort) {
 		case req = <-p.reqs:
 		case <-s.done:
 			return
+		}
+		// Discard a response parked by a direct Invoke that bypassed the
+		// server (e.g. a fleet daemon's amnesia-repair write): its output
+		// landed in the one-slot buffer with no waiter, and answering the
+		// next client request with it would shift every later response one
+		// operation back. Nothing can park here for the request we are
+		// about to invoke — outputs only follow invocations.
+		select {
+		case <-p.resp:
+		default:
 		}
 		if err := s.rt.invoke(p.prod, p.node, p.reg, req.op, req.payload); err != nil {
 			// Runtime shut down beneath us; the connection gets no answer,
